@@ -1,0 +1,76 @@
+"""Ablation Abl-1: the block-size trade-off.
+
+The paper: "The values of the m1, ..., md parameters can be chosen to
+best trade off the advantages versus the disadvantages" — large blocks
+amortize per-block overhead and communication but coarsen the
+load-balance granularity and over-refine; the authors chose 16^3 on the
+T3D as "a reasonable compromise".
+
+Reproduction: the same 64^3-cell domain decomposed into blocks of
+m in {4, 8, 16, 32}, run on 32 simulated PEs.  Reported per m:
+
+* per-cell compute time including per-block overhead (fewer, larger
+  blocks amortize better);
+* ghost/computational ratio (memory overhead);
+* load imbalance at the 32-PE granularity;
+* total simulated step time — which is minimized in the middle.
+"""
+
+import pytest
+
+from repro.core import BlockForest
+from repro.parallel import ParallelSimulation, partition_imbalance, sfc_partition
+from repro.util.geometry import Box
+
+from _tables import emit_table
+
+CELLS = 64
+P = 32
+STEPS = 10
+
+
+def forest_for(m):
+    n = CELLS // m
+    return BlockForest(
+        Box((0.0,) * 3, (1.0,) * 3), (n,) * 3, (m,) * 3, nvar=1, n_ghost=2
+    )
+
+
+def test_block_size_tradeoff(benchmark):
+    rows = []
+    step_times = {}
+    for m in (4, 8, 16, 32):
+        f = forest_for(m)
+        a = sfc_partition(f, P)
+        imb = partition_imbalance(f, a, P)
+        sim = ParallelSimulation(f, P)
+        rep = sim.run(STEPS)
+        step_times[m] = rep.time_per_step
+        rows.append(
+            (
+                f"{m}^3",
+                f.n_blocks,
+                f"{f.n_blocks / P:.1f}",
+                f"{f.ghost_cell_ratio():.2f}",
+                f"{imb:.2f}",
+                f"{100 * rep.comm_fraction:.1f}%",
+                f"{rep.time_per_step * 1e3:.1f}",
+            )
+        )
+    emit_table(
+        "ablation_block_size",
+        f"Abl-1: block-size trade-off at fixed resolution ({CELLS}^3 "
+        f"cells, {P} simulated PEs)",
+        ("block", "blocks", "blocks/PE", "ghost ratio", "imbalance",
+         "comm", "ms/step"),
+        rows,
+        notes="paper: m = 16^3 chosen as 'a reasonable compromise' "
+        "between per-cell speed and load-balance granularity",
+    )
+    # Small blocks pay per-block overhead + ghost volume; at m=32 only 8
+    # blocks exist for 32 PEs, so imbalance is catastrophic (24 PEs idle).
+    assert step_times[8] < step_times[4]
+    assert step_times[32] > 2.0 * step_times[8]
+    f32 = forest_for(32)
+    assert partition_imbalance(f32, sfc_partition(f32, P), P) >= 4.0
+    benchmark(lambda: ParallelSimulation(forest_for(8), P).run(1))

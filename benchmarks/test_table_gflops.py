@@ -1,0 +1,67 @@
+"""Table T-D: sustained GFLOPS on the 512-PE machine.
+
+The paper's headline: "we were able to sustain 17 GFLOPS in ideal
+magnetohydrodynamic (MHD) simulations ... using a 512 processor Cray
+T3D" (16 GFLOPS in the introduction's phrasing) — about 22% of the
+machine's 76.8 GFLOPS peak.
+
+Reproduction: the 512-PE simulated run over the 4096-block forest.  The
+useful-FLOP count comes from the analytic per-cell MHD kernel census
+(:mod:`repro.solvers.flops`); the wall time from the machine model.  The
+per-PE sustained rate is reported two ways:
+
+* with the machine preset (33 MFLOPS/PE sustained — calibrated from the
+  published T3D stencil-code range, NOT from the paper's own number);
+* degraded by the measured ghost-exchange + imbalance overheads of the
+  actual forest, which is the quantity comparable to the paper's 17.
+"""
+
+import pytest
+
+from repro.core import BlockForest
+from repro.parallel import CRAY_T3D, ParallelSimulation, gflops
+from repro.solvers.flops import mhd_flops_per_cell
+from repro.util.geometry import Box
+
+from _tables import emit_table
+
+STEPS = 10
+
+
+def test_sustained_gflops(benchmark):
+    forest = BlockForest(
+        Box((0.0,) * 3, (1.0,) * 3), (16,) * 3, (8,) * 3, nvar=1, n_ghost=2
+    )
+    sim = ParallelSimulation(forest, 512)
+    rep = sim.run(STEPS)
+    flops = sim.total_flops(STEPS)
+    rate = gflops(flops, rep.total_time)
+    per_pe = rate / 512 * 1e3
+    peak = 512 * 150e6 / 1e9  # 150 MFLOPS peak per Alpha 21064
+    kernel = mhd_flops_per_cell(3, 2)
+    rows = [
+        ("PEs", 512),
+        ("blocks / cells", f"{forest.n_blocks} / {forest.n_cells}"),
+        ("MHD kernel flops/cell/step", kernel.per_cell_per_step),
+        ("simulated wall time (s)", f"{rep.total_time:.3f}"),
+        ("useful FLOPs", f"{flops:.3e}"),
+        ("sustained GFLOPS (modelled)", f"{rate:.1f}"),
+        ("per-PE MFLOPS", f"{per_pe:.1f}"),
+        ("machine peak GFLOPS", f"{peak:.1f}"),
+        ("fraction of peak", f"{100 * rate / peak:.1f}%"),
+        ("paper reported", "16-17 GFLOPS (21-22% of peak)"),
+    ]
+    emit_table(
+        "table_gflops",
+        "T-D: sustained GFLOPS, 512-PE simulated Cray T3D, 3-D 2nd-order "
+        "MHD over 4096 adaptive blocks",
+        ("quantity", "value"),
+        rows,
+        notes="per-PE sustained rate calibrated from published T3D "
+        "stencil-code data (33 MFLOPS/PE), then degraded by the measured "
+        "exchange/imbalance overheads of this forest",
+    )
+    # Band check: same order and same fraction-of-peak regime as the paper.
+    assert 10.0 < rate < 25.0
+    assert 0.10 < rate / peak < 0.30
+    benchmark(lambda: ParallelSimulation(forest, 512).run(1))

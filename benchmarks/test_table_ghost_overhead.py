@@ -1,0 +1,126 @@
+"""Table T-B: ghost-cell overhead and face-neighbor counts.
+
+The paper's claims:
+
+* blocks' "ghost cell to computational cell ratio is far superior to
+  other data structures" (a per-cell structure needs a full ghost ring
+  per cell);
+* "for adaptive blocks with at most one level of resolution change
+  between adjacent blocks, there are at most 2^(d-1) blocks sharing a
+  given face.  If k levels of resolution change are permitted, then
+  there can be as many as 2^(k(d-1))."
+
+Reproduction: measured ghost/computational ratios over block size and
+ghost width, and measured maximum face-neighbor counts on adversarially
+refined forests versus the analytic bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockForest, BlockID
+from repro.util.geometry import Box
+
+from _tables import emit_table
+
+
+def forest(ndim, m, g, jump=1, max_level=3):
+    return BlockForest(
+        Box((0.0,) * ndim, (1.0,) * ndim),
+        (2,) * ndim,
+        (m,) * ndim,
+        nvar=1,
+        n_ghost=g,
+        max_level=max_level,
+        max_level_jump=jump,
+    )
+
+
+def test_ghost_ratio_table(benchmark):
+    rows = []
+    ratios = {}
+    for ndim in (2, 3):
+        for m in (4, 8, 16):
+            for g in (1, 2):
+                f = forest(ndim, m, g)
+                r = f.ghost_cell_ratio()
+                ratios[(ndim, m, g)] = r
+                per_cell = (1 + 2 * g) ** ndim - 1  # ghost ring per lone cell
+                rows.append(
+                    (ndim, f"{m}^{ndim}", g, f"{r:.2f}", per_cell)
+                )
+    emit_table(
+        "table_ghost_overhead",
+        "T-B: ghost/computational cell ratio vs block size (last column: "
+        "ghost cells a single-cell structure would need per cell)",
+        ("d", "block", "ghosts", "ratio", "per-cell equiv"),
+        rows,
+        notes="paper: blocks' ghost-to-computational ratio is 'far "
+        "superior to other data structures'",
+    )
+    # Ratio falls with block size and is far below the per-cell ring.
+    assert ratios[(3, 16, 2)] < ratios[(3, 4, 2)]
+    assert ratios[(3, 16, 2)] < 1.0
+    single_cell_ring = 5**3 - 1  # 124 ghosts per cell for g=2
+    assert ratios[(3, 16, 2)] < single_cell_ring / 50
+    benchmark(lambda: forest(3, 8, 2).ghost_cell_ratio())
+
+
+def _max_face_neighbors(ndim, jump, max_level):
+    """Adversarial forest: refine one corner block to the level cap."""
+    f = forest(ndim, 4, 2, jump=jump, max_level=max_level)
+    target = BlockID(0, (0,) * ndim)
+    current = [target]
+    for _ in range(max_level):
+        f.adapt(current)
+        current = [
+            b for b in f.blocks
+            if b.level == f.levels[1] and all(c == 0 for c in b.coords)
+        ]
+    f.check_balance()
+    return f.neighbor_count_stats()["max"]
+
+
+def test_face_neighbor_bound(benchmark):
+    rows = []
+    for ndim in (2, 3):
+        for jump in (1, 2):
+            measured = _max_face_neighbors(ndim, jump, max_level=2)
+            bound = 2 ** (jump * (ndim - 1))
+            rows.append((ndim, jump, int(measured), bound))
+            assert measured <= bound
+    emit_table(
+        "table_neighbor_bound",
+        "T-B (continued): max face-neighbor count vs the paper's "
+        "2^(k(d-1)) bound",
+        ("d", "max level jump k", "measured max", "2^(k(d-1))"),
+        rows,
+    )
+    # The bound is achieved for the standard jump-1 cases.
+    assert _max_face_neighbors(2, 1, 2) == 2
+    assert _max_face_neighbors(3, 1, 2) == 4
+    benchmark(lambda: _max_face_neighbors(2, 1, 2))
+
+
+def test_pointer_storage_amortization(benchmark):
+    """Neighbor-pointer storage per cell: blocks amortize it over m^d."""
+    rows = []
+    for m in (2, 4, 8, 16):
+        f = forest(3, m, 1 if m == 2 else 2)
+        pointers = f.neighbor_count_stats()["total_pointers"]
+        per_cell = pointers / f.n_cells
+        rows.append((f"{m}^3", int(pointers), f"{per_cell:.4f}"))
+    emit_table(
+        "table_pointer_storage",
+        "T-B (continued): face-neighbor pointers per computational cell",
+        ("block", "pointers", "pointers/cell"),
+        rows,
+        notes="paper: blocks 'amortize the costs of neighbor pointers "
+        "(both time and space) over entire arrays'",
+    )
+    f2 = forest(3, 2, 1)
+    f16 = forest(3, 16, 2)
+    p2 = f2.neighbor_count_stats()["total_pointers"] / f2.n_cells
+    p16 = f16.neighbor_count_stats()["total_pointers"] / f16.n_cells
+    assert p16 < p2 / 100
+    benchmark(lambda: forest(3, 8, 2).neighbor_count_stats())

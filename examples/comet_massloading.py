@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Cometary mass loading — the comet x-ray application analogue.
+
+Supersonic magnetized solar wind flows past a comet whose neutral cloud
+continuously adds slow ions to the flow (ion pick-up).  The added mass
+decelerates the wind and a bow-shock-like compression forms upstream of
+the nucleus — the structure behind the cometary x-ray modelling the
+paper cites (Haberli et al.), which ran on a workstation with the same
+adaptive-block code.
+
+The script measures the upstream standoff distance of the compression
+front and shows how the adaptive grid concentrates blocks around it.
+
+Run:  python examples/comet_massloading.py
+"""
+
+import numpy as np
+
+from repro.amr import comet, grid_report
+
+
+def centerline_profile(sim, n=80):
+    """Density and x-velocity along the y=0 centerline."""
+    lo, hi = sim.forest.domain.lo[0], sim.forest.domain.hi[0]
+    xs = np.linspace(lo + 1e-6, hi - 1e-6, n)
+    rho, ux = [], []
+    for x in xs:
+        b = sim.forest.block_at((x, 0.0))
+        X, Y = b.meshgrid()
+        idx = np.unravel_index(np.argmin((X - x) ** 2 + Y**2), X.shape)
+        w = sim.scheme.cons_to_prim(b.interior)
+        rho.append(float(w[0][idx]))
+        ux.append(float(w[1][idx]))
+    return xs, np.array(rho), np.array(ux)
+
+
+def main() -> None:
+    problem = comet(ndim=2, inflow_u=4.0, loading_rate=3.0)
+    sim = problem.build(initial_adapt_rounds=1)
+    print("=== initial grid ===")
+    print(grid_report(sim.forest))
+
+    t_end = 1.2
+    print(f"\nrunning mass-loaded flow to t = {t_end} ...")
+    while sim.time < t_end - 1e-12:
+        rec = sim.step()
+        if rec.step % 25 == 0:
+            print(
+                f"t={sim.time:6.3f}  blocks={rec.n_blocks:4d}  "
+                f"levels={sim.forest.levels}"
+            )
+
+    xs, rho, ux = centerline_profile(sim)
+    print("\ncenterline profile (y = 0):")
+    print(f"{'x':>7} {'rho':>8} {'ux':>7}")
+    for i in range(0, len(xs), 8):
+        print(f"{xs[i]:7.2f} {rho[i]:8.4f} {ux[i]:7.3f}")
+
+    # Standoff: the upstream point where compression exceeds 1.3x inflow.
+    upstream = xs < 0.0
+    compressed = upstream & (rho > 1.3)
+    if compressed.any():
+        standoff = -xs[compressed].min()
+        print(f"\nupstream compression front standoff: {standoff:.2f} "
+              f"(cloud radius 0.4)")
+    else:
+        print("\nno compression front detected yet (increase t_end or "
+              "loading_rate)")
+
+    print("\n=== final grid ===")
+    print(grid_report(sim.forest))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Convergence study: verifying the discretization order on blocks.
+
+Order verification is the standard code-credibility exercise: solve a
+smooth problem on a sequence of resolutions and confirm the error falls
+at the design rate.  Runs three studies:
+
+* advection, order-2 MUSCL — expect ~2nd order;
+* advection, order-1 upwind — expect ~1st order;
+* Euler acoustic pulse, order-2 — expect ~2nd order pre-shock;
+
+each on multi-block forests, so the block decomposition and ghost
+exchange are part of what is verified.
+
+Run:  python examples/convergence_study.py
+"""
+
+import numpy as np
+
+from repro.amr import Simulation, SimulationConfig, advecting_pulse
+from repro.solvers import EulerScheme
+from repro.util.geometry import Box
+
+
+def advection_error(m, order):
+    cfg = SimulationConfig(
+        domain=Box((0.0, 0.0), (1.0, 1.0)),
+        n_root=(2, 2),
+        m=(m, m),
+        periodic=(True, True),
+        order=order,
+        limiter="mc",
+        cfl=0.2,
+    )
+    problem = advecting_pulse(2, width=0.12, config=cfg)
+    sim = problem.build(adaptive=False)
+    t_end = 0.25
+    sim.run(t_end=t_end, dt_max=0.1 / m)  # dt ~ h: keeps time error at O(h^2)
+    return sim.error_vs(problem.exact(t_end))
+
+
+def euler_error(m):
+    """Pure entropy wave: density perturbation advected by a uniform
+    flow at uniform pressure (the exact solution is a translation)."""
+    scheme = EulerScheme(2, order=2, limiter="mc", cfl=0.2)
+    cfg = SimulationConfig(
+        domain=Box((0.0, 0.0), (1.0, 1.0)),
+        n_root=(2, 2),
+        m=(m, m),
+        periodic=(True, True),
+    )
+    forest = cfg.make_forest(scheme.nvar)
+    u0, p0 = 1.0, 1.0
+
+    def exact_rho(t):
+        def fn(X, Y):
+            return 1.0 + 0.02 * np.sin(2 * np.pi * (X - u0 * t))
+        return fn
+
+    for b in forest:
+        X, Y = b.meshgrid()
+        w = np.stack(
+            [exact_rho(0.0)(X, Y), u0 * np.ones_like(X),
+             np.zeros_like(X), p0 * np.ones_like(X)]
+        )
+        b.interior[...] = scheme.prim_to_cons(w)
+    sim = Simulation(forest, scheme)
+    t_end = 0.2
+    sim.run(t_end=t_end, dt_max=0.05 / m)
+    # Pressure and velocity stay uniform; density advects exactly.
+    return sim.error_vs(exact_rho(t_end), var=0)
+
+
+def alfven_error(m):
+    """Circularly polarized Alfven wave: exact nonlinear MHD solution."""
+    from repro.amr import alfven_wave
+
+    cfg = SimulationConfig(
+        domain=Box((0.0,), (1.0,)),
+        n_root=(2,),
+        m=(m,),
+        periodic=(True,),
+        limiter="mc",
+        cfl=0.3,
+    )
+    problem = alfven_wave(config=cfg)
+    sim = problem.build(adaptive=False)
+    t_end = 0.25
+    sim.run(t_end=t_end, dt_max=0.05 / m)
+    return sim.error_vs(problem.exact(sim.time), var=6)
+
+
+def print_study(title, resolutions, errors):
+    print(f"\n=== {title} ===")
+    print(f"{'cells/axis':>11} {'L1 error':>12} {'rate':>6}")
+    for i, (m, e) in enumerate(zip(resolutions, errors)):
+        rate = "" if i == 0 else f"{np.log2(errors[i-1] / e):6.2f}"
+        print(f"{2 * m:>11} {e:12.4e} {rate:>6}")
+
+
+def main() -> None:
+    ms = [8, 16, 32]
+
+    errs = [advection_error(m, order=2) for m in ms]
+    print_study("advection, MUSCL (expect rate -> 2)", ms, errs)
+
+    errs1 = [advection_error(m, order=1) for m in ms]
+    print_study("advection, first order (expect rate -> 1)", ms, errs1)
+
+    errs_e = [euler_error(m) for m in ms]
+    print_study("Euler entropy wave, MUSCL (expect rate -> 2)", ms, errs_e)
+
+    errs_a = [alfven_error(m) for m in ms]
+    print_study("MHD Alfven wave, MUSCL (expect rate -> 2)", ms, errs_a)
+
+    print(
+        "\nRates near the design order confirm the block decomposition,\n"
+        "ghost exchange and two-stage time stepping preserve the\n"
+        "scheme's formal accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Orszag–Tang vortex on adaptive blocks — the MHD stress test.
+
+Smooth periodic vortices steepen into the famous web of interacting MHD
+shocks; the adaptive grid chases the shock network.  Renders the density
+field and the block structure as the web forms, tracks the divergence-B
+control of the Powell scheme, and exports a VTK file for ParaView.
+
+Run:  python examples/orszag_tang.py
+"""
+
+import numpy as np
+
+from repro.amr import grid_report, orszag_tang
+from repro.amr.visualize import render_blocks, render_field
+from repro.amr.vtk import save_vtk_uniform
+
+
+def max_divb(sim):
+    worst = 0.0
+    for b in sim.forest:
+        div = sim.scheme.div_b_interior(b.data, b.dx, sim.forest.n_ghost)
+        worst = max(worst, float(np.abs(div).max()))
+    return worst
+
+
+def main() -> None:
+    problem = orszag_tang()
+    sim = problem.build(initial_adapt_rounds=1)
+    print("=== initial grid ===")
+    print(grid_report(sim.forest))
+
+    t_end = 0.3
+    print(f"\nrunning the vortex to t = {t_end} ...")
+    next_report = 0.1
+    while sim.time < t_end - 1e-12:
+        rec = sim.step()
+        if sim.time >= next_report:
+            print(
+                f"t={sim.time:5.3f}  step={rec.step:4d}  "
+                f"blocks={rec.n_blocks:4d}  levels={sim.forest.levels}  "
+                f"max|divB|={max_divb(sim):7.3f}"
+            )
+            next_report += 0.1
+
+    print("\ndensity (the shock web):")
+    print(render_field(sim.forest, var=0, width=56, height=26))
+    print("\nblock levels (refinement tracks the shocks):")
+    print(render_blocks(sim.forest, width=56, height=26))
+    print("\n=== final grid ===")
+    print(grid_report(sim.forest))
+
+    out = save_vtk_uniform(
+        sim.forest,
+        "orszag_tang.vtk",
+        var_names=["rho", "mx", "my", "mz", "E", "Bx", "By", "Bz"],
+    )
+    print(f"\nVTK file for ParaView written to {out}")
+
+
+if __name__ == "__main__":
+    main()

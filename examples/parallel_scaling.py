@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Parallel scaling on the simulated Cray T3D (the paper's Figs. 6-7).
+
+Runs the cost-model machine over real forest topologies:
+
+* scaled-size efficiency — work per PE held constant while the machine
+  grows from 1 to 512 PEs (Figure 6);
+* fixed-size speedup — one large problem spread over 64..512 PEs,
+  speedup relative to 64 (Figure 7);
+* modelled sustained GFLOPS at 512 PEs (the paper's 16-17 GFLOPS).
+
+Run:  python examples/parallel_scaling.py
+"""
+
+from repro.core import BlockForest
+from repro.parallel import (
+    ParallelSimulation,
+    fixed_size_speedup,
+    gflops,
+    scaled_efficiency,
+)
+from repro.util.geometry import Box
+
+
+def uniform_forest(n_blocks_per_axis: int, m: int = 8) -> BlockForest:
+    n = n_blocks_per_axis
+    return BlockForest(
+        Box((0.0,) * 3, (1.0,) * 3), (n, n, n), (m,) * 3, nvar=1, n_ghost=2
+    )
+
+
+def main() -> None:
+    steps = 10
+
+    print("=== Figure 6: scaled-size parallel efficiency ===")
+    print("(8 blocks of 8^3 cells per PE, 3-D MHD cost model, Cray T3D)")
+    times = {}
+    print(f"{'PEs':>5} {'blocks':>7} {'t/step (ms)':>12} {'comm %':>7}")
+    for p, n in ((1, 2), (8, 4), (64, 8), (512, 16)):
+        forest = uniform_forest(n)
+        sim = ParallelSimulation(forest, p)
+        rep = sim.run(steps)
+        times[p] = rep.time_per_step
+        print(
+            f"{p:5d} {forest.n_blocks:7d} {rep.time_per_step * 1e3:12.2f} "
+            f"{100 * rep.comm_fraction:7.2f}"
+        )
+    eff = scaled_efficiency(times)
+    print("efficiency: " + "  ".join(f"P={p}: {e:.3f}" for p, e in eff.items()))
+
+    print("\n=== Figure 7: fixed-size speedup (relative to 64 PEs) ===")
+    forest_size = 16  # 4096 blocks: the 512-PE-scale problem
+    times_fixed = {}
+    print(f"{'PEs':>5} {'t/step (ms)':>12} {'speedup':>8} {'ideal':>7}")
+    for p in (64, 128, 256, 512):
+        forest = uniform_forest(forest_size)
+        sim = ParallelSimulation(forest, p)
+        rep = sim.run(steps)
+        times_fixed[p] = rep.time_per_step
+    speedup = fixed_size_speedup(times_fixed, base=64)
+    for p in (64, 128, 256, 512):
+        print(
+            f"{p:5d} {times_fixed[p] * 1e3:12.2f} {speedup[p]:8.2f} "
+            f"{p / 64:7.2f}"
+        )
+
+    print("\n=== Sustained GFLOPS at 512 PEs (paper: 16-17 GFLOPS) ===")
+    forest = uniform_forest(16)
+    sim = ParallelSimulation(forest, 512)
+    rep = sim.run(steps)
+    rate = gflops(sim.total_flops(steps), rep.total_time)
+    print(f"modelled sustained rate: {rate:.1f} GFLOPS "
+          f"({rate / 512 * 1e3:.1f} MFLOPS/PE)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Solar wind with a driven CME pulse — the paper's flagship application.
+
+Relaxes a supersonic radial MHD wind from a fixed spherical inner
+boundary (the solar corona base), then boosts the inner-boundary density
+and speed for a short interval, launching a CME-like disturbance that
+propagates outward through the wind while the adaptive grid follows it.
+
+A probe at fixed radius records the passing pulse — the shape of a
+spacecraft time series.
+
+Run:  python examples/solar_wind_cme.py
+"""
+
+import numpy as np
+
+from repro.amr import grid_report, solar_wind
+
+
+def probe(sim, point):
+    b = sim.forest.block_at(point)
+    X, Y = b.meshgrid()
+    idx = np.unravel_index(
+        np.argmin((X - point[0]) ** 2 + (Y - point[1]) ** 2), X.shape
+    )
+    w = sim.scheme.cons_to_prim(b.interior)
+    return {
+        "rho": float(w[0][idx]),
+        "ur": float(w[1][idx] * point[0] / np.hypot(*point)
+                    + w[2][idx] * point[1] / np.hypot(*point)),
+        "p": float(w[4][idx]),
+    }
+
+
+def main() -> None:
+    from repro.amr import SimulationConfig
+    from repro.util.geometry import Box
+
+    t_relax = 1.0
+    # Demo-sized configuration: two refinement levels keep the run to a
+    # couple of minutes; raise max_level for production-quality fronts.
+    config = SimulationConfig(
+        domain=Box((-4.0, -4.0), (4.0, 4.0)),
+        n_root=(2, 2),
+        m=(8, 8),
+        max_level=2,
+        refine_threshold=0.15,
+        coarsen_threshold=0.04,
+    )
+    problem = solar_wind(
+        ndim=2,
+        cme_time=t_relax,
+        cme_duration=0.25,
+        cme_factor=4.0,
+        config=config,
+    )
+    sim = problem.build(initial_adapt_rounds=2)
+    print("=== initial grid ===")
+    print(grid_report(sim.forest))
+
+    probe_point = (2.5, 0.0)
+    print(f"\nrelaxing the wind to t = {t_relax}, then launching the CME")
+    print(f"probe at r = {np.hypot(*probe_point):.1f}")
+    print(f"{'t':>7} {'rho':>8} {'u_r':>7} {'p':>9} {'blocks':>7}")
+
+    t_end = 2.5
+    next_sample = 0.0
+    while sim.time < t_end - 1e-12:
+        rec = sim.step()
+        if sim.time >= next_sample:
+            s = probe(sim, probe_point)
+            marker = "  <-- CME passing" if s["rho"] > 1.0 else ""
+            print(
+                f"{sim.time:7.3f} {s['rho']:8.4f} {s['ur']:7.3f} "
+                f"{s['p']:9.5f} {rec.n_blocks:7d}{marker}"
+            )
+            next_sample += 0.2
+
+    print("\n=== final grid ===")
+    print(grid_report(sim.forest))
+    print("\nThe density spike in the probe series is the CME front; the")
+    print("block count rises while the disturbance crosses the domain and")
+    print("falls again once it leaves — adaptation at work.")
+
+
+if __name__ == "__main__":
+    main()

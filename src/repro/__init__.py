@@ -1,0 +1,41 @@
+"""repro — Adaptive Blocks: a high-performance block-AMR library.
+
+Reproduction of Stout, De Zeeuw, Gombosi, Groth, Marshall & Powell,
+*Adaptive Blocks: A High Performance Data Structure*, SC 1997.
+
+The package provides:
+
+* :mod:`repro.core` — the adaptive block data structure (block forest,
+  ghost exchange, prolongation/restriction, refinement criteria);
+* :mod:`repro.tree` — the cell-based quadtree/octree baseline the paper
+  compares against;
+* :mod:`repro.solvers` — finite-volume advection / Euler / ideal-MHD
+  kernels operating on block arrays;
+* :mod:`repro.amr` — serial AMR simulation driver, problems, boundary
+  conditions, I/O;
+* :mod:`repro.parallel` — simulated distributed-memory machine (Cray T3D
+  cost model), SFC partitioning, load balancing, parallel AMR driver;
+* :mod:`repro.machine` — direct-mapped-cache cost model reproducing the
+  paper's Figure 5 cache effects.
+"""
+
+from repro.core import (
+    Block,
+    BlockForest,
+    BlockID,
+    IndexBox,
+    fill_ghosts,
+)
+from repro.util import Box
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Block",
+    "BlockForest",
+    "BlockID",
+    "IndexBox",
+    "fill_ghosts",
+    "Box",
+    "__version__",
+]

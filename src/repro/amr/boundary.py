@@ -1,0 +1,194 @@
+"""Physical boundary conditions on domain-boundary ghost cells.
+
+Each boundary condition is a callable matching
+:data:`repro.core.ghost.BoundaryHandler`: it fills ``block``'s ghost
+cells inside ``region`` (a global-index box at the block's level that
+covers a boundary slab of ``face``).  The library ships the standard
+finite-volume set:
+
+* :class:`OutflowBC` — zero-gradient (copy the nearest interior layer);
+* :class:`ExtrapolationBC` — linear extrapolation from two interior
+  layers (keeps second-order accuracy at outflow boundaries);
+* :class:`ReflectingBC` — mirror with sign flips on selected variables
+  (solid walls: flip the normal momentum / normal field components);
+* :class:`FixedBC` — Dirichlet values from a user function of the cell
+  centers (supersonic inflow, the solar-wind inner boundary);
+* :class:`CompositeBC` — different conditions per face.
+
+Periodic boundaries are not represented here: the forest's ghost
+exchange handles them natively via wrapped neighbor lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.block import Block
+from repro.core.block_id import IndexBox
+from repro.core.forest import BlockForest
+from repro.util.geometry import face_axis, face_side
+
+__all__ = [
+    "OutflowBC",
+    "ExtrapolationBC",
+    "ReflectingBC",
+    "FixedBC",
+    "CompositeBC",
+    "region_centers",
+]
+
+
+def region_centers(
+    forest: BlockForest, level: int, region: IndexBox
+) -> Tuple[np.ndarray, ...]:
+    """Physical cell-center coordinate arrays (ij meshgrid) of a region
+    given in level-``level`` global cell indices.  Works outside the
+    domain too (ghost regions extrapolate the uniform spacing)."""
+    axes = []
+    for a in range(forest.ndim):
+        n = (forest.n_root[a] << level) * forest.m[a]
+        dx = forest.domain.widths[a] / n
+        idx = np.arange(region.lo[a], region.hi[a])
+        axes.append(forest.domain.lo[a] + (idx + 0.5) * dx)
+    return tuple(np.meshgrid(*axes, indexing="ij"))
+
+
+def _interior_layer_box(
+    block: Block, face: int, region: IndexBox, depth: int
+) -> IndexBox:
+    """The single interior layer at the given depth from ``face``, with
+    the transverse extent of ``region``."""
+    axis, side = face_axis(face), face_side(face)
+    ib = block.cell_box
+    if side == 0:
+        lo_a = ib.lo[axis] + depth
+    else:
+        lo_a = ib.hi[axis] - 1 - depth
+    lo = list(region.lo)
+    hi = list(region.hi)
+    lo[axis] = lo_a
+    hi[axis] = lo_a + 1
+    return IndexBox(tuple(lo), tuple(hi))
+
+
+def _ghost_layer_box(
+    block: Block, face: int, region: IndexBox, dist: int
+) -> IndexBox:
+    """The single ghost layer at distance ``dist`` (1-based) outside
+    ``face``, with the transverse extent of ``region``."""
+    axis, side = face_axis(face), face_side(face)
+    ib = block.cell_box
+    if side == 0:
+        lo_a = ib.lo[axis] - dist
+    else:
+        lo_a = ib.hi[axis] - 1 + dist
+    lo = list(region.lo)
+    hi = list(region.hi)
+    lo[axis] = lo_a
+    hi[axis] = lo_a + 1
+    return IndexBox(tuple(lo), tuple(hi))
+
+
+class OutflowBC:
+    """Zero-gradient: every ghost layer copies the nearest interior layer."""
+
+    def __call__(
+        self, block: Block, face: int, region: IndexBox, forest: BlockForest
+    ) -> None:
+        src = block.view(_interior_layer_box(block, face, region, 0))
+        for dist in range(1, block.n_ghost + 1):
+            block.view(_ghost_layer_box(block, face, region, dist))[...] = src
+
+
+class ExtrapolationBC:
+    """Linear extrapolation from the two interior layers nearest the face.
+
+    Exact for fields linear in the face-normal coordinate, so the ghost
+    exchange stays second-order accurate up to the boundary.
+    """
+
+    def __call__(
+        self, block: Block, face: int, region: IndexBox, forest: BlockForest
+    ) -> None:
+        q0 = block.view(_interior_layer_box(block, face, region, 0))
+        q1 = block.view(_interior_layer_box(block, face, region, 1))
+        outward_slope = q0 - q1
+        for dist in range(1, block.n_ghost + 1):
+            block.view(_ghost_layer_box(block, face, region, dist))[...] = (
+                q0 + dist * outward_slope
+            )
+
+
+class ReflectingBC:
+    """Solid wall: ghost layer ``q`` mirrors interior layer ``q``, with a
+    sign flip on the variables listed for the face's axis.
+
+    Parameters
+    ----------
+    flip_vars:
+        Mapping axis → variable indices whose sign flips across a wall
+        normal to that axis (e.g. the normal momentum, and for MHD the
+        normal magnetic field).  Axes not present flip nothing.
+    """
+
+    def __init__(self, flip_vars: Optional[Mapping[int, Sequence[int]]] = None):
+        self.flip_vars = {k: tuple(v) for k, v in (flip_vars or {}).items()}
+
+    def __call__(
+        self, block: Block, face: int, region: IndexBox, forest: BlockForest
+    ) -> None:
+        axis = face_axis(face)
+        flips = self.flip_vars.get(axis, ())
+        for dist in range(1, block.n_ghost + 1):
+            src = block.view(
+                _interior_layer_box(block, face, region, dist - 1)
+            ).copy()
+            for v in flips:
+                src[v] = -src[v]
+            block.view(_ghost_layer_box(block, face, region, dist))[...] = src
+
+
+class FixedBC:
+    """Dirichlet: ghost cells take values from a user function.
+
+    ``values(centers) -> array`` receives the meshgrid coordinate arrays
+    of the ghost cells and must return an ``(nvar, *shape)`` array (or
+    one broadcastable to it).
+    """
+
+    def __init__(self, values: Callable[[Tuple[np.ndarray, ...]], np.ndarray]):
+        self.values = values
+
+    def __call__(
+        self, block: Block, face: int, region: IndexBox, forest: BlockForest
+    ) -> None:
+        centers = region_centers(forest, block.level, region)
+        block.view(region)[...] = self.values(centers)
+
+
+class CompositeBC:
+    """Different boundary conditions per face.
+
+    Parameters
+    ----------
+    per_face:
+        Mapping face index → handler.  Faces not present use ``default``.
+    default:
+        Fallback handler (default: :class:`OutflowBC`).
+    """
+
+    def __init__(
+        self,
+        per_face: Optional[Mapping[int, Callable]] = None,
+        default: Optional[Callable] = None,
+    ):
+        self.per_face: Dict[int, Callable] = dict(per_face or {})
+        self.default = default if default is not None else OutflowBC()
+
+    def __call__(
+        self, block: Block, face: int, region: IndexBox, forest: BlockForest
+    ) -> None:
+        handler = self.per_face.get(face, self.default)
+        handler(block, face, region, forest)

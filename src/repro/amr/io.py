@@ -1,0 +1,120 @@
+"""Checkpoint I/O and grid reporting.
+
+Forests serialize to a single ``.npz`` file: block IDs (level + coords)
+and the stacked interior data, plus the construction parameters needed
+to rebuild the forest.  Ghost cells are not stored — they are
+reconstructed by a ghost exchange after loading.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.block_id import BlockID
+from repro.core.forest import BlockForest
+from repro.util.geometry import Box
+
+__all__ = ["save_forest", "load_forest", "grid_report", "history_to_csv"]
+
+
+def history_to_csv(history, path: "Union[str, Path]") -> None:
+    """Dump a simulation's step history as CSV (step, time, dt, blocks,
+    cells, refined, coarsened) — handy for plotting adaptation dynamics
+    with any external tool."""
+    path = Path(path)
+    with path.open("w") as f:
+        f.write("step,time,dt,n_blocks,n_cells,refined,coarsened\n")
+        for rec in history:
+            refined = rec.adapted.refined if rec.adapted else 0
+            coarsened = rec.adapted.coarsened if rec.adapted else 0
+            f.write(
+                f"{rec.step},{rec.time:.12g},{rec.dt:.12g},"
+                f"{rec.n_blocks},{rec.n_cells},{refined},{coarsened}\n"
+            )
+
+
+def save_forest(forest: BlockForest, path: Union[str, Path]) -> None:
+    """Write a forest checkpoint (topology + interior data + metadata)."""
+    ids = forest.sorted_ids()
+    levels = np.array([b.level for b in ids], dtype=np.int64)
+    coords = np.array([b.coords for b in ids], dtype=np.int64)
+    data = np.stack([forest.blocks[b].interior for b in ids])
+    np.savez_compressed(
+        path,
+        levels=levels,
+        coords=coords,
+        data=data,
+        domain_lo=np.array(forest.domain.lo),
+        domain_hi=np.array(forest.domain.hi),
+        n_root=np.array(forest.n_root, dtype=np.int64),
+        m=np.array(forest.m, dtype=np.int64),
+        nvar=np.int64(forest.nvar),
+        n_ghost=np.int64(forest.n_ghost),
+        periodic=np.array(forest.periodic, dtype=bool),
+        max_level=np.int64(forest.max_level),
+        max_level_jump=np.int64(forest.max_level_jump),
+        prolong_order=np.int64(forest.prolong_order),
+    )
+
+
+def load_forest(path: Union[str, Path]) -> BlockForest:
+    """Rebuild a forest from a checkpoint (ghosts left unfilled)."""
+    with np.load(path) as f:
+        domain = Box(tuple(f["domain_lo"]), tuple(f["domain_hi"]))
+        forest = BlockForest(
+            domain,
+            tuple(int(x) for x in f["n_root"]),
+            tuple(int(x) for x in f["m"]),
+            int(f["nvar"]),
+            n_ghost=int(f["n_ghost"]),
+            periodic=tuple(bool(x) for x in f["periodic"]),
+            max_level=int(f["max_level"]),
+            max_level_jump=int(f["max_level_jump"]),
+            prolong_order=int(f["prolong_order"]),
+        )
+        ids = [
+            BlockID(int(lvl), tuple(int(c) for c in cs))
+            for lvl, cs in zip(f["levels"], f["coords"])
+        ]
+        # Reconstruct the topology: refine until exactly the saved leaf
+        # set exists.  Saved leaves are sorted by Morton key, so parents
+        # always appear before any deeper leaves they must split into.
+        target = set(ids)
+        changed = True
+        while changed:
+            changed = False
+            for bid in list(forest.blocks):
+                if bid in target:
+                    continue
+                # This leaf must be refined (some saved leaf is below it).
+                forest.refine(bid, update=False)
+                changed = True
+        forest.update_neighbors()
+        if set(forest.blocks) != target:
+            raise ValueError(
+                "checkpoint topology is not reachable by pure refinement "
+                "from the root tiling"
+            )
+        for bid, block_data in zip(ids, f["data"]):
+            forest.blocks[bid].interior[...] = block_data
+    return forest
+
+
+def grid_report(forest: BlockForest) -> str:
+    """Human-readable summary of a forest (blocks, cells, levels,
+    ghost overhead, neighbor stats)."""
+    hist = forest.level_histogram()
+    stats = forest.neighbor_count_stats()
+    lines = [
+        f"blocks: {forest.n_blocks}   cells: {forest.n_cells}",
+        f"block size: {'x'.join(map(str, forest.m))}   ghost width: {forest.n_ghost}",
+        f"levels: {forest.levels[0]}..{forest.levels[1]}   "
+        + "  ".join(f"L{k}:{v}" for k, v in hist.items()),
+        f"ghost/computational cell ratio: {forest.ghost_cell_ratio():.3f}",
+        f"face neighbors: max {stats['max']:.0f}, mean {stats['mean']:.2f}",
+        f"refinements: {forest.n_refinements}   coarsenings: {forest.n_coarsenings}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Sampling and diagnostics over a block forest.
+
+AMR data lives on blocks at mixed resolutions; analysis wants uniform
+arrays, line cuts, point probes and integrated quantities.  This module
+provides them:
+
+* :func:`resample_uniform` — the whole domain on a single level's
+  uniform grid (restriction for finer leaves, injection for coarser);
+* :func:`sample_points` / :func:`line_cut` — nearest-cell sampling;
+* :class:`ProbeSeries` — a time-series recorder to hook into the driver;
+* :func:`integrate` — volume integrals of arbitrary cell functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.forest import BlockForest
+from repro.core.restrict import restrict_mean
+
+__all__ = [
+    "resample_uniform",
+    "sample_points",
+    "line_cut",
+    "ProbeSeries",
+    "integrate",
+]
+
+
+def resample_uniform(
+    forest: BlockForest, level: int, var: Optional[int] = None
+) -> np.ndarray:
+    """Sample the whole forest onto the uniform grid of ``level``.
+
+    Leaves finer than ``level`` are volume-averaged down (conservative);
+    leaves coarser are injected (piecewise constant).  Returns an array
+    of shape ``(nvar, *cells)`` — or ``(*cells,)`` when ``var`` is given.
+    """
+    if level < 0:
+        raise ValueError("level must be >= 0")
+    shape = forest.level_cell_extent(level)
+    nv = forest.nvar if var is None else 1
+    out = np.empty((nv,) + shape)
+    for block in forest:
+        data = block.interior if var is None else block.interior[var : var + 1]
+        delta = level - block.level
+        if delta < 0:
+            for _ in range(-delta):
+                data = restrict_mean(data, forest.ndim)
+        elif delta > 0:
+            for axis in range(1, forest.ndim + 1):
+                data = np.repeat(data, 1 << delta, axis=axis)
+        # Footprint of the block at the target level.
+        sl = [slice(None)]
+        for axis in range(forest.ndim):
+            m = forest.m[axis]
+            c = block.id.coords[axis]
+            if delta >= 0:
+                start = (c * m) << delta
+                stop = ((c + 1) * m) << delta
+            else:
+                start = (c * m) >> (-delta)
+                stop = ((c + 1) * m) >> (-delta)
+            sl.append(slice(start, stop))
+        out[tuple(sl)] = data
+    return out if var is None else out[0]
+
+
+def sample_points(
+    forest: BlockForest, points: Sequence[Sequence[float]]
+) -> np.ndarray:
+    """Nearest-cell values at a list of physical points: ``(nvar, N)``."""
+    out = np.empty((forest.nvar, len(points)))
+    for i, pt in enumerate(points):
+        block = forest.block_at(pt)
+        idx = []
+        for axis in range(forest.ndim):
+            frac = (pt[axis] - block.box.lo[axis]) / block.dx[axis]
+            idx.append(int(np.clip(frac, 0, block.m[axis] - 1)))
+        out[:, i] = block.interior[(slice(None),) + tuple(idx)]
+    return out
+
+
+def line_cut(
+    forest: BlockForest,
+    axis: int,
+    through: Sequence[float],
+    n: int = 128,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Values along a grid line parallel to ``axis`` through a point.
+
+    Returns ``(coords, values)`` with values of shape ``(nvar, n)``.
+    """
+    if not 0 <= axis < forest.ndim:
+        raise ValueError(f"axis {axis} out of range")
+    lo = forest.domain.lo[axis]
+    hi = forest.domain.hi[axis]
+    xs = lo + (np.arange(n) + 0.5) * (hi - lo) / n
+    points = []
+    for x in xs:
+        pt = list(through)
+        pt[axis] = float(x)
+        points.append(tuple(pt))
+    return xs, sample_points(forest, points)
+
+
+def integrate(
+    forest: BlockForest,
+    fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> np.ndarray:
+    """Volume integral over the forest.
+
+    With ``fn=None`` integrates the conserved variables themselves
+    (returns shape ``(nvar,)``); otherwise integrates
+    ``fn(interior) -> (k, *cells)`` and returns shape ``(k,)``.
+    """
+    total: Optional[np.ndarray] = None
+    for block in forest:
+        cell_vol = 1.0
+        for w in block.dx:
+            cell_vol *= w
+        values = block.interior if fn is None else fn(block.interior)
+        contrib = values.reshape(values.shape[0], -1).sum(axis=1) * cell_vol
+        total = contrib if total is None else total + contrib
+    assert total is not None
+    return total
+
+
+@dataclass
+class ProbeSeries:
+    """Time series of state values at fixed physical points.
+
+    Use as a driver hook (it is callable with ``(sim, dt)``) or call
+    :meth:`sample` manually.  Records primitive variables when the
+    scheme is provided, conserved otherwise.
+    """
+
+    points: Sequence[Sequence[float]]
+    every: int = 1
+    times: List[float] = field(default_factory=list)
+    values: List[np.ndarray] = field(default_factory=list)
+    _count: int = 0
+
+    def sample(self, forest: BlockForest, time: float) -> None:
+        self.times.append(time)
+        self.values.append(sample_points(forest, self.points))
+
+    def __call__(self, sim, dt: float) -> None:  # driver StepHook
+        self._count += 1
+        if self._count % self.every == 0:
+            self.sample(sim.forest, sim.time)
+
+    def series(self, var: int, point_index: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, values) of one variable at one probe point."""
+        t = np.array(self.times)
+        v = np.array([vals[var, point_index] for vals in self.values])
+        return t, v

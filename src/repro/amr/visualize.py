@@ -1,0 +1,129 @@
+"""Text-based visualization of forests and fields.
+
+No plotting dependencies: fields render as ASCII intensity maps and the
+block structure as a character grid showing refinement levels — enough
+to inspect AMR behaviour in a terminal or a test log, in the spirit of
+the paper-era workflow.
+
+* :func:`render_field` — 2-D ASCII intensity map of one variable (a 2-D
+  slice is taken automatically for 3-D forests);
+* :func:`render_blocks` — refinement-level map (each character is the
+  level of the leaf covering that pixel);
+* :func:`render_line` — a 1-D variable as a sparkline-style profile.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.amr.sampling import line_cut, resample_uniform, sample_points
+from repro.core.forest import BlockForest
+
+__all__ = ["render_field", "render_blocks", "render_line"]
+
+RAMP = " .:-=+*#%@"
+
+
+def _slice_points(
+    forest: BlockForest, nx: int, ny: int, slice_coord: Optional[float]
+):
+    """Pixel-center sample points over an (x, y) raster."""
+    lo, hi = forest.domain.lo, forest.domain.hi
+    xs = lo[0] + (np.arange(nx) + 0.5) * (hi[0] - lo[0]) / nx
+    ys = lo[1] + (np.arange(ny) + 0.5) * (hi[1] - lo[1]) / ny
+    points = []
+    for y in ys:
+        for x in xs:
+            if forest.ndim == 2:
+                points.append((float(x), float(y)))
+            else:
+                z = slice_coord if slice_coord is not None else (
+                    0.5 * (lo[2] + hi[2])
+                )
+                points.append((float(x), float(y), float(z)))
+    return xs, ys, points
+
+
+def render_field(
+    forest: BlockForest,
+    var: int = 0,
+    *,
+    width: int = 60,
+    height: int = 28,
+    slice_coord: Optional[float] = None,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+) -> str:
+    """ASCII intensity map of one variable over the (x, y) plane.
+
+    For 3-D forests a z-slice is taken (``slice_coord``, default the
+    domain mid-plane).  Rows print top-to-bottom with y decreasing, the
+    usual plot orientation.
+    """
+    if forest.ndim == 1:
+        raise ValueError("render_field needs a 2-D or 3-D forest; use render_line")
+    xs, ys, points = _slice_points(forest, width, height, slice_coord)
+    vals = sample_points(forest, points)[var].reshape(height, width)
+    lo = vals.min() if vmin is None else vmin
+    hi = vals.max() if vmax is None else vmax
+    span = max(hi - lo, 1e-300)
+    idx = np.clip(((vals - lo) / span * len(RAMP)).astype(int), 0, len(RAMP) - 1)
+    rows = ["".join(RAMP[i] for i in idx[j]) for j in range(height - 1, -1, -1)]
+    footer = f"[{lo:.3g} .. {hi:.3g}] var {var}"
+    return "\n".join(rows) + "\n" + footer
+
+
+def render_blocks(
+    forest: BlockForest,
+    *,
+    width: int = 60,
+    height: int = 28,
+    slice_coord: Optional[float] = None,
+) -> str:
+    """Refinement-level map: each character is the level of the covering
+    leaf (0-9, then a-z)."""
+    if forest.ndim == 1:
+        blocks = sorted(forest.blocks, key=lambda b: b.coords[0] * 2 ** -b.level)
+        return "".join(str(min(b.level, 9)) for b in blocks)
+    xs, ys, points = _slice_points(forest, width, height, slice_coord)
+    levels = np.empty(len(points), dtype=int)
+    for i, pt in enumerate(points):
+        levels[i] = forest.block_at(pt).level
+    grid = levels.reshape(height, width)
+
+    def char(level: int) -> str:
+        if level < 10:
+            return str(level)
+        return chr(ord("a") + min(level - 10, 25))
+
+    rows = ["".join(char(l) for l in grid[j]) for j in range(height - 1, -1, -1)]
+    hist = forest.level_histogram()
+    footer = "levels: " + "  ".join(f"L{k}:{v}" for k, v in hist.items())
+    return "\n".join(rows) + "\n" + footer
+
+
+def render_line(
+    forest: BlockForest,
+    var: int = 0,
+    *,
+    axis: int = 0,
+    through: Optional[Sequence[float]] = None,
+    n: int = 64,
+    height: int = 12,
+) -> str:
+    """Vertical-bar profile of one variable along a grid line."""
+    if through is None:
+        through = forest.domain.center
+    xs, vals = line_cut(forest, axis, through, n=n)
+    v = vals[var]
+    lo, hi = float(v.min()), float(v.max())
+    span = max(hi - lo, 1e-300)
+    levels = np.clip(((v - lo) / span * (height - 1)).round().astype(int), 0, height - 1)
+    rows = []
+    for row in range(height - 1, -1, -1):
+        rows.append("".join("#" if levels[i] >= row else " " for i in range(n)))
+    rows.append("-" * n)
+    rows.append(f"[{lo:.3g} .. {hi:.3g}] var {var} along axis {axis}")
+    return "\n".join(rows)

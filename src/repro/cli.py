@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``
+    Run one of the bundled problems (pulse, blasts, solar wind, comet)
+    with live progress and optional checkpointing.
+``info``
+    Summarize a checkpoint written by ``run --save`` /
+    :func:`repro.amr.save_forest`.
+``scaling``
+    Simulated-T3D scaled-efficiency sweep (the Figure-6 series).
+``fig5``
+    Measured time-per-cell vs block size (the Figure-5 series).
+``emulate``
+    Run a problem on the emulated distributed machine and verify the
+    result against the serial driver (bit-exact check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+PROBLEMS = ("pulse", "sedov", "mhd_blast", "orszag_tang", "solar_wind", "comet")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive Blocks (Stout et al., SC 1997) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a bundled AMR problem")
+    run.add_argument("problem", choices=PROBLEMS)
+    run.add_argument("--ndim", type=int, default=2, choices=(1, 2, 3))
+    run.add_argument("--steps", type=int, default=None, help="step count")
+    run.add_argument("--t-end", type=float, default=None, help="end time")
+    run.add_argument("--no-adapt", action="store_true", help="static grid")
+    run.add_argument("--reflux", action="store_true",
+                     help="enable coarse-fine flux correction")
+    run.add_argument("--save", metavar="FILE.npz", default=None,
+                     help="write a checkpoint at the end")
+    run.add_argument("--report-every", type=int, default=10)
+
+    info = sub.add_parser("info", help="summarize a checkpoint")
+    info.add_argument("checkpoint")
+
+    scaling = sub.add_parser("scaling", help="simulated-T3D efficiency sweep")
+    scaling.add_argument("--steps", type=int, default=10)
+
+    fig5 = sub.add_parser("fig5", help="measured time/cell vs block size")
+    fig5.add_argument(
+        "--sizes", default="2,4,8,16",
+        help="comma-separated block sizes (default 2,4,8,16)",
+    )
+
+    emulate = sub.add_parser(
+        "emulate",
+        help="distributed-emulation run, verified against serial",
+    )
+    emulate.add_argument("problem", choices=PROBLEMS)
+    emulate.add_argument("--ndim", type=int, default=2, choices=(1, 2, 3))
+    emulate.add_argument("--ranks", type=int, default=4)
+    emulate.add_argument("--steps", type=int, default=5)
+    return parser
+
+
+def _make_problem(name: str, ndim: int):
+    from repro.amr import (
+        advecting_pulse,
+        comet,
+        mhd_blast,
+        orszag_tang,
+        sedov_blast,
+        solar_wind,
+    )
+
+    factories = {
+        "pulse": advecting_pulse,
+        "sedov": sedov_blast,
+        "mhd_blast": mhd_blast,
+        "orszag_tang": lambda _ndim: orszag_tang(),
+        "solar_wind": solar_wind,
+        "comet": comet,
+    }
+    return factories[name](ndim)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.amr import grid_report, save_forest
+
+    if args.steps is None and args.t_end is None:
+        print("error: give --steps and/or --t-end", file=sys.stderr)
+        return 2
+    problem = _make_problem(args.problem, args.ndim)
+    sim = problem.build(adaptive=not args.no_adapt)
+    sim.reflux = args.reflux
+    print(f"== {problem.name} ==")
+    print(grid_report(sim.forest))
+    print(f"{'step':>6} {'time':>10} {'dt':>10} {'blocks':>7} {'cells':>9}")
+    target_steps = args.steps if args.steps is not None else 10**9
+    while True:
+        if sim.step_count >= target_steps:
+            break
+        if args.t_end is not None and sim.time >= args.t_end - 1e-14:
+            break
+        dt = sim.stable_dt()
+        if args.t_end is not None:
+            dt = min(dt, args.t_end - sim.time)
+        sim.maybe_adapt()
+        sim.advance(dt)
+        if sim.hook is not None:
+            sim.hook(sim, dt)
+        sim.step_count += 1
+        if sim.step_count % args.report_every == 0:
+            print(
+                f"{sim.step_count:6d} {sim.time:10.5f} {dt:10.3e} "
+                f"{sim.forest.n_blocks:7d} {sim.forest.n_cells:9d}"
+            )
+    print("\nfinal grid:")
+    print(grid_report(sim.forest))
+    print("\nphase timings:")
+    print(sim.timer.report())
+    if args.save:
+        save_forest(sim.forest, args.save)
+        print(f"\ncheckpoint written to {args.save}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.amr import grid_report, load_forest
+
+    forest = load_forest(args.checkpoint)
+    print(grid_report(forest))
+    totals = []
+    for block in forest:
+        cell_vol = float(np.prod(block.dx))
+        totals.append(block.interior.reshape(forest.nvar, -1).sum(axis=1) * cell_vol)
+    total = np.sum(totals, axis=0)
+    print("conserved totals:", "  ".join(f"{v:.6g}" for v in total))
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.core import BlockForest
+    from repro.parallel import ParallelSimulation, scaled_efficiency
+    from repro.util.geometry import Box
+
+    times = {}
+    print(f"{'PEs':>5} {'blocks':>7} {'ms/step':>9} {'comm %':>7}")
+    for p, n in ((1, 2), (8, 4), (64, 8), (512, 16)):
+        forest = BlockForest(
+            Box((0.0,) * 3, (1.0,) * 3), (n,) * 3, (8,) * 3, nvar=1, n_ghost=2
+        )
+        sim = ParallelSimulation(forest, p)
+        rep = sim.run(args.steps)
+        times[p] = rep.time_per_step
+        print(
+            f"{p:5d} {forest.n_blocks:7d} {rep.time_per_step * 1e3:9.2f} "
+            f"{100 * rep.comm_fraction:7.2f}"
+        )
+    eff = scaled_efficiency(times)
+    print("efficiency:", "  ".join(f"P={p}: {e:.3f}" for p, e in eff.items()))
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.solvers import MHDScheme
+    from repro.util.timing import measure
+
+    sizes = [int(s) for s in args.sizes.split(",")]
+    rng = np.random.default_rng(0)
+    print(f"{'block':>7} {'cells':>7} {'us/cell':>9}")
+    for m in sizes:
+        g = 2
+        scheme = MHDScheme(3, order=2)
+        w = np.empty((8,) + (m + 2 * g,) * 3)
+        w[0] = 1.0 + 0.1 * rng.random(w.shape[1:])
+        w[1:4] = 0.0
+        w[4] = 1.0
+        w[5:8] = 0.1
+        u = scheme.prim_to_cons(w)
+        t = measure(lambda: scheme.step(u, (1.0 / m,) * 3, 1e-4, g), repeats=3).best
+        print(f"{m:>5d}^3 {m**3:7d} {t / m**3 * 1e6:9.2f}")
+    return 0
+
+
+def cmd_emulate(args: argparse.Namespace) -> int:
+    from repro.parallel import EmulatedMachine
+
+    problem = _make_problem(args.problem, args.ndim)
+    sim = problem.build(adaptive=False)
+    forest_emu = problem.config.make_forest(problem.scheme.nvar)
+    problem.init_forest(forest_emu)
+    emu = EmulatedMachine(
+        forest_emu, args.ranks, problem.scheme, bc=problem.bc
+    )
+    dt = 0.5 * sim.stable_dt()
+    print(
+        f"== emulating {problem.name} on {args.ranks} ranks, "
+        f"{args.steps} steps of dt={dt:.3e} =="
+    )
+    for _ in range(args.steps):
+        sim.advance(dt)
+        if sim.hook is not None:
+            sim.hook(sim, dt)
+        emu.advance(dt)
+    gathered = emu.gather()
+    worst = 0.0
+    for bid, block in sim.forest.blocks.items():
+        worst = max(worst, float(np.abs(gathered[bid] - block.interior).max()))
+    cells = emu.rank_cells()
+    print(f"cells/rank: min {min(cells)}, max {max(cells)}")
+    print(
+        f"wire messages: {emu.stats.n_messages}  "
+        f"({emu.stats.n_bytes / 1024:.0f} KB);  "
+        f"local transfers: {emu.stats.n_local}"
+    )
+    hook_note = " (driver hook runs serial-side only)" if problem.hook else ""
+    print(f"max |emulated - serial| = {worst:.3e}{hook_note}")
+    if problem.hook is None and worst != 0.0:
+        print("MISMATCH: emulated run diverged from serial", file=sys.stderr)
+        return 1
+    print("OK: distributed emulation matches the serial driver" if worst == 0.0
+          else "note: differences stem from the serial-only driver hook")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "info": cmd_info,
+        "scaling": cmd_scaling,
+        "fig5": cmd_fig5,
+        "emulate": cmd_emulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,247 @@
+"""Logical addressing of adaptive blocks.
+
+A block is identified by its refinement ``level`` and its integer
+``coords`` within that level: at level ``L`` a domain tiled by
+``n_root`` root blocks per axis contains ``n_root * 2**L`` block slots
+per axis.  All structural relations — parent, children, face neighbors,
+ancestors — are O(1) integer arithmetic on these coordinates, which is
+what lets the forest maintain the paper's *explicit neighbor pointers*
+cheaply instead of traversing a tree.
+
+The module also provides :class:`IndexBox`, the integer-box algebra used
+by the ghost-cell exchange: every transfer between blocks (copy,
+prolongation, restriction) is an intersection of integer index boxes in
+a common refinement level, converted between levels by scaling with
+powers of two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from repro.util.geometry import child_offsets, face_axis, face_side
+from repro.util.morton import sfc_key
+
+__all__ = ["BlockID", "IndexBox"]
+
+
+@dataclass(frozen=True, order=True)
+class BlockID:
+    """Identifier of a block: refinement level + logical coordinates.
+
+    ``coords[axis]`` is the block's position within its level; the block
+    covers cells ``[coords[axis] * m[axis], (coords[axis]+1) * m[axis])``
+    in the level's global cell index space.
+    """
+
+    level: int
+    coords: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise ValueError(f"level must be >= 0, got {self.level}")
+        if not 1 <= len(self.coords) <= 3:
+            raise ValueError(f"dimension must be 1..3, got {len(self.coords)}")
+        if any(c < 0 for c in self.coords):
+            raise ValueError(f"coords must be non-negative, got {self.coords}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.coords)
+
+    @property
+    def parent(self) -> "BlockID":
+        """The block one level coarser that contains this block."""
+        if self.level == 0:
+            raise ValueError("root blocks have no parent")
+        return BlockID(self.level - 1, tuple(c >> 1 for c in self.coords))
+
+    def ancestor(self, level: int) -> "BlockID":
+        """The containing block at the given coarser (or equal) level."""
+        if level > self.level:
+            raise ValueError(f"ancestor level {level} > own level {self.level}")
+        shift = self.level - level
+        return BlockID(level, tuple(c >> shift for c in self.coords))
+
+    @property
+    def child_index(self) -> int:
+        """Position of this block among its parent's 2^d children.
+
+        Bit ``axis`` of the result is ``coords[axis] & 1`` (Morton
+        sub-key order, matching :func:`repro.util.geometry.child_offsets`).
+        """
+        if self.level == 0:
+            raise ValueError("root blocks have no child index")
+        idx = 0
+        for axis, c in enumerate(self.coords):
+            idx |= (c & 1) << axis
+        return idx
+
+    def children(self) -> Tuple["BlockID", ...]:
+        """The 2^d blocks one level finer that tile this block."""
+        base = tuple(c << 1 for c in self.coords)
+        return tuple(
+            BlockID(self.level + 1, tuple(b + o for b, o in zip(base, off)))
+            for off in child_offsets(self.ndim)
+        )
+
+    def siblings(self) -> Tuple["BlockID", ...]:
+        """All 2^d children of this block's parent (including itself)."""
+        return self.parent.children()
+
+    def face_neighbor(self, face: int) -> "BlockID | None":
+        """Same-level neighbor across ``face``, or None if coords go negative.
+
+        The caller (the forest) is responsible for the upper domain bound
+        and for periodic wrapping; this method only knows level-local
+        integer arithmetic.
+        """
+        axis, side = face_axis(face), face_side(face)
+        delta = 1 if side else -1
+        c = self.coords[axis] + delta
+        if c < 0:
+            return None
+        coords = self.coords[:axis] + (c,) + self.coords[axis + 1 :]
+        return BlockID(self.level, coords)
+
+    def neighbor_offset(self, offset: Sequence[int]) -> "BlockID | None":
+        """Same-level neighbor displaced by an integer offset vector.
+
+        Used for edge/corner (lower-dimensional) neighbor pointers in the
+        generalized connectivity mode.  Returns None if any coordinate
+        would go negative.
+        """
+        if len(offset) != self.ndim:
+            raise ValueError("offset dimension mismatch")
+        coords = tuple(c + o for c, o in zip(self.coords, offset))
+        if any(c < 0 for c in coords):
+            return None
+        return BlockID(self.level, coords)
+
+    def touches_parent_face(self, face: int) -> bool:
+        """True if this block's ``face`` lies on its parent's ``face``."""
+        axis, side = face_axis(face), face_side(face)
+        return (self.coords[axis] & 1) == side
+
+    def cell_box(self, m: Sequence[int]) -> "IndexBox":
+        """Global cell-index box covered by this block at its own level."""
+        lo = tuple(c * mi for c, mi in zip(self.coords, m))
+        hi = tuple((c + 1) * mi for c, mi in zip(self.coords, m))
+        return IndexBox(lo, hi)
+
+    def morton_key(self, curve: str = "morton") -> int:
+        """Deterministic global ordering key (level-major, SFC-minor)."""
+        return sfc_key(self.coords, self.level, curve=curve)
+
+    def __repr__(self) -> str:  # compact: L2(3,0,1)
+        return f"L{self.level}{self.coords}"
+
+
+@dataclass(frozen=True)
+class IndexBox:
+    """Half-open integer index box ``[lo, hi)`` in d dimensions.
+
+    The workhorse of the ghost exchange: ghost regions, block interiors,
+    and transfer regions are all IndexBoxes in some level's global cell
+    index space; moving between levels is :meth:`coarsened` /
+    :meth:`refined`.
+    """
+
+    lo: Tuple[int, ...]
+    hi: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError("lo/hi dimension mismatch")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(max(0, b - a) for a, b in zip(self.lo, self.hi))
+
+    @property
+    def empty(self) -> bool:
+        return any(b <= a for a, b in zip(self.lo, self.hi))
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def intersect(self, other: "IndexBox") -> "IndexBox":
+        """Component-wise intersection (may be empty)."""
+        return IndexBox(
+            tuple(max(a, c) for a, c in zip(self.lo, other.lo)),
+            tuple(min(b, d) for b, d in zip(self.hi, other.hi)),
+        )
+
+    def contains(self, other: "IndexBox") -> bool:
+        """True if ``other`` lies entirely inside this box."""
+        return all(
+            a <= c and d <= b
+            for a, b, c, d in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def shift(self, offset: Sequence[int]) -> "IndexBox":
+        """Translate by an integer offset vector."""
+        return IndexBox(
+            tuple(a + o for a, o in zip(self.lo, offset)),
+            tuple(b + o for b, o in zip(self.hi, offset)),
+        )
+
+    def grow(self, width: int | Sequence[int]) -> "IndexBox":
+        """Expand by ``width`` cells on every side (per-axis if a sequence)."""
+        if isinstance(width, int):
+            width = (width,) * self.ndim
+        return IndexBox(
+            tuple(a - w for a, w in zip(self.lo, width)),
+            tuple(b + w for b, w in zip(self.hi, width)),
+        )
+
+    def coarsened(self, shift: int) -> "IndexBox":
+        """The smallest box at a level ``shift`` coarser covering this box.
+
+        Low corners round down (floor division), high corners round up,
+        so the coarse box always covers the fine one.
+        """
+        if shift < 0:
+            raise ValueError("shift must be >= 0")
+        f = 1 << shift
+        return IndexBox(
+            tuple(a >> shift for a in self.lo),
+            tuple(-((-b) // f) for b in self.hi),
+        )
+
+    def refined(self, shift: int) -> "IndexBox":
+        """The box at a level ``shift`` finer covering exactly this box."""
+        if shift < 0:
+            raise ValueError("shift must be >= 0")
+        return IndexBox(
+            tuple(a << shift for a in self.lo),
+            tuple(b << shift for b in self.hi),
+        )
+
+    def slices(self, origin: Sequence[int]) -> Tuple[slice, ...]:
+        """Numpy slices of this box within an array whose [0,...] element
+        is at global index ``origin``."""
+        return tuple(
+            slice(a - o, b - o) for a, b, o in zip(self.lo, self.hi, origin)
+        )
+
+    def iter_cells(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate all integer cells in the box (row-major)."""
+        if self.empty:
+            return
+        def rec(axis: int, prefix: Tuple[int, ...]) -> Iterator[Tuple[int, ...]]:
+            if axis == self.ndim:
+                yield prefix
+                return
+            for c in range(self.lo[axis], self.hi[axis]):
+                yield from rec(axis + 1, prefix + (c,))
+        yield from rec(0, ())

@@ -1,0 +1,138 @@
+"""Prolongation operators: coarse cells → fine block data.
+
+Prolongation is used (a) to fill a block's ghost cells from a *coarser*
+face neighbor and (b) to initialize 2^d children when a block is
+refined.  Two operators are provided:
+
+``prolong_inject``
+    Piecewise-constant injection — each coarse value copied into its
+    2^d fine sub-cells.  First-order accurate, trivially conservative.
+
+``prolong_linear``
+    Limited piecewise-linear reconstruction — fine values are the coarse
+    value plus minmod-limited slope contributions of ``± dx/4`` per axis.
+    Second-order accurate on smooth data, still exactly conservative
+    (the slope terms cancel in each 2^d group), and monotone thanks to
+    the limiter.  This matches the higher-resolution (van Leer ref. [6])
+    operators discussed in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["prolong_inject", "prolong_linear", "minmod"]
+
+# Sign-pattern arrays (-1/4, +1/4 alternating) reused across calls; the
+# ghost exchange prolongs thousands of small regions per step and the
+# pattern only depends on (array rank, axis, extent).
+_SIGN_CACHE: dict = {}
+
+
+def _sign_pattern(rank: int, ax: int, n_fine: int) -> np.ndarray:
+    key = (rank, ax, n_fine)
+    cached = _SIGN_CACHE.get(key)
+    if cached is None:
+        shape = [1] * rank
+        shape[ax] = n_fine
+        cached = np.where(np.arange(n_fine) % 2 == 0, -0.25, 0.25).reshape(shape)
+        _SIGN_CACHE[key] = cached
+    return cached
+
+
+def _duplicate(arr: np.ndarray, ndim: int) -> np.ndarray:
+    """Repeat each cell twice along every spatial axis (axes 1..ndim)."""
+    out = arr
+    for axis in range(1, ndim + 1):
+        out = np.repeat(out, 2, axis=axis)
+    return out
+
+
+def prolong_inject(coarse: np.ndarray, ndim: int) -> np.ndarray:
+    """Piecewise-constant prolongation.
+
+    Parameters
+    ----------
+    coarse:
+        Array of shape ``(nvar, n1, ..., nd)``.
+    ndim:
+        Number of spatial dimensions.
+
+    Returns
+    -------
+    Array of shape ``(nvar, 2*n1, ..., 2*nd)``.
+    """
+    if coarse.ndim != ndim + 1:
+        raise ValueError(
+            f"expected {ndim + 1} array dims (nvar + space), got {coarse.ndim}"
+        )
+    return _duplicate(coarse, ndim)
+
+
+def minmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Minmod limiter: the smaller-magnitude argument where signs agree,
+    zero where they differ."""
+    same_sign = a * b > 0.0
+    return np.where(same_sign, np.where(np.abs(a) < np.abs(b), a, b), 0.0)
+
+
+def prolong_linear(
+    coarse_with_border: np.ndarray, ndim: int, *, limited: bool = True
+) -> np.ndarray:
+    """Limited-linear prolongation of the *interior* of a bordered array.
+
+    Parameters
+    ----------
+    coarse_with_border:
+        Array of shape ``(nvar, n1+2, ..., nd+2)``: the region to prolong
+        plus a one-cell border on every side, used to form slopes.  The
+        border itself is not prolonged.
+    ndim:
+        Number of spatial dimensions.
+    limited:
+        Apply the minmod limiter to the one-sided differences (default).
+        With ``limited=False`` plain central differences are used
+        (strictly second order, but can overshoot at discontinuities).
+
+    Returns
+    -------
+    Array of shape ``(nvar, 2*n1, ..., 2*nd)`` covering only the interior
+    region refined by 2 per axis.
+    """
+    if coarse_with_border.ndim != ndim + 1:
+        raise ValueError(
+            f"expected {ndim + 1} array dims (nvar + space), got "
+            f"{coarse_with_border.ndim}"
+        )
+    for n in coarse_with_border.shape[1:]:
+        if n < 3:
+            raise ValueError(
+                "bordered array must be at least 3 cells per axis "
+                f"(1 interior + 2 border), got extent {n}"
+            )
+    inner = (slice(None),) + (slice(1, -1),) * ndim
+    center = coarse_with_border[inner]
+    fine = _duplicate(center, ndim)
+
+    # Add per-axis slope contributions: fine cell offset within the coarse
+    # cell is -1/4 (low sub-cell) or +1/4 (high sub-cell) of the coarse dx,
+    # and the undivided slope is per coarse cell, so the contribution is
+    # +/- slope/4.  Contributions are added axis by axis; conservation
+    # holds because the +/- terms cancel pairwise within each 2^d group.
+    for axis in range(ndim):
+        ax = axis + 1  # spatial axes start after the variable axis
+        sl_lo = [slice(1, -1)] * ndim
+        sl_hi = [slice(1, -1)] * ndim
+        sl_lo[axis] = slice(0, -2)
+        sl_hi[axis] = slice(2, None)
+        lo = coarse_with_border[(slice(None),) + tuple(sl_lo)]
+        hi = coarse_with_border[(slice(None),) + tuple(sl_hi)]
+        if limited:
+            slope = minmod(center - lo, hi - center)
+        else:
+            slope = 0.5 * (hi - lo)
+        slope_fine = _duplicate(slope, ndim)
+        # Sign pattern along this axis: -1/4 for even fine index, +1/4 odd.
+        sign = _sign_pattern(fine.ndim, ax, fine.shape[ax])
+        fine += sign * slope_fine
+    return fine

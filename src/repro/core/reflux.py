@@ -1,0 +1,184 @@
+"""Flux correction (refluxing) at coarse–fine block interfaces.
+
+At a face where a coarse block abuts finer blocks, the two sides compute
+*different* numerical fluxes for the same physical interface (the coarse
+one from coarse reconstructions, the fine ones at twice the resolution),
+so the update is not strictly conservative across the interface.  The
+Berger–Colella remedy — implemented here as the library's optional
+extension — replaces the coarse flux with the area-averaged fine flux
+after the step:
+
+``U_coarse_adjacent ± dt/dx_a * (F_coarse − <F_fine>)``
+
+with the sign chosen so the coarse cell ends up as if it had used the
+restricted fine flux.  With refluxing enabled, AMR runs conserve all
+variables to round-off on periodic domains (tested), matching uniform
+grids.
+
+The paper's code accepted the (small) unsynchronized-flux error; its
+descendants (BATS-R-US "conservative flux fix", PARAMESH, AMReX) all
+grew this correction, so it belongs in a faithful production library.
+Limited to ``max_level_jump == 1`` (the paper's standard constraint).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.block import NeighborKind
+from repro.core.block_id import BlockID, IndexBox
+from repro.core.forest import BlockForest
+from repro.util.geometry import face_axis, face_side, opposite_face
+
+__all__ = ["FluxRegister"]
+
+
+def _restrict_transverse(flux: np.ndarray) -> np.ndarray:
+    """Average a fine face-flux slab over 2x(2) transverse cells.
+
+    Input shape ``(nvar, t1[, t2])`` with every ti even; output halves
+    every transverse extent.  In 1-D (no transverse axes) it is the
+    identity.
+    """
+    out = flux
+    for axis in range(1, out.ndim):
+        n = out.shape[axis]
+        shape = out.shape[:axis] + (n // 2, 2) + out.shape[axis + 1 :]
+        out = out.reshape(shape).mean(axis=axis + 1)
+    return out
+
+
+class FluxRegister:
+    """Bookkeeping for one refluxing pass over a forest.
+
+    Build it after the forest topology settles (it reads the explicit
+    face-neighbor pointers); ask :attr:`needed_faces` which block faces
+    must have their fluxes captured during the final update stage; feed
+    the captured slabs to :meth:`record`; then :meth:`apply` the
+    corrections.
+    """
+
+    def __init__(self, forest: BlockForest) -> None:
+        if forest.max_level_jump != 1:
+            raise ValueError(
+                "refluxing supports the standard 2:1 balance only "
+                f"(max_level_jump={forest.max_level_jump})"
+            )
+        self.forest = forest
+        self.revision = forest.revision
+        #: (coarse_id, face) -> tuple of fine neighbor ids across it
+        self.interfaces: Dict[Tuple[BlockID, int], Tuple[BlockID, ...]] = {}
+        #: faces every block must capture during the final stage
+        self.needed_faces: Dict[BlockID, Set[int]] = {}
+        for bid, block in forest.blocks.items():
+            for face, fn in block.face_neighbors.items():
+                if fn.kind == NeighborKind.FINER:
+                    self.interfaces[(bid, face)] = fn.ids
+                    self.needed_faces.setdefault(bid, set()).add(face)
+                    opp = opposite_face(face)
+                    for nid in fn.ids:
+                        self.needed_faces.setdefault(nid, set()).add(opp)
+        self._fluxes: Dict[Tuple[BlockID, int], np.ndarray] = {}
+
+    @property
+    def n_interfaces(self) -> int:
+        return len(self.interfaces)
+
+    def start_step(self) -> None:
+        """Drop recorded fluxes from the previous step."""
+        self._fluxes.clear()
+
+    def record(self, bid: BlockID, face_fluxes: Dict[int, np.ndarray]) -> None:
+        """Store the captured boundary-face fluxes of one block."""
+        for face, slab in face_fluxes.items():
+            self._fluxes[(bid, face)] = slab
+
+    def apply(self, dt: float) -> float:
+        """Correct the coarse cells adjacent to every coarse–fine face.
+
+        Returns the largest absolute correction applied (diagnostic).
+        ``dt`` must be the step length of the update whose fluxes were
+        recorded.
+        """
+        if self.forest.revision != self.revision:
+            raise RuntimeError(
+                "forest topology changed since this FluxRegister was built"
+            )
+        worst = 0.0
+        for (cid, face), fine_ids in self.interfaces.items():
+            coarse = self.forest.blocks[cid]
+            axis, side = face_axis(face), face_side(face)
+            f_coarse = self._fluxes.get((cid, face))
+            if f_coarse is None:
+                raise RuntimeError(
+                    f"no recorded flux for {cid} face {face}; was the "
+                    "final stage run with face capture?"
+                )
+            # Layer of coarse interior cells adjacent to the face.
+            ib = coarse.cell_box
+            lo = list(ib.lo)
+            hi = list(ib.hi)
+            if side == 0:
+                hi[axis] = lo[axis] + 1
+            else:
+                lo[axis] = hi[axis] - 1
+            layer = IndexBox(tuple(lo), tuple(hi))
+            layer_view = coarse.view(layer)
+            # Transverse index frame of the slab: the layer minus its axis.
+            t_axes = [a for a in range(coarse.ndim) if a != axis]
+            t_lo = [layer.lo[a] for a in t_axes]
+            opp = opposite_face(face)
+            fn = coarse.face_neighbors[face]
+            shift = tuple(
+                s * (n << coarse.level) * m
+                for s, n, m in zip(fn.shift, self.forest.n_root, self.forest.m)
+            )
+            sign = -1.0 if side == 1 else 1.0
+            # dU = -(F_hi - F_lo)/dx: replacing F at the high face by the
+            # fine average changes U by -(F_fine - F_coarse)/dx * dt, and
+            # by +(...) at the low face.
+            for nid in fine_ids:
+                f_fine = self._fluxes.get((nid, opp))
+                if f_fine is None:
+                    raise RuntimeError(
+                        f"no recorded flux for fine block {nid} face {opp}"
+                    )
+                f_avg = _restrict_transverse(f_fine)
+                # Where this fine block sits within the coarse face.
+                nb_box = self.forest.blocks[nid].cell_box.coarsened(1).shift(
+                    tuple(-s for s in shift)
+                )
+                overlap = layer.intersect(
+                    IndexBox(
+                        tuple(
+                            nb_box.lo[a] if a != axis else layer.lo[a]
+                            for a in range(coarse.ndim)
+                        ),
+                        tuple(
+                            nb_box.hi[a] if a != axis else layer.hi[a]
+                            for a in range(coarse.ndim)
+                        ),
+                    )
+                )
+                if overlap.empty:
+                    continue
+                # Slices into the layer view (transverse axes only).
+                dst_sl: List[slice] = [slice(None)]
+                src_c_sl: List[slice] = [slice(None)]
+                for a in range(coarse.ndim):
+                    s0 = overlap.lo[a] - layer.lo[a]
+                    s1 = overlap.hi[a] - layer.lo[a]
+                    dst_sl.append(slice(s0, s1))
+                    if a != axis:
+                        src_c_sl.append(slice(s0, s1))
+                fc = self._fluxes[(cid, face)][tuple(src_c_sl)]
+                # The averaged fine slab covers exactly the overlap.
+                dst = layer_view[tuple(dst_sl)]
+                delta = sign * dt / coarse.dx[axis] * (
+                    f_avg.reshape(fc.shape) - fc
+                )
+                dst += delta.reshape(dst.shape)
+                worst = max(worst, float(np.abs(delta).max()))
+        return worst

@@ -1,0 +1,48 @@
+"""Restriction operators: fine block data → coarse cells.
+
+Restriction is used (a) to fill a block's ghost cells from a *finer*
+face neighbor and (b) to build a parent block's interior when 2^d
+children are coarsened.  The operator is volume-weighted averaging,
+which for equal-volume Cartesian children is the plain mean over each
+``2 × 2 (× 2)`` group of fine cells — exactly conservative: the coarse
+cell holds the same total conserved quantity as the fine cells it
+replaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["restrict_mean"]
+
+
+def restrict_mean(fine: np.ndarray, ndim: int) -> np.ndarray:
+    """Average ``2**ndim`` groups of fine cells into coarse cells.
+
+    Parameters
+    ----------
+    fine:
+        Array of shape ``(nvar, n1, ..., nd)`` with every ``ni`` even.
+    ndim:
+        Number of spatial dimensions (trailing axes of ``fine``).
+
+    Returns
+    -------
+    Array of shape ``(nvar, n1//2, ..., nd//2)``.
+    """
+    if fine.ndim != ndim + 1:
+        raise ValueError(
+            f"expected {ndim + 1} array dims (nvar + space), got {fine.ndim}"
+        )
+    spatial = fine.shape[1:]
+    for n in spatial:
+        if n % 2 != 0:
+            raise ValueError(f"spatial extent {n} not even; cannot restrict")
+    # Reshape each spatial axis n -> (n//2, 2) then mean over the 2s.
+    new_shape = [fine.shape[0]]
+    for n in spatial:
+        new_shape.extend((n // 2, 2))
+    reshaped = fine.reshape(new_shape)
+    # The "2" axes are at positions 2, 4, ..., 2*ndim.
+    mean_axes = tuple(2 * (a + 1) for a in range(ndim))
+    return reshaped.mean(axis=mean_axes)

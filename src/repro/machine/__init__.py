@@ -1,0 +1,21 @@
+"""Hardware cost models: direct-mapped cache and per-cell time (Fig. 5)."""
+
+from repro.machine.cache import ALPHA_21064_L1, CacheSpec, DirectMappedCache
+from repro.machine.costmodel import (
+    T3DCostParams,
+    fig5_model_curve,
+    stencil_misses,
+    stencil_stream,
+    time_per_cell,
+)
+
+__all__ = [
+    "ALPHA_21064_L1",
+    "CacheSpec",
+    "DirectMappedCache",
+    "T3DCostParams",
+    "fig5_model_curve",
+    "stencil_misses",
+    "stencil_stream",
+    "time_per_cell",
+]

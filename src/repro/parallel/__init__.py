@@ -1,0 +1,50 @@
+"""Simulated distributed-memory machine and parallel AMR driver."""
+
+from repro.parallel.emulator import EmulatedMachine, ExchangeStats
+from repro.parallel.exchange import BYTES_PER_VALUE, MessageSchedule, build_schedule
+from repro.parallel.loadbalance import migration_bytes, migration_plan, rebalance
+from repro.parallel.machine import CRAY_T3D, MachineSpec, TorusTopology, VirtualMachine
+from repro.parallel.metrics import (
+    StepTimeReport,
+    fixed_size_speedup,
+    gflops,
+    scaled_efficiency,
+)
+from repro.parallel.parallel_driver import ParallelCostConfig, ParallelSimulation
+from repro.parallel.trace import TraceEvent, TracingMachine, render_gantt
+from repro.parallel.partition import (
+    Assignment,
+    partition_cut_fraction,
+    partition_imbalance,
+    round_robin_partition,
+    sfc_partition,
+)
+
+__all__ = [
+    "EmulatedMachine",
+    "ExchangeStats",
+    "BYTES_PER_VALUE",
+    "MessageSchedule",
+    "build_schedule",
+    "migration_bytes",
+    "migration_plan",
+    "rebalance",
+    "CRAY_T3D",
+    "MachineSpec",
+    "TorusTopology",
+    "VirtualMachine",
+    "StepTimeReport",
+    "fixed_size_speedup",
+    "gflops",
+    "scaled_efficiency",
+    "ParallelCostConfig",
+    "ParallelSimulation",
+    "TraceEvent",
+    "TracingMachine",
+    "render_gantt",
+    "Assignment",
+    "partition_cut_fraction",
+    "partition_imbalance",
+    "round_robin_partition",
+    "sfc_partition",
+]

@@ -1,0 +1,59 @@
+"""Dynamic load re-balancing after adaptation.
+
+The paper: "Whenever refinement or coarsening occurs, load re-balancing
+should be performed to insure high performance."  Rebalancing recuts the
+space-filling curve over the *new* block set and migrates the blocks
+whose rank changed; the migration payload (whole block arrays) is
+charged to the machine model by the parallel driver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.block_id import BlockID
+from repro.core.forest import BlockForest
+from repro.parallel.exchange import BYTES_PER_VALUE
+from repro.parallel.partition import Assignment, sfc_partition
+
+__all__ = ["rebalance", "migration_plan", "migration_bytes"]
+
+
+def rebalance(
+    forest: BlockForest,
+    n_ranks: int,
+    *,
+    weights: Optional[Dict[BlockID, float]] = None,
+    curve: str = "morton",
+) -> Assignment:
+    """Fresh SFC partition over the current block set."""
+    return sfc_partition(forest, n_ranks, weights=weights, curve=curve)
+
+
+def migration_plan(
+    old: Assignment, new: Assignment
+) -> List[Tuple[BlockID, int, int]]:
+    """Blocks whose owner changed: ``(block, old_rank, new_rank)``.
+
+    Blocks present only in ``new`` (created by refinement) or only in
+    ``old`` (removed by coarsening) do not appear — their data moves as
+    part of the refine/coarsen operation itself, which the driver charges
+    separately.
+    """
+    moves = []
+    for bid, dst in new.items():
+        src = old.get(bid)
+        if src is not None and src != dst:
+            moves.append((bid, src, dst))
+    moves.sort(key=lambda m: (m[0].morton_key(), m[0].level))
+    return moves
+
+
+def migration_bytes(forest: BlockForest, bid: BlockID, nvar: Optional[int] = None) -> int:
+    """Payload of migrating one block (its full padded array)."""
+    nv = forest.nvar if nvar is None else nvar
+    block = forest.blocks[bid]
+    cells = 1
+    for p in block.padded_shape:
+        cells *= p
+    return cells * nv * BYTES_PER_VALUE

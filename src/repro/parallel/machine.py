@@ -1,0 +1,174 @@
+"""Simulated distributed-memory machine (Cray T3D cost model).
+
+The paper's parallel results (Figures 6 and 7, and the 16–17 GFLOPS
+sustained rate) were measured on a 512-processor Cray T3D.  We do not
+have one; what the figures actually measure, though, is the *ratio*
+structure of the algorithm — per-PE compute vs. message latency and
+bandwidth vs. load imbalance — and that is exactly what a cost-model
+machine preserves.  :class:`VirtualMachine` charges per-PE clocks with
+compute and communication costs from a :class:`MachineSpec`; step time
+is the slowest clock (a bulk-synchronous step, matching the global-dt
+time stepping of the MHD code).
+
+The ``CRAY_T3D`` preset is calibrated from published machine data:
+150 MFLOPS peak per PE (DEC Alpha 21064 @ 150 MHz), ~20–25% of peak
+sustained by real stencil codes (the paper's 17 GFLOPS / 512 PEs =
+33 MFLOPS per PE), ~100 MB/s deliverable per-link bandwidth on the 3-D
+torus, and a few microseconds of message latency via SHMEM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["MachineSpec", "CRAY_T3D", "TorusTopology", "VirtualMachine"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Cost model of one distributed-memory machine.
+
+    Times are seconds; the model is LogGP-like: a message costs
+    ``latency + bytes * byte_time`` on both endpoints, serialized per
+    PE, and computation costs ``flops * flop_time``.
+    """
+
+    name: str
+    flop_time: float          #: seconds per sustained floating-point op
+    latency: float            #: per-message overhead (s)
+    byte_time: float          #: inverse bandwidth (s/byte)
+    barrier_base: float = 2e-6   #: barrier cost offset (s)
+    barrier_log: float = 2e-6    #: barrier cost per log2(P) (s)
+    block_overhead: float = 5e-6  #: per-block fixed cost per stage (loop setup)
+
+    def barrier_time(self, n_ranks: int) -> float:
+        if n_ranks <= 1:
+            return 0.0
+        return self.barrier_base + self.barrier_log * float(np.log2(n_ranks))
+
+    def message_time(self, n_bytes: int) -> float:
+        return self.latency + n_bytes * self.byte_time
+
+
+#: The paper's machine: 512-PE Cray T3D at NASA Goddard.
+CRAY_T3D = MachineSpec(
+    name="Cray T3D",
+    flop_time=1.0 / 33e6,    # 33 MFLOPS sustained per PE (17 GFLOPS / 512)
+    latency=6e-6,            # SHMEM-class put/get latency
+    byte_time=1.0 / 100e6,   # ~100 MB/s deliverable per PE
+)
+
+
+class TorusTopology:
+    """The T3D's 3-D torus interconnect: per-hop routing cost.
+
+    The T3D routes messages dimension-ordered through a 3-D torus of
+    nodes (two PEs per node; we model one PE per torus node for
+    simplicity).  Message latency grows with the Manhattan torus
+    distance between endpoints, which is what rewards the space-filling-
+    curve partitioner: SFC-contiguous ranks are usually torus-near.
+    """
+
+    def __init__(self, n_ranks: int, hop_time: float = 2e-7) -> None:
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.hop_time = hop_time
+        # Factor n_ranks into the most cubic shape dx >= dy >= dz.
+        best = (n_ranks, 1, 1)
+        for dz in range(1, int(round(n_ranks ** (1 / 3))) + 2):
+            if n_ranks % dz:
+                continue
+            rest = n_ranks // dz
+            for dy in range(dz, int(np.sqrt(rest)) + 2):
+                if rest % dy:
+                    continue
+                dx = rest // dy
+                if dx >= dy >= dz:
+                    cand = tuple(sorted((dx, dy, dz), reverse=True))
+                    if max(cand) < max(best):
+                        best = cand
+        self.shape = best
+
+    def coords(self, rank: int) -> Tuple[int, int, int]:
+        dx, dy, dz = self.shape
+        return (rank % dx, (rank // dx) % dy, rank // (dx * dy))
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance on the torus (wrap-around links)."""
+        total = 0
+        for c_s, c_d, extent in zip(self.coords(src), self.coords(dst), self.shape):
+            d = abs(c_s - c_d)
+            total += min(d, extent - d)
+        return total
+
+    def route_time(self, src: int, dst: int) -> float:
+        return self.hops(src, dst) * self.hop_time
+
+
+class VirtualMachine:
+    """Per-PE clock accounting for one bulk-synchronous program.
+
+    Usage: charge compute and messages for a step, then call
+    :meth:`finish_step` — the step time is the slowest PE (everyone
+    waits at the barrier), and all clocks jump to it.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        spec: MachineSpec = CRAY_T3D,
+        *,
+        topology: "TorusTopology | None" = None,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.spec = spec
+        #: optional interconnect topology adding per-hop routing cost
+        self.topology = topology
+        self.clock = np.zeros(n_ranks)
+        self.elapsed = 0.0
+        #: accumulated per-category times (for the time-breakdown tables)
+        self.totals: Dict[str, float] = {"compute": 0.0, "comm": 0.0, "wait": 0.0}
+        self._step_start = np.zeros(n_ranks)
+
+    def compute(self, rank: int, seconds: float) -> None:
+        """Charge local computation to one PE."""
+        if not 0 <= rank < self.n_ranks:
+            raise IndexError(f"rank {rank} out of range")
+        self.clock[rank] += seconds
+        self.totals["compute"] += seconds
+
+    def message(self, src: int, dst: int, n_bytes: int) -> None:
+        """Charge one message to both endpoints (no charge if src == dst).
+
+        With a topology attached, routing adds per-hop time proportional
+        to the torus distance between the endpoints."""
+        if src == dst:
+            return
+        t = self.spec.message_time(n_bytes)
+        if self.topology is not None:
+            t += self.topology.route_time(src, dst)
+        self.clock[src] += t
+        self.clock[dst] += t
+        self.totals["comm"] += 2 * t
+
+    def finish_step(self) -> float:
+        """Barrier: all PEs advance to the slowest clock (+barrier cost).
+        Returns the wall time of the step just completed."""
+        high = float(self.clock.max()) + self.spec.barrier_time(self.n_ranks)
+        self.totals["wait"] += float(np.sum(high - self.clock))
+        self.clock[:] = high
+        step_time = high - self.elapsed
+        self.elapsed = high
+        return step_time
+
+    def imbalance(self) -> float:
+        """Current max/mean clock ratio since the last barrier."""
+        busy = self.clock - self.elapsed
+        mean = float(busy.mean())
+        return float(busy.max()) / mean if mean > 0 else 1.0

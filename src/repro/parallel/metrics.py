@@ -1,0 +1,68 @@
+"""Parallel-performance metrics (the quantities Figures 6–7 plot)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+__all__ = ["StepTimeReport", "scaled_efficiency", "fixed_size_speedup", "gflops"]
+
+
+@dataclass
+class StepTimeReport:
+    """Time breakdown of a simulated parallel run."""
+
+    n_ranks: int
+    n_steps: int
+    total_time: float
+    compute_time: float      #: sum over PEs of busy compute (s·PE)
+    comm_time: float         #: sum over PEs of communication (s·PE)
+    wait_time: float         #: sum over PEs of barrier wait (s·PE)
+    n_blocks: int
+    n_cells: int
+
+    @property
+    def time_per_step(self) -> float:
+        return self.total_time / self.n_steps if self.n_steps else 0.0
+
+    @property
+    def parallel_utilization(self) -> float:
+        """Busy fraction of the machine: compute / (P × wall time)."""
+        denom = self.n_ranks * self.total_time
+        return self.compute_time / denom if denom > 0 else 0.0
+
+    @property
+    def comm_fraction(self) -> float:
+        denom = self.n_ranks * self.total_time
+        return self.comm_time / denom if denom > 0 else 0.0
+
+
+def scaled_efficiency(times: Dict[int, float], base: int = 1) -> Dict[int, float]:
+    """Scaled-size parallel efficiency (the paper's Figure 6).
+
+    Work per PE is constant across ``times``; perfect scaling keeps the
+    step time equal to the base machine's, so
+    ``E(P) = T(base) / T(P)``.
+    """
+    if base not in times:
+        raise ValueError(f"base rank count {base} missing from times")
+    t0 = times[base]
+    return {p: t0 / t for p, t in sorted(times.items())}
+
+
+def fixed_size_speedup(times: Dict[int, float], base: int = 64) -> Dict[int, float]:
+    """Fixed-size speedup relative to ``base`` PEs (the paper's Figure 7:
+    'the speedup here is relative to the 64 processor speed').
+
+    Returned values are normalized so perfect scaling gives
+    ``S(P) = P / base``.
+    """
+    if base not in times:
+        raise ValueError(f"base rank count {base} missing from times")
+    t0 = times[base]
+    return {p: t0 / t for p, t in sorted(times.items())}
+
+
+def gflops(total_flops: float, wall_time: float) -> float:
+    """Sustained GFLOPS (the paper's headline 16–17 GFLOPS claim)."""
+    return total_flops / wall_time / 1e9 if wall_time > 0 else 0.0

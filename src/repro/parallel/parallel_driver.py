@@ -1,0 +1,220 @@
+"""Parallel AMR time stepping on the simulated machine.
+
+Combines the real forest topology (blocks, levels, ghost-transfer
+geometry) with the :class:`repro.parallel.machine.VirtualMachine` cost
+model to produce the step times behind Figures 6–7:
+
+* per stage, every PE is charged its blocks' compute time
+  (``cells × flops-per-cell × flop_time`` plus the per-block fixed
+  overhead) and its share of the ghost-exchange messages;
+* a barrier ends the stage (global time stepping);
+* adaptation steps additionally charge criterion evaluation,
+  refinement/coarsening data movement, and load-balancing migration.
+
+All geometry comes from the actual data structure — the message schedule
+is the real transfer stream of the real forest — only the *clock* is a
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.core.block_id import BlockID
+from repro.core.forest import BlockForest
+from repro.parallel.exchange import BYTES_PER_VALUE, MessageSchedule, build_schedule
+from repro.parallel.loadbalance import migration_bytes, migration_plan, rebalance
+from repro.parallel.machine import CRAY_T3D, MachineSpec, TorusTopology, VirtualMachine
+from repro.parallel.metrics import StepTimeReport
+from repro.parallel.partition import Assignment, sfc_partition
+from repro.solvers.flops import mhd_flops_per_cell
+
+__all__ = ["ParallelCostConfig", "ParallelSimulation"]
+
+
+@dataclass(frozen=True)
+class ParallelCostConfig:
+    """Workload model charged to the virtual machine.
+
+    Defaults model the paper's production kernel: 3-D ideal MHD,
+    second order (two stages), 8 variables.
+    """
+
+    flops_per_cell_per_step: int = mhd_flops_per_cell(3, 2).per_cell_per_step
+    n_stages: int = 2
+    nvar: int = 8
+    aggregate_messages: bool = True
+    fill_corners: bool = True
+    #: criterion cost: flops per cell per adaptation check
+    criterion_flops_per_cell: int = 20
+
+    @property
+    def flops_per_cell_per_stage(self) -> float:
+        return self.flops_per_cell_per_step / self.n_stages
+
+
+class ParallelSimulation:
+    """Cost-model simulation of a parallel block-AMR run.
+
+    Parameters
+    ----------
+    forest:
+        The (real) block forest; its topology drives all costs.
+    n_ranks:
+        Number of processing elements.
+    spec:
+        Machine cost model (default: the Cray T3D preset).
+    cost:
+        Workload model (default: 3-D second-order MHD).
+    """
+
+    def __init__(
+        self,
+        forest: BlockForest,
+        n_ranks: int,
+        *,
+        spec: MachineSpec = CRAY_T3D,
+        cost: Optional[ParallelCostConfig] = None,
+        topology: Optional[TorusTopology] = None,
+    ) -> None:
+        self.forest = forest
+        self.cost = cost if cost is not None else ParallelCostConfig()
+        self.machine = VirtualMachine(n_ranks, spec, topology=topology)
+        self.assignment: Assignment = sfc_partition(forest, n_ranks)
+        self.n_steps = 0
+        self._schedule_cache: Optional[MessageSchedule] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_ranks(self) -> int:
+        return self.machine.n_ranks
+
+    def _cells_per_rank(self) -> np.ndarray:
+        cells = np.zeros(self.n_ranks)
+        per_block = 1
+        for mi in self.forest.m:
+            per_block *= mi
+        for bid, rank in self.assignment.items():
+            cells[rank] += per_block
+        return cells
+
+    def _blocks_per_rank(self) -> np.ndarray:
+        blocks = np.zeros(self.n_ranks, dtype=int)
+        for rank in self.assignment.values():
+            blocks[rank] += 1
+        return blocks
+
+    def _schedule(self) -> MessageSchedule:
+        if self._schedule_cache is None:
+            self._schedule_cache = build_schedule(
+                self.forest,
+                self.assignment,
+                nvar=self.cost.nvar,
+                aggregate=self.cost.aggregate_messages,
+                fill_corners=self.cost.fill_corners,
+            )
+        return self._schedule_cache
+
+    def invalidate(self) -> None:
+        """Drop cached schedules (topology or assignment changed)."""
+        self._schedule_cache = None
+
+    # ------------------------------------------------------------------
+
+    def _charge_exchange(self) -> None:
+        for src, dst, nbytes in self._schedule().messages():
+            self.machine.message(src, dst, nbytes)
+
+    def _charge_compute_stage(self) -> None:
+        spec = self.machine.spec
+        cells = self._cells_per_rank()
+        blocks = self._blocks_per_rank()
+        flops = cells * self.cost.flops_per_cell_per_stage
+        for rank in range(self.n_ranks):
+            t = flops[rank] * spec.flop_time + blocks[rank] * spec.block_overhead
+            if t > 0:
+                self.machine.compute(rank, t)
+
+    def step(self) -> float:
+        """Simulate one time step; returns its wall time (seconds)."""
+        for _ in range(self.cost.n_stages):
+            self._charge_exchange()
+            self._charge_compute_stage()
+        dt = self.machine.finish_step()
+        self.n_steps += 1
+        return dt
+
+    def adapt(
+        self,
+        refine: Iterable[BlockID] = (),
+        coarsen: Iterable[BlockID] = (),
+        *,
+        rebalance_after: bool = True,
+    ) -> float:
+        """Apply a real adaptation to the forest and charge its cost:
+        criterion evaluation, child-data creation, and (optionally) the
+        load-balancing migration.  Returns the wall time charged."""
+        spec = self.machine.spec
+        # Criterion evaluation on every local cell.
+        cells = self._cells_per_rank()
+        for rank in range(self.n_ranks):
+            self.machine.compute(
+                rank, cells[rank] * self.cost.criterion_flops_per_cell * spec.flop_time
+            )
+        old_assignment = dict(self.assignment)
+        summary = self.forest.adapt(list(refine), list(coarsen))
+        self.invalidate()
+        # Data movement of refinement/coarsening: each refined block's
+        # children are built locally (prolongation flops ~ cells).
+        per_block = 1
+        for mi in self.forest.m:
+            per_block *= mi
+        refine_flops = summary.refined * per_block * (1 << self.forest.ndim) * 10
+        if summary.refined and self.n_ranks > 0:
+            # Spread across owners (approximation: uniform).
+            for rank in range(self.n_ranks):
+                self.machine.compute(
+                    rank, refine_flops / self.n_ranks * spec.flop_time
+                )
+        # Reassign new blocks to their SFC ranks, then migrate.
+        new_assignment = rebalance(self.forest, self.n_ranks)
+        if rebalance_after:
+            for bid, src, dst in migration_plan(old_assignment, new_assignment):
+                if bid in self.forest.blocks:
+                    self.machine.message(src, dst, migration_bytes(self.forest, bid, self.cost.nvar))
+            self.assignment = new_assignment
+        else:
+            # Keep old owners where possible; new blocks inherit the SFC rank.
+            self.assignment = {
+                bid: old_assignment.get(bid, new_assignment[bid])
+                for bid in self.forest.blocks
+            }
+        self.invalidate()
+        return self.machine.finish_step()
+
+    # ------------------------------------------------------------------
+
+    def run(self, n_steps: int) -> StepTimeReport:
+        """Simulate ``n_steps`` plain steps and report the breakdown."""
+        t0 = self.machine.elapsed
+        c0 = dict(self.machine.totals)
+        for _ in range(n_steps):
+            self.step()
+        return StepTimeReport(
+            n_ranks=self.n_ranks,
+            n_steps=n_steps,
+            total_time=self.machine.elapsed - t0,
+            compute_time=self.machine.totals["compute"] - c0["compute"],
+            comm_time=self.machine.totals["comm"] - c0["comm"],
+            wait_time=self.machine.totals["wait"] - c0["wait"],
+            n_blocks=self.forest.n_blocks,
+            n_cells=self.forest.n_cells,
+        )
+
+    def total_flops(self, n_steps: int) -> float:
+        """Useful FLOPs of ``n_steps`` steps over the current forest."""
+        return float(self.forest.n_cells) * self.cost.flops_per_cell_per_step * n_steps

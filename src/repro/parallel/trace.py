@@ -1,0 +1,132 @@
+"""Event tracing for the virtual machine: text Gantt timelines.
+
+A :class:`TracingMachine` wraps :class:`~repro.parallel.machine.
+VirtualMachine`, recording every compute span and message as a
+:class:`TraceEvent`.  :func:`render_gantt` prints a per-PE timeline of a
+window of the trace — the tool for *seeing* why a step is slow (a long
+compute bar on one PE is load imbalance; dense message ticks are
+latency-bound exchange; trailing whitespace is barrier wait).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel.machine import CRAY_T3D, MachineSpec, TorusTopology, VirtualMachine
+
+__all__ = ["TraceEvent", "TracingMachine", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One charged interval on one PE."""
+
+    rank: int
+    start: float
+    end: float
+    kind: str           #: "compute" | "send" | "recv" | "barrier"
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TracingMachine(VirtualMachine):
+    """VirtualMachine that records every charge as a TraceEvent."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        spec: MachineSpec = CRAY_T3D,
+        *,
+        topology: Optional[TorusTopology] = None,
+    ) -> None:
+        super().__init__(n_ranks, spec, topology=topology)
+        self.events: List[TraceEvent] = []
+
+    def compute(self, rank: int, seconds: float) -> None:
+        start = float(self.clock[rank])
+        super().compute(rank, seconds)
+        self.events.append(
+            TraceEvent(rank, start, float(self.clock[rank]), "compute")
+        )
+
+    def message(self, src: int, dst: int, n_bytes: int) -> None:
+        if src == dst:
+            return
+        s0 = float(self.clock[src])
+        d0 = float(self.clock[dst])
+        super().message(src, dst, n_bytes)
+        self.events.append(
+            TraceEvent(src, s0, float(self.clock[src]), "send", f"->{dst} {n_bytes}B")
+        )
+        self.events.append(
+            TraceEvent(dst, d0, float(self.clock[dst]), "recv", f"<-{src} {n_bytes}B")
+        )
+
+    def finish_step(self) -> float:
+        starts = self.clock.copy()
+        dt = super().finish_step()
+        for rank in range(self.n_ranks):
+            if self.clock[rank] > starts[rank]:
+                self.events.append(
+                    TraceEvent(
+                        rank, float(starts[rank]), float(self.clock[rank]), "barrier"
+                    )
+                )
+        return dt
+
+    def events_between(self, t0: float, t1: float) -> List[TraceEvent]:
+        return [e for e in self.events if e.end > t0 and e.start < t1]
+
+
+_GLYPH = {"compute": "#", "send": ">", "recv": "<", "barrier": "."}
+
+
+def render_gantt(
+    machine: TracingMachine,
+    *,
+    t0: float = 0.0,
+    t1: Optional[float] = None,
+    width: int = 72,
+    max_ranks: int = 16,
+) -> str:
+    """Text Gantt chart of the trace window ``[t0, t1]``.
+
+    One row per PE; ``#`` compute, ``>``/``<`` message send/receive,
+    ``.`` barrier wait, space idle.  Later events overwrite earlier ones
+    within a character cell (messages over compute, barrier last).
+    """
+    if t1 is None:
+        t1 = machine.elapsed
+    if not t1 > t0:
+        raise ValueError("empty trace window")
+    span = t1 - t0
+    n_rows = min(machine.n_ranks, max_ranks)
+    rows = [[" "] * width for _ in range(n_rows)]
+    priority = {"compute": 1, "send": 2, "recv": 2, "barrier": 0}
+    cell_owner = [[-1] * width for _ in range(n_rows)]
+    for e in machine.events_between(t0, t1):
+        if e.rank >= n_rows:
+            continue
+        c0 = int(max(e.start - t0, 0.0) / span * width)
+        c1 = int(min(e.end - t0, span) / span * width)
+        c1 = max(c1, c0 + 1)
+        for c in range(c0, min(c1, width)):
+            if priority[e.kind] >= cell_owner[e.rank][c]:
+                rows[e.rank][c] = _GLYPH[e.kind]
+                cell_owner[e.rank][c] = priority[e.kind]
+    lines = [
+        f"PE{rank:4d} |" + "".join(row) + "|" for rank, row in enumerate(rows)
+    ]
+    header = (
+        f"t = [{t0:.3e}, {t1:.3e}] s   "
+        "(# compute, >/< message, . barrier wait)"
+    )
+    if machine.n_ranks > n_rows:
+        lines.append(f"... {machine.n_ranks - n_rows} more PEs not shown")
+    return header + "\n" + "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Finite-volume solver substrate: advection, Euler, ideal MHD."""
+
+from repro.solvers.advection import AdvectionScheme
+from repro.solvers.burgers import BurgersScheme
+from repro.solvers.euler import EulerScheme
+from repro.solvers.exact import exact_riemann, sample_riemann, sod_solution
+from repro.solvers.flops import (
+    KernelFlops,
+    advection_flops_per_cell,
+    euler_flops_per_cell,
+    mhd_flops_per_cell,
+)
+from repro.solvers.limiters import LIMITERS, get_limiter, mc, minmod, superbee, van_leer
+from repro.solvers.mhd import MHDScheme
+from repro.solvers.riemann import RIEMANN_SOLVERS, get_riemann, hll, hllc, rusanov
+from repro.solvers.scheme import FVScheme
+from repro.solvers.shallow_water import ShallowWaterScheme
+from repro.solvers.state import DEFAULT_GAMMA, EulerLayout, MHDLayout
+from repro.solvers.timestep import stable_dt
+from repro.solvers.uniform import UniformGrid
+
+__all__ = [
+    "AdvectionScheme",
+    "BurgersScheme",
+    "EulerScheme",
+    "MHDScheme",
+    "ShallowWaterScheme",
+    "exact_riemann",
+    "sample_riemann",
+    "sod_solution",
+    "hllc",
+    "FVScheme",
+    "EulerLayout",
+    "MHDLayout",
+    "DEFAULT_GAMMA",
+    "KernelFlops",
+    "advection_flops_per_cell",
+    "euler_flops_per_cell",
+    "mhd_flops_per_cell",
+    "LIMITERS",
+    "get_limiter",
+    "mc",
+    "minmod",
+    "superbee",
+    "van_leer",
+    "RIEMANN_SOLVERS",
+    "get_riemann",
+    "hll",
+    "rusanov",
+    "stable_dt",
+    "UniformGrid",
+]

@@ -1,0 +1,51 @@
+"""Inviscid Burgers equation — the minimal nonlinear workload.
+
+``q_t + div(q^2/2 * v_hat) = 0`` along a fixed unit direction.  Shocks
+form from smooth data in finite time, which makes this the smallest
+system that exercises the limiter/AMR machinery on self-steepening
+solutions (with known exact pre-shock solutions via characteristics).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.solvers.scheme import FVScheme
+
+__all__ = ["BurgersScheme"]
+
+
+class BurgersScheme(FVScheme):
+    """Scalar inviscid Burgers flow along a fixed direction.
+
+    Parameters
+    ----------
+    direction:
+        Unit-ish vector giving the flow direction per axis; the flux
+        along axis ``a`` is ``direction[a] * q^2 / 2``.
+    """
+
+    def __init__(self, direction: Sequence[float] = (1.0,), **kw) -> None:
+        super().__init__(**kw)
+        self.direction = tuple(float(v) for v in direction)
+        if not self.direction:
+            raise ValueError("direction must have at least one component")
+        self.nvar = 1
+
+    def cons_to_prim(self, u: np.ndarray) -> np.ndarray:
+        return u.copy()
+
+    def prim_to_cons(self, w: np.ndarray) -> np.ndarray:
+        return w.copy()
+
+    def flux(self, w: np.ndarray, axis: int) -> np.ndarray:
+        return 0.5 * self.direction[axis] * w * w
+
+    def normal_velocity(self, w: np.ndarray, axis: int) -> np.ndarray:
+        # Characteristic speed: f'(q) = direction * q.
+        return self.direction[axis] * w[0]
+
+    def char_speed(self, w: np.ndarray, axis: int) -> np.ndarray:
+        return np.zeros(w.shape[1:])

@@ -1,0 +1,89 @@
+"""Compressible Euler scheme (gas dynamics).
+
+A Godunov-type finite-volume scheme for the Euler equations in 1/2/3
+dimensions: the intermediate-complexity workload between advection and
+the paper's production ideal-MHD system, and the system solved by the
+De Zeeuw & Powell adaptive Cartesian-grid Euler solver that preceded it.
+Supports an optional uniform gravitational acceleration (buoyancy-driven
+problems such as Rayleigh–Taylor).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.solvers.scheme import FVScheme
+from repro.solvers.state import DEFAULT_GAMMA, EulerLayout
+
+__all__ = ["EulerScheme"]
+
+
+class EulerScheme(FVScheme):
+    """Finite-volume compressible Euler equations.
+
+    Parameters
+    ----------
+    ndim:
+        Grid (and velocity) dimension, 1–3.
+    gamma:
+        Ratio of specific heats.
+    gravity:
+        Optional uniform acceleration vector (length ``ndim``); adds the
+        source ``d(rho u)/dt += rho g``, ``dE/dt += rho u·g``.
+    """
+
+    def __init__(
+        self,
+        ndim: int,
+        gamma: float = DEFAULT_GAMMA,
+        *,
+        gravity: Optional[Sequence[float]] = None,
+        **kw,
+    ) -> None:
+        super().__init__(**kw)
+        if not 1 <= ndim <= 3:
+            raise ValueError(f"ndim must be 1..3, got {ndim}")
+        self.layout = EulerLayout(ndim, gamma)
+        self.ndim = ndim
+        self.gamma = gamma
+        if gravity is not None:
+            gravity = tuple(float(g) for g in gravity)
+            if len(gravity) != ndim:
+                raise ValueError(
+                    f"gravity needs {ndim} components, got {len(gravity)}"
+                )
+            if all(g == 0.0 for g in gravity):
+                gravity = None
+        self.gravity = gravity
+        self.nvar = self.layout.nvar
+
+    def source(self, u_interior, w, dx, g):
+        if self.gravity is None:
+            return None
+        interior = tuple(slice(g, s - g) for s in w.shape[1:])
+        wi = w[(slice(None),) + interior]
+        src = np.zeros_like(u_interior)
+        rho = u_interior[0]
+        for a, grav in enumerate(self.gravity):
+            if grav == 0.0:
+                continue
+            src[1 + a] += rho * grav
+            src[self.layout.i_energy] += u_interior[1 + a] * grav
+        return src
+
+    def cons_to_prim(self, u: np.ndarray) -> np.ndarray:
+        return self.layout.cons_to_prim(u)
+
+    def prim_to_cons(self, w: np.ndarray) -> np.ndarray:
+        return self.layout.prim_to_cons(w)
+
+    def flux(self, w: np.ndarray, axis: int) -> np.ndarray:
+        return self.layout.flux(w, axis)
+
+    def normal_velocity(self, w: np.ndarray, axis: int) -> np.ndarray:
+        return w[1 + axis]
+
+    def char_speed(self, w: np.ndarray, axis: int) -> np.ndarray:
+        return self.layout.sound_speed(w)

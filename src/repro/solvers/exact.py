@@ -1,0 +1,206 @@
+"""Exact Riemann solver for the 1-D Euler equations (Toro's algorithm).
+
+Provides the reference solutions the verification tests compare against:
+given left/right primitive states, :func:`exact_riemann` finds the star
+pressure/velocity by Newton iteration on the pressure function, and
+:func:`sample_riemann` evaluates the self-similar solution
+``W(x/t)`` — rarefaction fans, contacts and shocks placed exactly.
+
+Also provides :func:`sod_solution`, the canonical Sod shock-tube
+reference used throughout the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["RiemannStates", "exact_riemann", "sample_riemann", "sod_solution"]
+
+
+@dataclass(frozen=True)
+class RiemannStates:
+    """Star-region solution of a 1-D Euler Riemann problem."""
+
+    p_star: float
+    u_star: float
+    rho_star_l: float
+    rho_star_r: float
+
+
+def _pressure_function(p: float, rho: float, pk: float, ck: float, gamma: float):
+    """f_K(p) and its derivative for one side (Toro §4.3)."""
+    if p > pk:  # shock
+        a = 2.0 / ((gamma + 1.0) * rho)
+        b = (gamma - 1.0) / (gamma + 1.0) * pk
+        sqrt_term = np.sqrt(a / (p + b))
+        f = (p - pk) * sqrt_term
+        df = sqrt_term * (1.0 - 0.5 * (p - pk) / (p + b))
+    else:  # rarefaction
+        f = (
+            2.0 * ck / (gamma - 1.0)
+            * ((p / pk) ** ((gamma - 1.0) / (2.0 * gamma)) - 1.0)
+        )
+        df = (1.0 / (rho * ck)) * (p / pk) ** (-(gamma + 1.0) / (2.0 * gamma))
+    return f, df
+
+
+def exact_riemann(
+    rho_l: float,
+    u_l: float,
+    p_l: float,
+    rho_r: float,
+    u_r: float,
+    p_r: float,
+    gamma: float = 1.4,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 100,
+) -> RiemannStates:
+    """Solve for the star region of the Euler Riemann problem."""
+    if min(rho_l, rho_r, p_l, p_r) <= 0.0:
+        raise ValueError("states must have positive density and pressure")
+    c_l = np.sqrt(gamma * p_l / rho_l)
+    c_r = np.sqrt(gamma * p_r / rho_r)
+    # Vacuum check (Toro eq. 4.40).
+    if 2.0 * (c_l + c_r) / (gamma - 1.0) <= u_r - u_l:
+        raise ValueError("initial states generate vacuum")
+    # Initial guess: two-rarefaction approximation.
+    z = (gamma - 1.0) / (2.0 * gamma)
+    p = (
+        (c_l + c_r - 0.5 * (gamma - 1.0) * (u_r - u_l))
+        / (c_l / p_l**z + c_r / p_r**z)
+    ) ** (1.0 / z)
+    p = max(p, 1e-12)
+    for _ in range(max_iter):
+        f_l, df_l = _pressure_function(p, rho_l, p_l, c_l, gamma)
+        f_r, df_r = _pressure_function(p, rho_r, p_r, c_r, gamma)
+        delta = (f_l + f_r + (u_r - u_l)) / (df_l + df_r)
+        p_new = max(p - delta, 1e-14)
+        if abs(p_new - p) < tol * max(p, 1e-14):
+            p = p_new
+            break
+        p = p_new
+    f_l, _ = _pressure_function(p, rho_l, p_l, c_l, gamma)
+    f_r, _ = _pressure_function(p, rho_r, p_r, c_r, gamma)
+    u_star = 0.5 * (u_l + u_r) + 0.5 * (f_r - f_l)
+    gm = (gamma - 1.0) / (gamma + 1.0)
+    if p > p_l:  # left shock
+        rho_star_l = rho_l * ((p / p_l + gm) / (gm * p / p_l + 1.0))
+    else:  # left rarefaction: isentropic
+        rho_star_l = rho_l * (p / p_l) ** (1.0 / gamma)
+    if p > p_r:  # right shock
+        rho_star_r = rho_r * ((p / p_r + gm) / (gm * p / p_r + 1.0))
+    else:
+        rho_star_r = rho_r * (p / p_r) ** (1.0 / gamma)
+    return RiemannStates(p, u_star, rho_star_l, rho_star_r)
+
+
+def sample_riemann(
+    xi: np.ndarray,
+    rho_l: float,
+    u_l: float,
+    p_l: float,
+    rho_r: float,
+    u_r: float,
+    p_r: float,
+    gamma: float = 1.4,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate the exact solution at similarity coordinates xi = x/t.
+
+    Returns (rho, u, p) arrays.
+    """
+    xi = np.asarray(xi, dtype=float)
+    star = exact_riemann(rho_l, u_l, p_l, rho_r, u_r, p_r, gamma)
+    c_l = np.sqrt(gamma * p_l / rho_l)
+    c_r = np.sqrt(gamma * p_r / rho_r)
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+
+    left_of_contact = xi <= star.u_star
+
+    # ---- left side -------------------------------------------------
+    if star.p_star > p_l:  # left shock
+        s_l = u_l - c_l * np.sqrt(
+            (gamma + 1.0) / (2.0 * gamma) * star.p_star / p_l
+            + (gamma - 1.0) / (2.0 * gamma)
+        )
+        pre = xi < s_l
+        region = left_of_contact
+        rho[region & pre] = rho_l
+        u[region & pre] = u_l
+        p[region & pre] = p_l
+        post = region & ~pre
+        rho[post] = star.rho_star_l
+        u[post] = star.u_star
+        p[post] = star.p_star
+    else:  # left rarefaction
+        c_star_l = c_l * (star.p_star / p_l) ** ((gamma - 1.0) / (2.0 * gamma))
+        head = u_l - c_l
+        tail = star.u_star - c_star_l
+        region = left_of_contact
+        pre = region & (xi < head)
+        fan = region & (xi >= head) & (xi <= tail)
+        post = region & (xi > tail)
+        rho[pre] = rho_l
+        u[pre] = u_l
+        p[pre] = p_l
+        u[fan] = 2.0 / (gamma + 1.0) * (c_l + 0.5 * (gamma - 1.0) * u_l + xi[fan])
+        c_fan = u[fan] - xi[fan]
+        rho[fan] = rho_l * (c_fan / c_l) ** (2.0 / (gamma - 1.0))
+        p[fan] = p_l * (c_fan / c_l) ** (2.0 * gamma / (gamma - 1.0))
+        rho[post] = star.rho_star_l
+        u[post] = star.u_star
+        p[post] = star.p_star
+
+    # ---- right side ------------------------------------------------
+    right = ~left_of_contact
+    if star.p_star > p_r:  # right shock
+        s_r = u_r + c_r * np.sqrt(
+            (gamma + 1.0) / (2.0 * gamma) * star.p_star / p_r
+            + (gamma - 1.0) / (2.0 * gamma)
+        )
+        post = right & (xi < s_r)
+        pre = right & ~ (xi < s_r)
+        rho[post] = star.rho_star_r
+        u[post] = star.u_star
+        p[post] = star.p_star
+        rho[pre] = rho_r
+        u[pre] = u_r
+        p[pre] = p_r
+    else:  # right rarefaction
+        c_star_r = c_r * (star.p_star / p_r) ** ((gamma - 1.0) / (2.0 * gamma))
+        head = u_r + c_r
+        tail = star.u_star + c_star_r
+        pre = right & (xi > head)
+        fan = right & (xi <= head) & (xi >= tail)
+        post = right & (xi < tail)
+        rho[pre] = rho_r
+        u[pre] = u_r
+        p[pre] = p_r
+        u[fan] = 2.0 / (gamma + 1.0) * (-c_r + 0.5 * (gamma - 1.0) * u_r + xi[fan])
+        c_fan = xi[fan] - u[fan]
+        rho[fan] = rho_r * (c_fan / c_r) ** (2.0 / (gamma - 1.0))
+        p[fan] = p_r * (c_fan / c_r) ** (2.0 * gamma / (gamma - 1.0))
+        rho[post] = star.rho_star_r
+        u[post] = star.u_star
+        p[post] = star.p_star
+
+    return rho, u, p
+
+
+def sod_solution(
+    x: np.ndarray, t: float, x0: float = 0.5, gamma: float = 1.4
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact Sod shock-tube solution at time ``t`` (diaphragm at x0).
+
+    Left state (1, 0, 1), right state (0.125, 0, 0.1).
+    """
+    if t <= 0:
+        rho = np.where(x < x0, 1.0, 0.125)
+        return rho, np.zeros_like(rho), np.where(x < x0, 1.0, 0.1)
+    xi = (np.asarray(x, dtype=float) - x0) / t
+    return sample_riemann(xi, 1.0, 0.0, 1.0, 0.125, 0.0, 0.1, gamma)

@@ -1,0 +1,105 @@
+"""Analytic floating-point-operation counts for the FV kernels.
+
+Used by the GFLOPS benchmark (paper: "we were able to sustain 17 GFLOPS
+... on a 512 processor Cray T3D") to convert simulated-machine timings
+into a sustained-FLOP-rate estimate, and by the machine cost model to
+set per-cell compute cost.
+
+Counts are per *computational* cell per *time step* and follow the
+actual structure of :class:`repro.solvers.scheme.FVScheme`:
+
+* per axis: limiter on nvar variables, two face states, one Riemann
+  flux (two physical flux evaluations + dissipation), flux difference;
+* per stage: one cons↔prim conversion and the source term;
+* order 2 doubles the stage count (midpoint method).
+
+The numbers are deliberately conservative estimates of the *useful*
+arithmetic (the convention used when reporting sustained GFLOPS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelFlops", "mhd_flops_per_cell", "euler_flops_per_cell", "advection_flops_per_cell"]
+
+
+@dataclass(frozen=True)
+class KernelFlops:
+    """Breakdown of per-cell-per-step FLOPs for one scheme configuration."""
+
+    reconstruction: int
+    riemann: int
+    update: int
+    conversion: int
+    source: int
+    stages: int
+
+    @property
+    def per_cell_per_step(self) -> int:
+        per_stage = (
+            self.reconstruction
+            + self.riemann
+            + self.update
+            + self.conversion
+            + self.source
+        )
+        return per_stage * self.stages
+
+
+def _per_axis_counts(nvar: int, order: int, flux_cost: int, speed_cost: int):
+    # Limiter: ~5 flops per variable (two differences + minmod/van-leer),
+    # two face-state constructions at 2 flops/var, only for order 2.
+    reconstruction = (5 + 4) * nvar if order == 2 else 0
+    # Rusanov: two physical fluxes + two wave speeds + combine (4 flops/var).
+    riemann = 2 * flux_cost + 2 * speed_cost + 4 * nvar
+    # Flux difference + scale: 3 flops/var.
+    update = 3 * nvar
+    return reconstruction, riemann, update
+
+
+def mhd_flops_per_cell(ndim: int = 3, order: int = 2) -> KernelFlops:
+    """Ideal MHD with Powell source (8 variables)."""
+    nvar = 8
+    flux_cost = 60      # 8-var MHD flux: ~60 flops (ptot, u.B, per-component)
+    speed_cost = 20     # fast magnetosonic speed: sqrt-heavy
+    rec, rie, upd = _per_axis_counts(nvar, order, flux_cost, speed_cost)
+    conversion = 30     # cons<->prim with B^2, kinetic energy
+    source = 25 if ndim >= 1 else 0  # divB + 8-component source
+    return KernelFlops(
+        reconstruction=rec * ndim,
+        riemann=rie * ndim,
+        update=upd * ndim,
+        conversion=conversion,
+        source=source,
+        stages=2 if order == 2 else 1,
+    )
+
+
+def euler_flops_per_cell(ndim: int = 3, order: int = 2) -> KernelFlops:
+    """Compressible Euler (ndim + 2 variables)."""
+    nvar = ndim + 2
+    flux_cost = 8 * nvar
+    speed_cost = 6
+    rec, rie, upd = _per_axis_counts(nvar, order, flux_cost, speed_cost)
+    return KernelFlops(
+        reconstruction=rec * ndim,
+        riemann=rie * ndim,
+        update=upd * ndim,
+        conversion=4 * nvar,
+        source=0,
+        stages=2 if order == 2 else 1,
+    )
+
+
+def advection_flops_per_cell(ndim: int = 2, order: int = 2) -> KernelFlops:
+    """Scalar advection (1 variable)."""
+    rec, rie, upd = _per_axis_counts(1, order, 2, 1)
+    return KernelFlops(
+        reconstruction=rec * ndim,
+        riemann=rie * ndim,
+        update=upd * ndim,
+        conversion=0,
+        source=0,
+        stages=2 if order == 2 else 1,
+    )

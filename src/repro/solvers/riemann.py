@@ -1,0 +1,128 @@
+"""Approximate Riemann solvers (numerical face fluxes).
+
+Both solvers operate on arrays of left/right *primitive* face states of
+shape ``(nvar, n_faces, ...)`` and delegate the physics (flux function,
+characteristic speeds, variable conversion) to the scheme object, so the
+same code serves advection, Euler and MHD.
+
+* :func:`rusanov` — local Lax–Friedrichs: maximally robust, the default
+  for the MHD runs (matching the diffusive Riemann solvers the original
+  BATS-R-US era codes used for production robustness);
+* :func:`hll` — two-wave HLL: sharper contact/shock resolution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.solvers.scheme import FVScheme
+
+__all__ = ["rusanov", "hll", "get_riemann", "RIEMANN_SOLVERS"]
+
+
+def rusanov(scheme: "FVScheme", wl: np.ndarray, wr: np.ndarray, axis: int) -> np.ndarray:
+    """Local Lax–Friedrichs flux: central flux plus |lambda|max dissipation."""
+    fl = scheme.flux(wl, axis)
+    fr = scheme.flux(wr, axis)
+    ul = scheme.prim_to_cons(wl)
+    ur = scheme.prim_to_cons(wr)
+    smax = np.maximum(scheme.max_char_speed(wl, axis), scheme.max_char_speed(wr, axis))
+    return 0.5 * (fl + fr) - 0.5 * smax * (ur - ul)
+
+
+def hll(scheme: "FVScheme", wl: np.ndarray, wr: np.ndarray, axis: int) -> np.ndarray:
+    """Harten–Lax–van Leer two-wave flux."""
+    fl = scheme.flux(wl, axis)
+    fr = scheme.flux(wr, axis)
+    ul = scheme.prim_to_cons(wl)
+    ur = scheme.prim_to_cons(wr)
+    unl = scheme.normal_velocity(wl, axis)
+    unr = scheme.normal_velocity(wr, axis)
+    cl = scheme.char_speed(wl, axis)
+    cr = scheme.char_speed(wr, axis)
+    sl = np.minimum(np.minimum(unl - cl, unr - cr), 0.0)
+    sr = np.maximum(np.maximum(unl + cl, unr + cr), 0.0)
+    width = np.where(sr - sl > 1e-300, sr - sl, 1.0)
+    return (sr * fl - sl * fr + sl * sr * (ur - ul)) / width
+
+
+def hllc(scheme: "FVScheme", wl: np.ndarray, wr: np.ndarray, axis: int) -> np.ndarray:
+    """HLLC three-wave flux (restores the contact wave; Euler-family only).
+
+    Requires the scheme to expose a hydrodynamic layout: density in slot
+    0, one momentum per grid axis, pressure/energy last — i.e.
+    :class:`repro.solvers.euler.EulerScheme`.  Schemes with additional
+    waves (MHD) fall back to :func:`hll` automatically.
+    """
+    layout = getattr(scheme, "layout", None)
+    if layout is None or not hasattr(layout, "i_energy"):
+        return hll(scheme, wl, wr, axis)
+    ie = layout.i_energy
+    gamma = scheme.gamma
+
+    rho_l, rho_r = wl[0], wr[0]
+    u_l, u_r = wl[1 + axis], wr[1 + axis]
+    p_l, p_r = wl[ie], wr[ie]
+    c_l = scheme.char_speed(wl, axis)
+    c_r = scheme.char_speed(wr, axis)
+    s_l = np.minimum(u_l - c_l, u_r - c_r)
+    s_r = np.maximum(u_l + c_l, u_r + c_r)
+    # Contact speed (Toro eq. 10.37).
+    num = p_r - p_l + rho_l * u_l * (s_l - u_l) - rho_r * u_r * (s_r - u_r)
+    den = rho_l * (s_l - u_l) - rho_r * (s_r - u_r)
+    s_star = num / np.where(np.abs(den) > 1e-300, den, 1e-300)
+
+    ul = scheme.prim_to_cons(wl)
+    ur = scheme.prim_to_cons(wr)
+    fl = scheme.flux(wl, axis)
+    fr = scheme.flux(wr, axis)
+
+    def star_state(w, u_cons, s, un):
+        rho = w[0]
+        p = w[ie]
+        factor = rho * (s - un) / np.where(
+            np.abs(s - s_star) > 1e-300, s - s_star, 1e-300
+        )
+        star = np.empty_like(u_cons)
+        star[0] = factor
+        for a in range(scheme.ndim):
+            star[1 + a] = factor * w[1 + a]
+        star[1 + axis] = factor * s_star
+        e = u_cons[ie] / np.where(rho > 1e-300, rho, 1e-300)
+        star[ie] = factor * (
+            e + (s_star - un) * (s_star + p / (rho * np.where(
+                np.abs(s - un) > 1e-300, s - un, 1e-300)))
+        )
+        return star
+
+    star_l = star_state(wl, ul, s_l, u_l)
+    star_r = star_state(wr, ur, s_r, u_r)
+    f_star_l = fl + s_l * (star_l - ul)
+    f_star_r = fr + s_r * (star_r - ur)
+
+    out = np.where(s_l >= 0.0, fl, 0.0)
+    out = np.where((s_l < 0.0) & (s_star >= 0.0), f_star_l, out)
+    out = np.where((s_star < 0.0) & (s_r > 0.0), f_star_r, out)
+    out = np.where(s_r <= 0.0, fr, out)
+    return out
+
+
+RIEMANN_SOLVERS: Dict[str, Callable] = {
+    "rusanov": rusanov,
+    "hll": hll,
+    "hllc": hllc,
+}
+
+
+def get_riemann(name: str) -> Callable:
+    """Look up a Riemann solver by name."""
+    try:
+        return RIEMANN_SOLVERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown Riemann solver {name!r}; available: "
+            f"{sorted(RIEMANN_SOLVERS)}"
+        ) from None

@@ -1,0 +1,278 @@
+"""Finite-volume scheme framework operating on whole block arrays.
+
+A :class:`FVScheme` advances one block's padded state array by one time
+step with a Godunov-type finite-volume update:
+
+* order 1 — piecewise-constant states, one ghost layer required;
+* order 2 — MUSCL limited-linear reconstruction of primitive variables
+  (the "higher-resolution methods" of the paper's reference [6]),
+  two ghost layers required — exactly the ghost-width trade-off the
+  paper discusses.
+
+Every operation is a whole-array numpy expression over the block: this
+is the Python analogue of the loop/cache optimization over per-block
+Fortran arrays that motivated adaptive blocks, and what the Figure-5
+benchmark measures.  Concrete schemes (advection, Euler, MHD) supply the
+physics via a handful of hooks; the reconstruction/update machinery here
+is shared.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.solvers.limiters import get_limiter
+from repro.solvers.riemann import get_riemann
+
+__all__ = ["FVScheme"]
+
+
+class FVScheme(ABC):
+    """Base class for block-array finite-volume schemes.
+
+    Parameters
+    ----------
+    order:
+        Spatial order: 1 (piecewise constant) or 2 (MUSCL).
+    limiter:
+        Slope-limiter name for order 2 (see
+        :data:`repro.solvers.limiters.LIMITERS`).
+    riemann:
+        Face-flux solver name (see
+        :data:`repro.solvers.riemann.RIEMANN_SOLVERS`).
+    cfl:
+        Default CFL number used by the drivers.
+    """
+
+    #: number of state variables — set by subclasses
+    nvar: int
+
+    def __init__(
+        self,
+        *,
+        order: int = 2,
+        limiter: str = "van_leer",
+        riemann: str = "rusanov",
+        cfl: float = 0.4,
+    ) -> None:
+        if order not in (1, 2):
+            raise ValueError(f"order must be 1 or 2, got {order}")
+        if not 0.0 < cfl <= 1.0:
+            raise ValueError(f"cfl must be in (0, 1], got {cfl}")
+        self.order = order
+        self.limiter_name = limiter
+        self.limiter = get_limiter(limiter)
+        self.riemann_name = riemann
+        self.riemann = get_riemann(riemann)
+        self.cfl = cfl
+
+    @property
+    def required_ghost(self) -> int:
+        """Ghost layers the scheme needs (1 for order 1, 2 for MUSCL)."""
+        return self.order
+
+    # ------------------------------------------------------------------
+    # physics hooks implemented by subclasses
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def cons_to_prim(self, u: np.ndarray) -> np.ndarray:
+        """Conserved → primitive variables."""
+
+    @abstractmethod
+    def prim_to_cons(self, w: np.ndarray) -> np.ndarray:
+        """Primitive → conserved variables."""
+
+    @abstractmethod
+    def flux(self, w: np.ndarray, axis: int) -> np.ndarray:
+        """Physical flux along ``axis`` from primitives."""
+
+    @abstractmethod
+    def normal_velocity(self, w: np.ndarray, axis: int) -> np.ndarray:
+        """Advective velocity component along ``axis``."""
+
+    @abstractmethod
+    def char_speed(self, w: np.ndarray, axis: int) -> np.ndarray:
+        """Maximum characteristic speed relative to the flow (sound /
+        fast magnetosonic / zero for advection)."""
+
+    def max_char_speed(self, w: np.ndarray, axis: int) -> np.ndarray:
+        """|u_n| + c — the Rusanov dissipation speed."""
+        return np.abs(self.normal_velocity(w, axis)) + self.char_speed(w, axis)
+
+    def source(
+        self,
+        u_interior: np.ndarray,
+        w: np.ndarray,
+        dx: Sequence[float],
+        g: int,
+    ) -> Optional[np.ndarray]:
+        """Optional source term evaluated on the interior (e.g. the
+        Powell divergence source for MHD).  Returns dU/dt or None."""
+        return None
+
+    # ------------------------------------------------------------------
+    # shared machinery
+    # ------------------------------------------------------------------
+
+    def max_signal_speed(self, u: np.ndarray, ndim: int) -> float:
+        """Largest |u_n| + c over the array and all grid axes (for CFL)."""
+        w = self.cons_to_prim(u)
+        best = 0.0
+        for a in range(ndim):
+            best = max(best, float(np.max(self.max_char_speed(w, a))))
+        return best
+
+    def stable_dt(self, u: np.ndarray, dx: Sequence[float], ndim: int) -> float:
+        """CFL-limited time step for one block array."""
+        s = self.max_signal_speed(u, ndim)
+        if s <= 0.0:
+            return np.inf
+        return self.cfl / sum(s / d for d in dx)
+
+    def face_states(
+        self, w: np.ndarray, axis: int, g: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Left/right primitive states at the m+1 interior faces of an axis.
+
+        Face ``f`` (0-based) sits between cells ``g-1+f`` and ``g+f`` of
+        the padded array.  Order 1 uses the adjacent cell values; order 2
+        adds limited half-slopes (requires g >= 2).
+        """
+        n = w.shape[1 + axis]
+        m = n - 2 * g
+
+        def ax_slice(lo: int, hi: int) -> Tuple[slice, ...]:
+            sl = [slice(None)] * w.ndim
+            sl[1 + axis] = slice(lo, hi)
+            return tuple(sl)
+
+        if self.order == 1:
+            wl = w[ax_slice(g - 1, g + m)]
+            wr = w[ax_slice(g, g + m + 1)]
+            return wl, wr
+        # Limited slopes on cells [g-2+1, g+m+1) = [g-1, g+m+1).
+        center = w[ax_slice(g - 1, g + m + 1)]
+        left = w[ax_slice(g - 2, g + m)]
+        right = w[ax_slice(g, g + m + 2)]
+        slope = self.limiter(center - left, right - center)
+        # slope index i corresponds to padded cell g-1+i, i in [0, m+2).
+        sl_all = [slice(None)] * w.ndim
+        sl_lo = list(sl_all)
+        sl_hi = list(sl_all)
+        sl_lo[1 + axis] = slice(0, m + 1)
+        sl_hi[1 + axis] = slice(1, m + 2)
+        wl = center[tuple(sl_lo)] + 0.5 * slope[tuple(sl_lo)]
+        wr = center[tuple(sl_hi)] - 0.5 * slope[tuple(sl_hi)]
+        return wl, wr
+
+    def flux_divergence(
+        self,
+        u: np.ndarray,
+        dx: Sequence[float],
+        g: int,
+        *,
+        face_flux_out: Optional[dict] = None,
+        faces: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """-div F over the interior cells (the conservative update rate).
+
+        With ``face_flux_out`` (a dict) the numerical fluxes on the
+        block's outer faces are captured per face index — shape
+        ``(nvar, *transverse_interior)`` — for the flux-correction
+        (refluxing) machinery.  ``faces`` limits capture to the listed
+        faces (the coarse–fine interfaces the register needs).
+        """
+        ndim = u.ndim - 1
+        w = self.cons_to_prim(u)
+        interior_shape = tuple(s - 2 * g for s in u.shape[1:])
+        dudt = np.zeros((self.nvar,) + interior_shape)
+        for axis in range(ndim):
+            wl, wr = self.face_states(w, axis, g)
+            # Restrict face arrays to interior extent on transverse axes.
+            trans = [slice(g, s - g) for s in u.shape[1:]]
+            trans[axis] = slice(None)
+            wl = wl[(slice(None),) + tuple(trans)]
+            wr = wr[(slice(None),) + tuple(trans)]
+            f = self.riemann(self, wl, wr, axis)
+            sl_hi = [slice(None)] * (ndim + 1)
+            sl_lo = [slice(None)] * (ndim + 1)
+            n_faces = f.shape[1 + axis]
+            sl_hi[1 + axis] = slice(1, n_faces)
+            sl_lo[1 + axis] = slice(0, n_faces - 1)
+            dudt -= (f[tuple(sl_hi)] - f[tuple(sl_lo)]) / dx[axis]
+            if face_flux_out is not None:
+                for side, idx in ((0, 0), (1, n_faces - 1)):
+                    face = 2 * axis + side
+                    if faces is not None and face not in faces:
+                        continue
+                    take = [slice(None)] * (ndim + 1)
+                    take[1 + axis] = idx
+                    face_flux_out[face] = f[tuple(take)].copy()
+        src = self.source(
+            u[(slice(None),) + tuple(slice(g, s - g) for s in u.shape[1:])],
+            w,
+            dx,
+            g,
+        )
+        if src is not None:
+            dudt += src
+        return dudt
+
+    @property
+    def n_stages(self) -> int:
+        """Time-integration stages per step (midpoint for order 2)."""
+        return 2 if self.order == 2 else 1
+
+    def apply_floors(self, u: np.ndarray) -> None:
+        """Post-stage fix-up hook (density/pressure floors).
+
+        Base schemes have none; systems prone to vacuum states (MHD)
+        override this.  Drivers call it after every stage update."""
+        return None
+
+    def step(self, u: np.ndarray, dx: Sequence[float], dt: float, g: int) -> None:
+        """Advance the interior of a padded block array by one forward-
+        Euler *stage* of length ``dt``, in place.
+
+        This is a single stage: time integration across stages (midpoint
+        for second order) is orchestrated by the driver, which must
+        refresh ghost cells *between* stages — computing both stages
+        block-locally with stale ghosts would break conservation and
+        accuracy at block boundaries.  See
+        :func:`repro.amr.driver.advance` and
+        :func:`repro.solvers.scheme.FVScheme.step_midpoint`.
+        """
+        interior = (slice(None),) + tuple(slice(g, s - g) for s in u.shape[1:])
+        u[interior] += dt * self.flux_divergence(u, dx, g)
+        self.apply_floors(u[interior])
+
+    def step_midpoint(
+        self,
+        u: np.ndarray,
+        dx: Sequence[float],
+        dt: float,
+        g: int,
+        fill: Callable[[np.ndarray], None],
+    ) -> None:
+        """Full time step on a *single* padded array with a ghost-fill
+        callback (used by single-block tests and the tree baseline):
+        midpoint (2-stage) for order 2, forward Euler for order 1.
+
+        ``fill`` must set the array's ghost cells from the current
+        interior (periodic wrap, physical BC, ...).
+        """
+        interior = (slice(None),) + tuple(slice(g, s - g) for s in u.shape[1:])
+        fill(u)
+        if self.order == 1:
+            u[interior] += dt * self.flux_divergence(u, dx, g)
+            return
+        u_half = u.copy()
+        u_half[interior] += 0.5 * dt * self.flux_divergence(u, dx, g)
+        self.apply_floors(u_half[interior])
+        fill(u_half)
+        u[interior] += dt * self.flux_divergence(u_half, dx, g)
+        self.apply_floors(u[interior])

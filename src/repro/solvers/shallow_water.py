@@ -1,0 +1,73 @@
+"""Shallow-water equations — the geophysical-flow workload.
+
+``h_t + div(h u) = 0``, ``(h u)_t + div(h u u) + grad(g h^2 / 2) = 0``:
+a 2-variable-per-axis hyperbolic system with gravity-wave dynamics.
+Structurally it is the Euler system with a ``p = g h^2 / 2`` barotropic
+closure, so it reuses the whole MUSCL/Riemann machinery and adds a
+second physical regime (dam breaks, gravity waves) for the AMR tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.scheme import FVScheme
+from repro.solvers.state import RHO_FLOOR
+
+__all__ = ["ShallowWaterScheme"]
+
+
+class ShallowWaterScheme(FVScheme):
+    """Finite-volume shallow-water equations in 1 or 2 dimensions.
+
+    Conserved: ``[h, hu_0(, hu_1)]``.  Primitive: ``[h, u_0(, u_1)]``.
+
+    Parameters
+    ----------
+    ndim:
+        Spatial dimension, 1 or 2.
+    gravity:
+        Gravitational acceleration ``g``.
+    """
+
+    def __init__(self, ndim: int, gravity: float = 9.81, **kw) -> None:
+        super().__init__(**kw)
+        if ndim not in (1, 2):
+            raise ValueError(f"ndim must be 1 or 2, got {ndim}")
+        if gravity <= 0:
+            raise ValueError("gravity must be positive")
+        self.ndim = ndim
+        self.gravity = gravity
+        self.nvar = ndim + 1
+
+    def cons_to_prim(self, u: np.ndarray) -> np.ndarray:
+        w = np.empty_like(u)
+        h = np.maximum(u[0], RHO_FLOOR)
+        w[0] = h
+        for a in range(self.ndim):
+            w[1 + a] = u[1 + a] / h
+        return w
+
+    def prim_to_cons(self, w: np.ndarray) -> np.ndarray:
+        u = np.empty_like(w)
+        h = np.maximum(w[0], RHO_FLOOR)
+        u[0] = h
+        for a in range(self.ndim):
+            u[1 + a] = h * w[1 + a]
+        return u
+
+    def flux(self, w: np.ndarray, axis: int) -> np.ndarray:
+        h = w[0]
+        un = w[1 + axis]
+        f = np.empty_like(w)
+        f[0] = h * un
+        for a in range(self.ndim):
+            f[1 + a] = h * un * w[1 + a]
+        f[1 + axis] += 0.5 * self.gravity * h * h
+        return f
+
+    def normal_velocity(self, w: np.ndarray, axis: int) -> np.ndarray:
+        return w[1 + axis]
+
+    def char_speed(self, w: np.ndarray, axis: int) -> np.ndarray:
+        return np.sqrt(self.gravity * np.maximum(w[0], RHO_FLOOR))

@@ -1,0 +1,32 @@
+"""CFL time-step computation across a block forest.
+
+All blocks advance with one global time step (the scheme used by the
+paper's simulations; local time stepping is a later-era extension).  The
+step is the minimum CFL-stable step over every block, which depends on
+each block's *own* cell width — finer blocks constrain the step more.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.forest import BlockForest
+    from repro.solvers.scheme import FVScheme
+
+__all__ = ["stable_dt"]
+
+
+def stable_dt(forest: "BlockForest", scheme: "FVScheme", *, dt_max: float = 1e30) -> float:
+    """Largest time step satisfying the CFL condition on every block.
+
+    Signal speeds are evaluated over computational cells only: ghost
+    cells may legitimately hold extrapolated (or, right after topology
+    changes, stale) data that must not throttle the step.
+    """
+    dt = dt_max
+    for block in forest:
+        dt = min(dt, scheme.stable_dt(block.interior, block.dx, forest.ndim))
+    if not dt > 0.0:
+        raise RuntimeError("non-positive stable time step; state is invalid")
+    return dt

@@ -1,0 +1,137 @@
+"""Single-array uniform-grid solver — the no-AMR reference.
+
+A convenience wrapper running any :class:`~repro.solvers.scheme.FVScheme`
+on one padded numpy array with periodic or outflow boundaries: the
+baseline every AMR result is compared against (and the configuration the
+paper's Figure 5 times, one block = one grid).
+
+Unlike the forest driver there is no adaptation, no exchange and no
+block bookkeeping — just the kernel.  Used by the verification tests,
+the convergence studies, and anyone wanting an honest uniform-grid
+control run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.solvers.scheme import FVScheme
+from repro.util.geometry import Box
+
+__all__ = ["UniformGrid"]
+
+
+class UniformGrid:
+    """A scheme running on one uniform padded array.
+
+    Parameters
+    ----------
+    scheme:
+        Any finite-volume scheme.
+    domain:
+        Physical box.
+    shape:
+        Cells per axis.
+    boundary:
+        ``"periodic"`` or ``"outflow"`` (zero-gradient), applied on every
+        face.
+    """
+
+    def __init__(
+        self,
+        scheme: FVScheme,
+        domain: Box,
+        shape: Sequence[int],
+        *,
+        boundary: str = "periodic",
+    ) -> None:
+        if boundary not in ("periodic", "outflow"):
+            raise ValueError(f"unknown boundary {boundary!r}")
+        if len(shape) != domain.ndim:
+            raise ValueError("shape dimension mismatch")
+        self.scheme = scheme
+        self.domain = domain
+        self.shape = tuple(int(n) for n in shape)
+        self.boundary = boundary
+        self.g = scheme.required_ghost
+        padded = tuple(n + 2 * self.g for n in self.shape)
+        self.u = np.zeros((scheme.nvar,) + padded)
+        self.dx = domain.cell_widths(self.shape)
+        self.time = 0.0
+        self.step_count = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return self.domain.ndim
+
+    @property
+    def interior(self) -> np.ndarray:
+        sl = (slice(None),) + tuple(slice(self.g, -self.g) for _ in self.shape)
+        return self.u[sl]
+
+    def meshgrid(self) -> Tuple[np.ndarray, ...]:
+        return self.domain.meshgrid(self.shape)
+
+    def set_primitive(self, fn: Callable[..., np.ndarray]) -> None:
+        """Initialize from a primitive-variable function of the meshgrid."""
+        w = fn(*self.meshgrid())
+        self.interior[...] = self.scheme.prim_to_cons(np.asarray(w))
+
+    # ------------------------------------------------------------------
+
+    def fill_ghosts(self, arr: Optional[np.ndarray] = None) -> None:
+        u = self.u if arr is None else arr
+        g = self.g
+        for axis in range(self.ndim):
+            lo = [slice(None)] * u.ndim
+            hi = [slice(None)] * u.ndim
+            src_lo = [slice(None)] * u.ndim
+            src_hi = [slice(None)] * u.ndim
+            ax = 1 + axis
+            lo[ax] = slice(0, g)
+            hi[ax] = slice(u.shape[ax] - g, u.shape[ax])
+            if self.boundary == "periodic":
+                src_lo[ax] = slice(u.shape[ax] - 2 * g, u.shape[ax] - g)
+                src_hi[ax] = slice(g, 2 * g)
+            else:
+                src_lo[ax] = slice(g, g + 1)
+                src_hi[ax] = slice(u.shape[ax] - g - 1, u.shape[ax] - g)
+            u[tuple(lo)] = u[tuple(src_lo)]
+            u[tuple(hi)] = u[tuple(src_hi)]
+
+    def stable_dt(self) -> float:
+        return self.scheme.stable_dt(self.u, self.dx, self.ndim)
+
+    def advance(self, dt: float) -> None:
+        """One full (midpoint for order 2) step with ghost refreshes."""
+        self.scheme.step_midpoint(self.u, self.dx, dt, self.g, self.fill_ghosts)
+        self.time += dt
+        self.step_count += 1
+
+    def run(
+        self, t_end: float, *, dt_max: float = 1e30, max_steps: int = 10**6
+    ) -> None:
+        """Advance to ``t_end`` at the CFL-limited step."""
+        while self.time < t_end - 1e-14 and self.step_count < max_steps:
+            dt = min(self.stable_dt(), dt_max, t_end - self.time)
+            self.advance(dt)
+
+    # ------------------------------------------------------------------
+
+    def primitive(self) -> np.ndarray:
+        return self.scheme.cons_to_prim(self.interior)
+
+    def total(self, var: int = 0) -> float:
+        cell_vol = 1.0
+        for w in self.dx:
+            cell_vol *= w
+        return float(self.interior[var].sum()) * cell_vol
+
+    def error_vs(self, exact: Callable[..., np.ndarray], var: int = 0) -> float:
+        """Volume-weighted L1 error of one variable."""
+        diff = np.abs(self.interior[var] - exact(*self.meshgrid()))
+        return float(diff.mean())

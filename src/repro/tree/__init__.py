@@ -1,0 +1,22 @@
+"""Cell-based tree baseline (quadtree/octree with one cell per node)."""
+
+from repro.tree.celltree import CellNode, CellTree
+from repro.tree.traversal import (
+    NeighborResult,
+    find_neighbor,
+    neighbor_leaves,
+    traversal_statistics,
+)
+from repro.tree.tree_solver import tree_stable_dt, tree_step, tree_total
+
+__all__ = [
+    "CellNode",
+    "CellTree",
+    "NeighborResult",
+    "find_neighbor",
+    "neighbor_leaves",
+    "traversal_statistics",
+    "tree_stable_dt",
+    "tree_step",
+    "tree_total",
+]

@@ -1,0 +1,217 @@
+"""Cell-based tree decomposition — the paper's baseline data structure.
+
+In a cell-based quadtree/octree *every node is a single cell*.  When a
+cell is subdivided its children are created and the parent remains, so
+the region has two representations (Figure 4 of the paper).  Only
+parent/child links are stored; neighbor information must be recovered by
+tree traversal (:mod:`repro.tree.traversal`), and the solver must gather
+each cell's stencil through per-cell indirect addressing
+(:mod:`repro.tree.tree_solver`).
+
+This is deliberately the structure the paper argues *against*: the
+benchmarks measure its per-cell cost (indirect addressing, no
+vectorization), its pointer overhead, and its traversal hops, and
+compare them with adaptive blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.geometry import Box, child_offsets, face_axis, face_side
+
+__all__ = ["CellNode", "CellTree"]
+
+
+@dataclass
+class CellNode:
+    """One cell of the tree: a node with parent/child pointers only.
+
+    ``data`` holds the nvar state values of this cell (meaningful at
+    leaves; interior nodes keep their last pre-refinement values, which
+    is exactly the double-representation overhead of cell-based trees).
+    """
+
+    level: int
+    coords: Tuple[int, ...]
+    parent: Optional["CellNode"] = None
+    children: Optional[List["CellNode"]] = None
+    data: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    @property
+    def ndim(self) -> int:
+        return len(self.coords)
+
+    @property
+    def child_index(self) -> int:
+        idx = 0
+        for axis, c in enumerate(self.coords):
+            idx |= (c & 1) << axis
+        return idx
+
+    def __repr__(self) -> str:
+        return f"CellNode(L{self.level}{self.coords}, leaf={self.is_leaf})"
+
+
+class CellTree:
+    """A d-dimensional cell-based tree over a rectangular domain.
+
+    Parameters
+    ----------
+    domain:
+        Physical bounding box.
+    n_root:
+        Root cells per axis (the forest of tree roots).
+    nvar:
+        State variables per cell.
+    max_level:
+        Maximum refinement depth.
+    """
+
+    def __init__(
+        self,
+        domain: Box,
+        n_root: Sequence[int],
+        nvar: int,
+        *,
+        max_level: int = 12,
+    ) -> None:
+        self.domain = domain
+        self.ndim = domain.ndim
+        self.n_root = tuple(int(n) for n in n_root)
+        self.nvar = int(nvar)
+        self.max_level = int(max_level)
+        if len(self.n_root) != self.ndim:
+            raise ValueError("n_root dimension mismatch")
+        if any(n < 1 for n in self.n_root):
+            raise ValueError("n_root must be >= 1 per axis")
+        self.roots: Dict[Tuple[int, ...], CellNode] = {}
+        self.n_nodes = 0
+        for coords in np.ndindex(*self.n_root):
+            node = CellNode(0, tuple(int(c) for c in coords))
+            node.data = np.zeros(self.nvar)
+            self.roots[node.coords] = node
+            self.n_nodes += 1
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    def refine(self, node: CellNode) -> List[CellNode]:
+        """Subdivide a leaf cell into 2^d children (parent remains)."""
+        if not node.is_leaf:
+            raise ValueError(f"{node} is not a leaf")
+        if node.level >= self.max_level:
+            raise ValueError(f"{node} already at max level")
+        base = tuple(c << 1 for c in node.coords)
+        node.children = []
+        for off in child_offsets(self.ndim):
+            child = CellNode(
+                node.level + 1,
+                tuple(b + o for b, o in zip(base, off)),
+                parent=node,
+            )
+            child.data = node.data.copy()  # injection prolongation
+            node.children.append(child)
+            self.n_nodes += 1
+        return node.children
+
+    def coarsen(self, node: CellNode) -> None:
+        """Remove a node's children (all must be leaves); the parent's
+        value becomes the mean of the children (restriction)."""
+        if node.is_leaf:
+            raise ValueError(f"{node} has no children")
+        if any(not c.is_leaf for c in node.children):
+            raise ValueError("cannot coarsen: a child is subdivided")
+        node.data = np.mean([c.data for c in node.children], axis=0)
+        self.n_nodes -= len(node.children)
+        node.children = None
+
+    def leaves(self) -> Iterator[CellNode]:
+        """All leaf cells, in deterministic root/child order."""
+        for coords in sorted(self.roots):
+            stack = [self.roots[coords]]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    yield node
+                else:
+                    stack.extend(reversed(node.children))
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for _ in self.leaves())
+
+    def depth(self) -> int:
+        """Maximum leaf level."""
+        return max((leaf.level for leaf in self.leaves()), default=0)
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+
+    def cell_box(self, node: CellNode) -> Box:
+        widths = self.domain.widths
+        lo, hi = [], []
+        for axis in range(self.ndim):
+            n_level = self.n_root[axis] << node.level
+            w = widths[axis] / n_level
+            lo.append(self.domain.lo[axis] + node.coords[axis] * w)
+            hi.append(self.domain.lo[axis] + (node.coords[axis] + 1) * w)
+        return Box(tuple(lo), tuple(hi))
+
+    def cell_center(self, node: CellNode) -> Tuple[float, ...]:
+        return self.cell_box(node).center
+
+    def cell_widths(self, node: CellNode) -> Tuple[float, ...]:
+        return tuple(
+            w / (n << node.level) for w, n in zip(self.domain.widths, self.n_root)
+        )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def refine_uniformly(self, times: int = 1) -> None:
+        """Subdivide every leaf ``times`` times (uniform grid of depth
+        ``times`` with all the tree overhead — the baseline workload)."""
+        for _ in range(times):
+            for leaf in list(self.leaves()):
+                self.refine(leaf)
+
+    def refine_where(
+        self, predicate: Callable[[CellNode], bool], max_rounds: int = 64
+    ) -> None:
+        """Refine leaves satisfying ``predicate`` until none do."""
+        for _ in range(max_rounds):
+            targets = [leaf for leaf in self.leaves() if predicate(leaf)]
+            if not targets:
+                return
+            for leaf in targets:
+                if leaf.level < self.max_level:
+                    self.refine(leaf)
+
+    def set_state(self, fn: Callable[[Tuple[float, ...]], np.ndarray]) -> None:
+        """Initialize every leaf from a function of its cell center."""
+        for leaf in self.leaves():
+            leaf.data = np.asarray(fn(self.cell_center(leaf)), dtype=float)
+
+    def storage_pointers(self) -> int:
+        """Total parent/child pointers stored (for the overhead table)."""
+        count = 0
+        for coords in sorted(self.roots):
+            stack = [self.roots[coords]]
+            while stack:
+                node = stack.pop()
+                count += 1  # parent pointer
+                if not node.is_leaf:
+                    count += len(node.children)
+                    stack.extend(node.children)
+        return count

@@ -1,0 +1,131 @@
+"""Neighbor finding by tree traversal — the baseline's connectivity cost.
+
+Cell-based trees store only parent/child links, so locating the neighbor
+of a cell requires walking *up* the tree to the nearest ancestor whose
+subtree contains the neighbor, then *down* the mirrored path (Samet's
+classic algorithm, the paper's reference [5]).  Every node touched on
+the way is counted: on a distributed machine each hop can be a remote
+access, which is precisely the communication overhead the paper's
+explicit per-face block pointers eliminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.tree.celltree import CellNode, CellTree
+from repro.util.geometry import face_axis, face_side
+
+__all__ = ["NeighborResult", "find_neighbor", "neighbor_leaves", "traversal_statistics"]
+
+
+@dataclass
+class NeighborResult:
+    """Outcome of one traversal-based neighbor query.
+
+    ``node`` is the neighbor at the same level or the deepest existing
+    ancestor of it (None outside the domain); ``hops`` counts every tree
+    link followed (up + down) — the traversal cost.
+    """
+
+    node: Optional[CellNode]
+    hops: int
+
+
+def find_neighbor(tree: CellTree, node: CellNode, face: int) -> NeighborResult:
+    """Locate the leaf-or-ancestor cell across ``face`` of ``node``.
+
+    Classic up-then-down traversal using only parent/child links.  The
+    result is the cell at ``node``'s level if it exists, else the deepest
+    existing ancestor covering that position (a coarser leaf).  Returns
+    ``node=None`` for faces on the domain boundary.
+    """
+    axis, side = face_axis(face), face_side(face)
+    hops = 0
+
+    # Walk up until the neighbor lies inside the current ancestor's
+    # subtree — i.e. until moving one cell along `axis` does not leave
+    # the ancestor.  Record the path of child indices taken.
+    path: List[int] = []
+    cur = node
+    while True:
+        if cur.level == 0:
+            # Neighboring root cell (or outside the domain).
+            c = cur.coords[axis] + (1 if side else -1)
+            if not 0 <= c < tree.n_root[axis]:
+                return NeighborResult(None, hops)
+            coords = cur.coords[:axis] + (c,) + cur.coords[axis + 1 :]
+            target: Optional[CellNode] = tree.roots[coords]
+            hops += 1
+            break
+        bit = (cur.coords[axis] & 1)
+        path.append(cur.child_index)
+        cur = cur.parent
+        hops += 1
+        if bit != side:
+            # The neighbor is a sibling subtree of `cur`: flip the axis
+            # bit of the last child index and descend from here.
+            target = cur
+            break
+
+    # Walk down the mirrored path.
+    for child_idx in reversed(path):
+        if target.is_leaf:
+            # The neighbor region is represented at a coarser level.
+            return NeighborResult(target, hops)
+        mirrored = child_idx ^ (1 << axis)
+        target = target.children[mirrored]
+        hops += 1
+    return NeighborResult(target, hops)
+
+
+def neighbor_leaves(
+    tree: CellTree, node: CellNode, face: int
+) -> Tuple[List[CellNode], int]:
+    """All *leaf* cells adjacent to ``node`` across ``face``.
+
+    If the traversal lands on an interior node, its face-adjacent
+    descendants are collected (more hops).  Returns ``(leaves, hops)``.
+    """
+    res = find_neighbor(tree, node, face)
+    if res.node is None:
+        return [], res.hops
+    hops = res.hops
+    if res.node.is_leaf:
+        return [res.node], hops
+    axis, side = face_axis(face), face_side(face)
+    opposite = 1 - side
+    out: List[CellNode] = []
+    stack = [res.node]
+    while stack:
+        cur = stack.pop()
+        for child in cur.children:
+            if (child.coords[axis] & 1) != opposite:
+                continue
+            hops += 1
+            if child.is_leaf:
+                out.append(child)
+            else:
+                stack.append(child)
+    return out, hops
+
+
+def traversal_statistics(tree: CellTree) -> dict:
+    """Hop-count statistics for a full neighbor sweep over all leaves —
+    the per-step connectivity cost of the tree baseline."""
+    total_hops = 0
+    max_hops = 0
+    queries = 0
+    for leaf in tree.leaves():
+        for face in range(2 * tree.ndim):
+            _, hops = neighbor_leaves(tree, leaf, face)
+            total_hops += hops
+            max_hops = max(max_hops, hops)
+            queries += 1
+    return {
+        "queries": queries,
+        "total_hops": total_hops,
+        "mean_hops": total_hops / queries if queries else 0.0,
+        "max_hops": max_hops,
+    }

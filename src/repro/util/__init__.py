@@ -1,0 +1,39 @@
+"""Shared utilities: space-filling curves, geometry, timing."""
+
+from repro.util.geometry import (
+    Box,
+    child_offsets,
+    face_axis,
+    face_index,
+    face_normal,
+    face_side,
+    iter_faces,
+    opposite_face,
+)
+from repro.util.morton import (
+    hilbert_encode2,
+    hilbert_encode3,
+    morton_decode,
+    morton_encode,
+    sfc_key,
+)
+from repro.util.timing import PhaseTimer, TimingResult, measure
+
+__all__ = [
+    "Box",
+    "child_offsets",
+    "face_axis",
+    "face_index",
+    "face_normal",
+    "face_side",
+    "iter_faces",
+    "opposite_face",
+    "hilbert_encode2",
+    "hilbert_encode3",
+    "morton_decode",
+    "morton_encode",
+    "sfc_key",
+    "PhaseTimer",
+    "TimingResult",
+    "measure",
+]

@@ -1,0 +1,167 @@
+"""Geometric primitives shared by the block and tree data structures.
+
+The library works in ``d`` ∈ {1, 2, 3} dimensions.  Faces of a
+``d``-dimensional box are enumerated as ``2*axis + side`` with
+``side == 0`` the low face and ``side == 1`` the high face, so for d=3:
+
+====  ====  ====
+face  axis  side
+====  ====  ====
+0     x     low
+1     x     high
+2     y     low
+3     y     high
+4     z     low
+5     z     high
+====  ====  ====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Box",
+    "face_axis",
+    "face_side",
+    "face_index",
+    "opposite_face",
+    "iter_faces",
+    "face_normal",
+    "child_offsets",
+]
+
+
+def face_axis(face: int) -> int:
+    """Axis (0=x, 1=y, 2=z) that a face is perpendicular to."""
+    return face >> 1
+
+
+def face_side(face: int) -> int:
+    """0 for the low side of the axis, 1 for the high side."""
+    return face & 1
+
+
+def face_index(axis: int, side: int) -> int:
+    """Face index from (axis, side)."""
+    if side not in (0, 1):
+        raise ValueError(f"side must be 0 or 1, got {side}")
+    if axis < 0:
+        raise ValueError(f"axis must be non-negative, got {axis}")
+    return 2 * axis + side
+
+
+def opposite_face(face: int) -> int:
+    """The face on the other side of the same axis."""
+    return face ^ 1
+
+
+def iter_faces(ndim: int) -> Iterator[int]:
+    """Iterate over the ``2*ndim`` face indices of a d-dimensional box."""
+    return iter(range(2 * ndim))
+
+
+def face_normal(face: int, ndim: int) -> Tuple[int, ...]:
+    """Outward unit normal of a face as an integer tuple."""
+    normal = [0] * ndim
+    normal[face_axis(face)] = 1 if face_side(face) else -1
+    return tuple(normal)
+
+
+def child_offsets(ndim: int) -> Tuple[Tuple[int, ...], ...]:
+    """The 2^d child positions within a refined parent, binary-ordered.
+
+    Child ``c`` occupies offset ``((c >> 0) & 1, (c >> 1) & 1, ...)``:
+    bit 0 is the x offset, bit 1 the y offset, bit 2 the z offset.  This
+    matches Morton sub-key ordering so children are SFC-contiguous.
+    """
+    return tuple(
+        tuple((c >> axis) & 1 for axis in range(ndim)) for c in range(1 << ndim)
+    )
+
+
+@dataclass(frozen=True)
+class Box:
+    """Axis-aligned box: physical extent of a block or domain.
+
+    Parameters
+    ----------
+    lo, hi:
+        Coordinate tuples of the low and high corners.  Must have the
+        same length (the dimensionality) and satisfy ``lo < hi``
+        component-wise.
+    """
+
+    lo: Tuple[float, ...]
+    hi: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError("lo and hi must have the same dimension")
+        if not self.lo:
+            raise ValueError("box must be at least 1-dimensional")
+        for a, b in zip(self.lo, self.hi):
+            if not a < b:
+                raise ValueError(f"degenerate box: lo={self.lo} hi={self.hi}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def widths(self) -> Tuple[float, ...]:
+        return tuple(b - a for a, b in zip(self.lo, self.hi))
+
+    @property
+    def center(self) -> Tuple[float, ...]:
+        return tuple(0.5 * (a + b) for a, b in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> float:
+        v = 1.0
+        for w in self.widths:
+            v *= w
+        return v
+
+    def contains(self, point: Sequence[float], *, tol: float = 0.0) -> bool:
+        """True if ``point`` lies inside the box (closed, with tolerance)."""
+        return all(
+            a - tol <= p <= b + tol for p, a, b in zip(point, self.lo, self.hi)
+        )
+
+    def overlaps(self, other: "Box") -> bool:
+        """True if the two boxes intersect in a set of positive measure."""
+        return all(
+            a1 < b2 and a2 < b1
+            for a1, b1, a2, b2 in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def subbox(self, offsets: Sequence[int]) -> "Box":
+        """The child box at the given binary offsets (one octant/quadrant)."""
+        if len(offsets) != self.ndim:
+            raise ValueError("offsets dimension mismatch")
+        mid = self.center
+        lo = tuple(m if o else a for a, m, o in zip(self.lo, mid, offsets))
+        hi = tuple(b if o else m for b, m, o in zip(self.hi, mid, offsets))
+        return Box(lo, hi)
+
+    def cell_widths(self, shape: Sequence[int]) -> Tuple[float, ...]:
+        """Cell sizes when the box is divided into a ``shape`` array."""
+        if len(shape) != self.ndim:
+            raise ValueError("shape dimension mismatch")
+        return tuple(w / n for w, n in zip(self.widths, shape))
+
+    def cell_centers(self, shape: Sequence[int]) -> Tuple[np.ndarray, ...]:
+        """1-D arrays of cell-center coordinates along each axis."""
+        dx = self.cell_widths(shape)
+        return tuple(
+            a + (np.arange(n) + 0.5) * h
+            for a, n, h in zip(self.lo, shape, dx)
+        )
+
+    def meshgrid(self, shape: Sequence[int]) -> Tuple[np.ndarray, ...]:
+        """Full d-dimensional cell-center coordinate arrays (ij indexing)."""
+        return tuple(np.meshgrid(*self.cell_centers(shape), indexing="ij"))

@@ -1,0 +1,97 @@
+"""Lightweight phase timers and statistics helpers.
+
+The serial driver and the benchmarks use :class:`PhaseTimer` to attribute
+wall-clock time to the phases the paper discusses (per-block compute,
+ghost exchange, adaptation, load balancing), and :func:`measure` for
+repeated minimum-of-N timing as recommended for noisy environments.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List
+
+__all__ = ["PhaseTimer", "measure", "TimingResult"]
+
+
+@dataclass
+class TimingResult:
+    """Summary of repeated timing of a callable."""
+
+    best: float
+    mean: float
+    times: List[float]
+
+    @property
+    def repeats(self) -> int:
+        return len(self.times)
+
+
+def measure(fn: Callable[[], None], *, repeats: int = 5, warmup: int = 1) -> TimingResult:
+    """Time ``fn`` ``repeats`` times after ``warmup`` untimed calls.
+
+    Returns the best (minimum) and mean wall time.  The minimum is the
+    standard robust estimator for kernel benchmarking: system noise only
+    ever adds time.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return TimingResult(best=min(times), mean=sum(times) / len(times), times=times)
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall time per named phase.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("ghost_exchange"):
+            forest.fill_ghosts()
+        print(timer.totals["ghost_exchange"])
+    """
+
+    totals: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    counts: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[name] += time.perf_counter() - t0
+            self.counts[name] += 1
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def fraction(self, name: str) -> float:
+        """Fraction of the total accumulated time spent in ``name``."""
+        total = self.total
+        return self.totals.get(name, 0.0) / total if total > 0 else 0.0
+
+    def report(self) -> str:
+        """Multi-line human-readable summary, phases sorted by time."""
+        lines = []
+        for name in sorted(self.totals, key=lambda n: -self.totals[n]):
+            lines.append(
+                f"{name:24s} {self.totals[name]:10.4f}s "
+                f"({100 * self.fraction(name):5.1f}%)  x{self.counts[name]}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()

@@ -1,0 +1,154 @@
+"""Tests for the Block container (repro.core.block)."""
+
+import numpy as np
+import pytest
+
+from repro.core.block import Block, FaceNeighbors, NeighborKind
+from repro.core.block_id import BlockID, IndexBox
+from repro.util.geometry import Box
+
+
+def make_block(level=0, coords=(0, 0), m=(4, 6), g=2, nvar=3):
+    return Block(
+        id=BlockID(level, coords),
+        box=Box((0.0, 0.0), (1.0, 1.5)),
+        m=m,
+        n_ghost=g,
+        nvar=nvar,
+    )
+
+
+class TestConstruction:
+    def test_data_allocated(self):
+        b = make_block()
+        assert b.data.shape == (3, 8, 10)
+        assert np.all(b.data == 0.0)
+
+    def test_provided_data_shape_checked(self):
+        with pytest.raises(ValueError):
+            Block(
+                id=BlockID(0, (0, 0)),
+                box=Box((0.0, 0.0), (1.0, 1.0)),
+                m=(4, 4),
+                n_ghost=2,
+                nvar=1,
+                data=np.zeros((1, 4, 4)),
+            )
+
+    def test_odd_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_block(m=(5, 6))
+
+    def test_too_small_for_ghosts_rejected(self):
+        with pytest.raises(ValueError):
+            make_block(m=(2, 6), g=2)
+
+    def test_zero_ghost_rejected(self):
+        with pytest.raises(ValueError):
+            make_block(g=0)
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Block(
+                id=BlockID(0, (0, 0, 0)),
+                box=Box((0.0, 0.0), (1.0, 1.0)),
+                m=(4, 4),
+                n_ghost=1,
+                nvar=1,
+            )
+
+
+class TestGeometry:
+    def test_cell_counts(self):
+        b = make_block()
+        assert b.n_cells == 24
+        assert b.n_ghost_cells == 8 * 10 - 24
+
+    def test_dx(self):
+        b = make_block()
+        assert b.dx == (0.25, 0.25)
+
+    def test_cell_box(self):
+        b = make_block(level=1, coords=(1, 2))
+        assert b.cell_box == IndexBox((4, 12), (8, 18))
+
+    def test_index_origin(self):
+        b = make_block(level=1, coords=(1, 2))
+        assert b.index_origin == (4 - 2, 12 - 2)
+
+    def test_padded_box_contains_cell_box(self):
+        b = make_block()
+        assert b.padded_box.contains(b.cell_box)
+        assert b.padded_box == b.cell_box.grow(2)
+
+    def test_cell_centers_with_ghosts(self):
+        b = make_block()
+        x = b.cell_centers(include_ghost=True)[0]
+        assert len(x) == 8
+        assert x[0] == pytest.approx(-0.375)  # two ghost cells below 0
+        assert x[2] == pytest.approx(0.125)   # first interior center
+
+    def test_meshgrid_matches_box(self):
+        b = make_block()
+        X, Y = b.meshgrid()
+        assert X.shape == (4, 6)
+        assert X.min() > 0 and X.max() < 1
+        assert Y.min() > 0 and Y.max() < 1.5
+
+
+class TestViews:
+    def test_interior_view_is_writable_view(self):
+        b = make_block()
+        b.interior[...] = 5.0
+        assert b.data[0, 2, 2] == 5.0
+        assert b.data[0, 0, 0] == 0.0  # ghost untouched
+
+    def test_view_by_global_box(self):
+        b = make_block(level=0, coords=(0, 0))
+        b.interior[...] = 1.0
+        v = b.view(IndexBox((0, 0), (2, 2)))
+        assert v.shape == (3, 2, 2)
+        assert np.all(v == 1.0)
+
+    def test_view_outside_padded_rejected(self):
+        b = make_block()
+        with pytest.raises(IndexError):
+            b.view(IndexBox((-3, 0), (0, 2)))
+
+    def test_ghost_region_low_face(self):
+        b = make_block(level=0, coords=(0, 0))
+        r = b.ghost_region(0)
+        assert r == IndexBox((-2, 0), (0, 6))
+
+    def test_ghost_region_high_face_with_swept(self):
+        b = make_block(level=0, coords=(0, 0))
+        r = b.ghost_region(3, swept_axes=(0,))
+        assert r == IndexBox((-2, 6), (6, 8))
+
+    def test_fill_and_zero_ghosts(self):
+        b = make_block()
+        b.data[...] = 9.0
+        b.fill(np.ones((3, 4, 6)))
+        b.zero_ghosts()
+        assert np.all(b.interior == 1.0)
+        assert b.data[0, 0, 0] == 0.0
+
+
+class TestFaceNeighbors:
+    def test_boundary_has_no_ids(self):
+        fn = FaceNeighbors(NeighborKind.BOUNDARY)
+        assert fn.ids == ()
+        with pytest.raises(ValueError):
+            FaceNeighbors(NeighborKind.BOUNDARY, (BlockID(0, (0,)),))
+
+    def test_same_requires_single_id(self):
+        with pytest.raises(ValueError):
+            FaceNeighbors(NeighborKind.SAME, ())
+        with pytest.raises(ValueError):
+            FaceNeighbors(
+                NeighborKind.SAME, (BlockID(0, (0,)), BlockID(0, (1,)))
+            )
+
+    def test_finer_requires_ids(self):
+        with pytest.raises(ValueError):
+            FaceNeighbors(NeighborKind.FINER, ())

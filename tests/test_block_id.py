@@ -1,0 +1,162 @@
+"""Tests for logical block addressing and index-box algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.block_id import BlockID, IndexBox
+
+
+def bid_strategy(ndim=2, max_level=5):
+    def build(level):
+        c = st.integers(0, (1 << level) * 4 - 1)
+        return st.tuples(*([c] * ndim)).map(lambda cs: BlockID(level, cs))
+    return st.integers(0, max_level).flatmap(build)
+
+
+class TestBlockID:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockID(-1, (0, 0))
+        with pytest.raises(ValueError):
+            BlockID(0, (-1, 0))
+        with pytest.raises(ValueError):
+            BlockID(0, (0, 0, 0, 0))
+
+    def test_parent_of_root_rejected(self):
+        with pytest.raises(ValueError):
+            _ = BlockID(0, (0, 0)).parent
+
+    def test_children_parent_roundtrip(self):
+        b = BlockID(2, (3, 1, 2))
+        kids = b.children()
+        assert len(kids) == 8
+        assert all(k.parent == b for k in kids)
+        assert len(set(kids)) == 8
+
+    @given(bid_strategy(ndim=3, max_level=4))
+    def test_child_index_consistent(self, b):
+        for idx, child in enumerate(b.children()):
+            assert child.child_index == idx
+
+    def test_ancestor(self):
+        b = BlockID(3, (5, 6))
+        assert b.ancestor(3) == b
+        assert b.ancestor(2) == b.parent
+        assert b.ancestor(0) == BlockID(0, (0, 0))
+        with pytest.raises(ValueError):
+            b.ancestor(4)
+
+    @given(bid_strategy(ndim=2, max_level=5))
+    def test_ancestor_chain_matches_repeated_parent(self, b):
+        cur = b
+        for level in range(b.level - 1, -1, -1):
+            cur = cur.parent
+            assert b.ancestor(level) == cur
+
+    def test_face_neighbor(self):
+        b = BlockID(1, (1, 1))
+        assert b.face_neighbor(0) == BlockID(1, (0, 1))  # x-low
+        assert b.face_neighbor(1) == BlockID(1, (2, 1))  # x-high
+        assert b.face_neighbor(2) == BlockID(1, (1, 0))  # y-low
+        assert b.face_neighbor(3) == BlockID(1, (1, 2))  # y-high
+
+    def test_face_neighbor_below_zero(self):
+        assert BlockID(0, (0, 0)).face_neighbor(0) is None
+
+    @given(bid_strategy(ndim=2, max_level=4))
+    def test_face_neighbors_are_involutive(self, b):
+        for face in range(4):
+            n = b.face_neighbor(face)
+            if n is not None:
+                assert n.face_neighbor(face ^ 1) == b
+
+    def test_neighbor_offset(self):
+        b = BlockID(1, (1, 1))
+        assert b.neighbor_offset((1, -1)) == BlockID(1, (2, 0))
+        assert b.neighbor_offset((-2, 0)) is None
+
+    def test_touches_parent_face(self):
+        # Child (0,0) of a parent touches the parent's low faces.
+        child = BlockID(1, (2, 3))  # x even -> low x face; y odd -> high y face
+        assert child.touches_parent_face(0)
+        assert not child.touches_parent_face(1)
+        assert not child.touches_parent_face(2)
+        assert child.touches_parent_face(3)
+
+    def test_cell_box(self):
+        b = BlockID(1, (1, 2))
+        ib = b.cell_box((4, 8))
+        assert ib.lo == (4, 16) and ib.hi == (8, 24)
+
+    def test_morton_key_orders_levels(self):
+        assert BlockID(0, (0, 0)).morton_key() < BlockID(1, (0, 0)).morton_key()
+
+    def test_siblings(self):
+        b = BlockID(1, (0, 1))
+        assert b in b.siblings()
+        assert len(b.siblings()) == 4
+
+
+class TestIndexBox:
+    def test_shape_and_size(self):
+        b = IndexBox((1, 2), (4, 6))
+        assert b.shape == (3, 4)
+        assert b.size == 12
+        assert not b.empty
+
+    def test_empty(self):
+        assert IndexBox((0, 0), (0, 3)).empty
+        assert IndexBox((2, 0), (1, 3)).empty
+        assert IndexBox((2, 0), (1, 3)).size == 0
+
+    def test_intersect(self):
+        a = IndexBox((0, 0), (4, 4))
+        b = IndexBox((2, 2), (6, 6))
+        assert a.intersect(b) == IndexBox((2, 2), (4, 4))
+        assert a.intersect(IndexBox((5, 5), (6, 6))).empty
+
+    def test_contains(self):
+        a = IndexBox((0, 0), (4, 4))
+        assert a.contains(IndexBox((1, 1), (3, 3)))
+        assert a.contains(a)
+        assert not a.contains(IndexBox((1, 1), (5, 3)))
+
+    def test_shift(self):
+        assert IndexBox((0,), (2,)).shift((3,)) == IndexBox((3,), (5,))
+
+    def test_grow_scalar_and_vector(self):
+        a = IndexBox((2, 2), (4, 4))
+        assert a.grow(1) == IndexBox((1, 1), (5, 5))
+        assert a.grow((1, 0)) == IndexBox((1, 2), (5, 4))
+
+    def test_coarsened_rounds_outward(self):
+        # [1, 5) at fine level covers coarse cells 0..2 inclusive.
+        assert IndexBox((1,), (5,)).coarsened(1) == IndexBox((0,), (3,))
+        assert IndexBox((2,), (4,)).coarsened(1) == IndexBox((1,), (2,))
+
+    def test_refined(self):
+        assert IndexBox((1,), (3,)).refined(1) == IndexBox((2,), (6,))
+        assert IndexBox((1,), (3,)).refined(2) == IndexBox((4,), (12,))
+
+    @given(
+        st.integers(-16, 16), st.integers(1, 16), st.integers(0, 3)
+    )
+    def test_coarsen_refine_covers(self, lo, extent, shift):
+        box = IndexBox((lo,), (lo + extent,))
+        covered = box.coarsened(shift).refined(shift)
+        assert covered.contains(box)
+        # Coarsening adds less than one coarse cell per side.
+        f = 1 << shift
+        assert covered.lo[0] > box.lo[0] - f
+        assert covered.hi[0] < box.hi[0] + f
+
+    def test_slices(self):
+        box = IndexBox((2, 3), (4, 7))
+        sl = box.slices((1, 1))
+        assert sl == (slice(1, 3), slice(2, 6))
+
+    def test_iter_cells(self):
+        cells = list(IndexBox((0, 0), (2, 2)).iter_cells())
+        assert cells == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert list(IndexBox((0,), (0,)).iter_cells()) == []

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "pulse", "--steps", "5"])
+        assert args.problem == "pulse"
+        assert args.ndim == 2
+        assert not args.no_adapt
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "warp_drive", "--steps", "1"])
+
+
+class TestRun:
+    def test_run_needs_target(self, capsys):
+        assert main(["run", "pulse"]) == 2
+        assert "give --steps" in capsys.readouterr().err
+
+    def test_run_pulse(self, capsys):
+        rc = main(["run", "pulse", "--steps", "3", "--report-every", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "advecting_pulse_2d" in out
+        assert "final grid" in out
+        assert "phase timings" in out
+
+    def test_run_static_grid(self, capsys):
+        rc = main(["run", "pulse", "--steps", "2", "--no-adapt"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # Static grid: all blocks at the root level.
+        assert "levels: 0..0" in out
+
+    def test_run_t_end(self, capsys):
+        rc = main(["run", "pulse", "--t-end", "0.01", "--no-adapt"])
+        assert rc == 0
+
+    def test_run_with_reflux(self, capsys):
+        rc = main(["run", "pulse", "--steps", "2", "--reflux"])
+        assert rc == 0
+
+    def test_save_and_info_roundtrip(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.npz")
+        assert main(["run", "pulse", "--steps", "2", "--save", ck]) == 0
+        capsys.readouterr()
+        assert main(["info", ck]) == 0
+        out = capsys.readouterr().out
+        assert "conserved totals" in out
+        assert "blocks:" in out
+
+
+class TestOtherCommands:
+    def test_fig5(self, capsys):
+        rc = main(["fig5", "--sizes", "2,4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        lines = [l for l in out.splitlines() if "^3" in l]
+        assert len(lines) == 2
+        # Per-cell time falls with block size.
+        t2 = float(lines[0].split()[-1])
+        t4 = float(lines[1].split()[-1])
+        assert t4 < t2
+
+    def test_scaling(self, capsys):
+        rc = main(["scaling", "--steps", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "efficiency:" in out
+        assert "P=512" in out
+
+
+class TestEmulate:
+    def test_emulate_matches_serial(self, capsys):
+        rc = main(["emulate", "pulse", "--ranks", "3", "--steps", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "max |emulated - serial| = 0.000e+00" in out
+        assert "OK" in out
+
+    def test_emulate_reports_traffic(self, capsys):
+        rc = main(["emulate", "pulse", "--ranks", "2", "--steps", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wire messages:" in out
+        assert "cells/rank" in out

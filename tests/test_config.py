@@ -1,0 +1,50 @@
+"""Tests for SimulationConfig (repro.amr.config)."""
+
+import pytest
+
+from repro.amr import SimulationConfig
+from repro.util.geometry import Box
+
+
+def base(**kw):
+    kw.setdefault("domain", Box((0.0, 0.0), (1.0, 1.0)))
+    kw.setdefault("n_root", (2, 2))
+    return SimulationConfig(**kw)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = base()
+        assert cfg.ndim == 2
+        assert cfg.m == (8, 8)
+        assert cfg.order == 2
+
+    def test_adapt_interval_positive(self):
+        with pytest.raises(ValueError):
+            base(adapt_interval=0)
+
+    def test_ghost_supports_order(self):
+        with pytest.raises(ValueError):
+            base(order=2, n_ghost=1)
+        # Order 1 with one ghost layer is fine.
+        cfg = base(order=1, n_ghost=1)
+        assert cfg.n_ghost == 1
+
+
+class TestMakeForest:
+    def test_builds_matching_forest(self):
+        cfg = base(m=(4, 4), max_level=2, max_level_jump=2,
+                   periodic=(True, False), prolong_order=1)
+        f = cfg.make_forest(nvar=3)
+        assert f.m == (4, 4)
+        assert f.nvar == 3
+        assert f.max_level == 2
+        assert f.max_level_jump == 2
+        assert f.periodic == (True, False)
+        assert f.prolong_order == 1
+        assert f.n_blocks == 4
+
+    def test_invalid_block_size_surfaces(self):
+        cfg = base(m=(3, 4))
+        with pytest.raises(ValueError):
+            cfg.make_forest(nvar=1)

@@ -1,0 +1,305 @@
+"""Tests for the BlockForest: topology, adaptation, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.block import NeighborKind
+from repro.core.block_id import BlockID
+from repro.core.forest import BlockForest, ForestError
+from repro.util.geometry import Box
+
+
+def forest2d(n_root=(2, 2), m=(4, 4), periodic=None, **kw):
+    return BlockForest(
+        Box((0.0, 0.0), (1.0, 1.0)), n_root, m, nvar=1, periodic=periodic, **kw
+    )
+
+
+def forest3d(**kw):
+    return BlockForest(
+        Box((0.0, 0.0, 0.0), (1.0, 1.0, 1.0)), (2, 2, 2), (4, 4, 4), nvar=1, **kw
+    )
+
+
+class TestConstruction:
+    def test_root_tiling(self):
+        f = forest2d()
+        assert f.n_blocks == 4
+        assert f.n_cells == 64
+        f.check_coverage()
+        f.check_balance()
+
+    def test_non_square_roots(self):
+        f = BlockForest(Box((0.0, 0.0), (3.0, 1.0)), (3, 1), (4, 4), nvar=1)
+        assert f.n_blocks == 3
+        f.check_coverage()
+
+    def test_block_box_geometry(self):
+        f = forest2d()
+        b = f.blocks[BlockID(0, (1, 0))]
+        assert b.box.lo == (0.5, 0.0)
+        assert b.box.hi == (1.0, 0.5)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            forest2d(n_root=(0, 2))
+        with pytest.raises(ValueError):
+            forest2d(max_level_jump=0)
+        with pytest.raises(ValueError):
+            forest2d(prolong_order=3)
+
+    def test_level_extents(self):
+        f = forest2d()
+        assert f.level_extent(0) == (2, 2)
+        assert f.level_extent(2) == (8, 8)
+        assert f.level_cell_extent(1) == (16, 16)
+
+
+class TestNeighbors:
+    def test_interior_same_level(self):
+        f = forest2d()
+        fn = f.blocks[BlockID(0, (0, 0))].face_neighbors[1]
+        assert fn.kind == NeighborKind.SAME
+        assert fn.ids == (BlockID(0, (1, 0)),)
+
+    def test_domain_boundary(self):
+        f = forest2d()
+        fn = f.blocks[BlockID(0, (0, 0))].face_neighbors[0]
+        assert fn.kind == NeighborKind.BOUNDARY
+
+    def test_periodic_wrap(self):
+        f = forest2d(periodic=(True, False))
+        fn = f.blocks[BlockID(0, (0, 0))].face_neighbors[0]
+        assert fn.kind == NeighborKind.SAME
+        assert fn.ids == (BlockID(0, (1, 0)),)
+        assert fn.shift == (1, 0)
+        # y stays a physical boundary
+        assert f.blocks[BlockID(0, (0, 0))].face_neighbors[2].kind == NeighborKind.BOUNDARY
+
+    def test_finer_and_coarser_after_refine(self):
+        f = forest2d()
+        f.adapt([BlockID(0, (0, 0))])
+        coarse = f.blocks[BlockID(0, (1, 0))]
+        fn = coarse.face_neighbors[0]
+        assert fn.kind == NeighborKind.FINER
+        assert set(fn.ids) == {BlockID(1, (1, 0)), BlockID(1, (1, 1))}
+        fine = f.blocks[BlockID(1, (1, 0))]
+        assert fine.face_neighbors[1].kind == NeighborKind.COARSER
+        assert fine.face_neighbors[1].ids == (BlockID(0, (1, 0)),)
+
+    def test_neighbor_count_bound_2to1(self):
+        # Paper: at most 2^(d-1) neighbors per face with one-level jumps.
+        f = forest3d()
+        rng = np.random.default_rng(42)
+        for _ in range(3):
+            ids = list(f.blocks)
+            picks = rng.choice(len(ids), size=max(1, len(ids) // 4), replace=False)
+            f.adapt([ids[i] for i in picks])
+        f.check_balance()
+        stats = f.neighbor_count_stats()
+        assert stats["max"] <= 2 ** (3 - 1)
+
+    def test_pointers_are_symmetric(self):
+        f = forest2d()
+        f.adapt([BlockID(0, (0, 0)), BlockID(0, (1, 1))])
+        for bid, block in f.blocks.items():
+            for face, fn in block.face_neighbors.items():
+                for nid in fn.ids:
+                    back = f.blocks[nid].face_neighbors[face ^ 1]
+                    assert bid in back.ids
+
+
+class TestRefineCoarsen:
+    def test_refine_replaces_block(self):
+        f = forest2d()
+        target = BlockID(0, (0, 0))
+        children = f.refine(target)
+        assert target not in f.blocks
+        assert all(c in f.blocks for c in children)
+        assert f.n_blocks == 7
+        f.check_coverage()
+
+    def test_refine_prolongs_data_conservatively(self):
+        f = forest2d()
+        rng = np.random.default_rng(0)
+        target = BlockID(0, (0, 0))
+        blk = f.blocks[target]
+        blk.interior[...] = rng.random((1, 4, 4))
+        total = blk.interior.sum() * np.prod(blk.dx)
+        kids = f.refine(target)
+        total_kids = sum(
+            f.blocks[k].interior.sum() * np.prod(f.blocks[k].dx) for k in kids
+        )
+        assert total_kids == pytest.approx(total, rel=1e-12)
+
+    def test_coarsen_restores_means(self):
+        f = forest2d()
+        target = BlockID(0, (0, 0))
+        blk = f.blocks[target]
+        X, Y = blk.meshgrid()
+        blk.interior[0] = X + Y
+        before = blk.interior.copy()
+        f.refine(target)
+        f.coarsen(target)
+        after = f.blocks[target].interior
+        np.testing.assert_allclose(after, before, rtol=1e-12)
+
+    def test_refine_at_max_level_rejected(self):
+        f = forest2d(max_level=0)
+        with pytest.raises(ForestError):
+            f.refine(BlockID(0, (0, 0)))
+
+    def test_refine_non_leaf_rejected(self):
+        f = forest2d()
+        with pytest.raises(KeyError):
+            f.refine(BlockID(1, (0, 0)))
+
+    def test_coarsen_missing_child_rejected(self):
+        f = forest2d()
+        f.refine(BlockID(0, (0, 0)))
+        f.refine(BlockID(1, (0, 0)))
+        with pytest.raises(KeyError):
+            f.coarsen(BlockID(0, (0, 0)))  # one child is itself refined
+
+
+class TestAdapt:
+    def test_cascade_maintains_balance(self):
+        # Refining a block that touches a coarser neighbor forces the
+        # neighbor to refine too ("refinement can potentially cascade
+        # across the grid").
+        f = forest2d(n_root=(4, 4))
+        f.adapt([BlockID(0, (0, 0))])
+        # L1(1,1)'s x-high neighbor is the level-0 block (1,0): refining
+        # it to level 2 violates the jump-1 constraint unless (1,0) is
+        # refined as well.
+        summary = f.adapt([BlockID(1, (1, 1))])
+        f.check_balance()
+        assert summary.cascaded > 0
+        assert BlockID(0, (1, 0)) not in f.blocks  # it was cascade-refined
+
+    def test_coarsen_requires_all_siblings(self):
+        f = forest2d()
+        f.adapt([BlockID(0, (0, 0))])
+        s = f.adapt([], [BlockID(1, (0, 0))])  # only one sibling flagged
+        assert s.coarsened == 0
+        assert s.coarsen_vetoed == 1
+
+    def test_coarsen_all_siblings(self):
+        f = forest2d()
+        f.adapt([BlockID(0, (0, 0))])
+        s = f.adapt([], BlockID(0, (0, 0)).children())
+        assert s.coarsened == 1
+        assert f.n_blocks == 4
+        f.check_coverage()
+
+    def test_coarsen_vetoed_by_balance(self):
+        f = forest2d(n_root=(4, 4))
+        f.adapt([BlockID(0, (0, 0))])
+        f.adapt([BlockID(1, (0, 0))])
+        f.check_balance()
+        # Coarsening the level-1 siblings of the refined block would put
+        # level-2 leaves next to a level-0 leaf.
+        parent = BlockID(0, (0, 0))
+        kids = [c for c in parent.children() if c in f.blocks]
+        s = f.adapt([], kids)
+        f.check_balance()
+        assert s.coarsened == 0
+
+    def test_refine_flag_beats_coarsen_flag(self):
+        f = forest2d()
+        f.adapt([BlockID(0, (0, 0))])
+        kid = BlockID(1, (0, 0))
+        s = f.adapt([kid], kid.siblings())
+        assert s.coarsened == 0
+        assert kid not in f.blocks  # it was refined
+
+    def test_max_level_jump_2_allows_bigger_steps(self):
+        f = forest2d(n_root=(4, 4), max_level_jump=2)
+        f.adapt([BlockID(0, (0, 0))])
+        s = f.adapt([BlockID(1, (0, 0))])
+        # With jump 2 a level-2 block may touch level-0: no cascade needed.
+        assert s.cascaded == 0
+        f.check_balance()
+
+    def test_refine_uniformly(self):
+        f = forest2d()
+        f.refine_uniformly(2)
+        assert f.n_blocks == 64
+        assert f.levels == (2, 2)
+
+    def test_refine_where_geometric(self):
+        f = forest2d(n_root=(4, 4))
+        f.refine_where(
+            lambda b: b.level < 2 and b.box.contains((0.1, 0.1)), max_rounds=8
+        )
+        f.check_balance()
+        f.check_coverage()
+        assert f.levels[1] == 2
+
+
+class TestQueriesAndStats:
+    def test_block_at(self):
+        f = forest2d()
+        f.adapt([BlockID(0, (0, 0))])
+        assert f.block_at((0.1, 0.1)).id.level == 1
+        assert f.block_at((0.9, 0.9)).id.level == 0
+        with pytest.raises(ValueError):
+            f.block_at((2.0, 0.0))
+
+    def test_sorted_ids_deterministic_and_cached(self):
+        f = forest2d()
+        ids1 = f.sorted_ids()
+        ids2 = f.sorted_ids()
+        assert ids1 == ids2
+        f.adapt([BlockID(0, (0, 0))])
+        assert f.sorted_ids() != ids1
+
+    def test_iteration_matches_sorted_order(self):
+        f = forest2d()
+        assert [b.id for b in f] == f.sorted_ids()
+
+    def test_level_histogram(self):
+        f = forest2d()
+        f.adapt([BlockID(0, (0, 0))])
+        assert f.level_histogram() == {0: 3, 1: 4}
+
+    def test_ghost_cell_ratio_decreases_with_block_size(self):
+        small = forest2d(m=(4, 4))
+        big = forest2d(m=(16, 16))
+        assert big.ghost_cell_ratio() < small.ghost_cell_ratio()
+
+    def test_adaptation_counters(self):
+        f = forest2d()
+        f.adapt([BlockID(0, (0, 0))])
+        f.adapt([], BlockID(0, (0, 0)).children())
+        assert f.n_refinements == 1
+        assert f.n_coarsenings == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=6), st.integers(1, 2))
+def test_random_adaptation_preserves_invariants(seeds, jump):
+    """Property: any sequence of random adapt calls keeps the forest
+    covering the domain with balanced levels and symmetric pointers."""
+    f = BlockForest(
+        Box((0.0, 0.0), (1.0, 1.0)),
+        (2, 2),
+        (4, 4),
+        nvar=1,
+        max_level=3,
+        max_level_jump=jump,
+    )
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        ids = list(f.blocks)
+        refine = [b for b in ids if rng.random() < 0.3]
+        coarsen = [b for b in ids if rng.random() < 0.3]
+        f.adapt(refine, coarsen)
+        f.check_balance()
+        f.check_coverage()
+    for bid, block in f.blocks.items():
+        for face, fn in block.face_neighbors.items():
+            for nid in fn.ids:
+                assert bid in f.blocks[nid].face_neighbors[face ^ 1].ids

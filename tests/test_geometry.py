@@ -1,0 +1,130 @@
+"""Tests for geometric primitives (repro.util.geometry)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.geometry import (
+    Box,
+    child_offsets,
+    face_axis,
+    face_index,
+    face_normal,
+    face_side,
+    iter_faces,
+    opposite_face,
+)
+
+
+class TestFaceEnumeration:
+    def test_axis_side_roundtrip(self):
+        for face in iter_faces(3):
+            assert face_index(face_axis(face), face_side(face)) == face
+
+    def test_opposite(self):
+        assert opposite_face(0) == 1
+        assert opposite_face(1) == 0
+        assert opposite_face(4) == 5
+
+    def test_opposite_is_involution(self):
+        for face in iter_faces(3):
+            assert opposite_face(opposite_face(face)) == face
+
+    def test_normals(self):
+        assert face_normal(0, 3) == (-1, 0, 0)
+        assert face_normal(1, 3) == (1, 0, 0)
+        assert face_normal(5, 3) == (0, 0, 1)
+
+    def test_face_count(self):
+        assert len(list(iter_faces(2))) == 4
+        assert len(list(iter_faces(3))) == 6
+
+    def test_bad_side(self):
+        with pytest.raises(ValueError):
+            face_index(0, 2)
+
+
+class TestChildOffsets:
+    def test_counts(self):
+        assert len(child_offsets(1)) == 2
+        assert len(child_offsets(2)) == 4
+        assert len(child_offsets(3)) == 8
+
+    def test_binary_order(self):
+        # Bit 0 of the child index is the x offset.
+        offs = child_offsets(3)
+        assert offs[0] == (0, 0, 0)
+        assert offs[1] == (1, 0, 0)
+        assert offs[2] == (0, 1, 0)
+        assert offs[4] == (0, 0, 1)
+        assert offs[7] == (1, 1, 1)
+
+    def test_all_distinct(self):
+        assert len(set(child_offsets(3))) == 8
+
+
+class TestBox:
+    def test_basic_properties(self):
+        b = Box((0.0, 0.0), (2.0, 4.0))
+        assert b.ndim == 2
+        assert b.widths == (2.0, 4.0)
+        assert b.center == (1.0, 2.0)
+        assert b.volume == 8.0
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Box((0.0,), (0.0,))
+        with pytest.raises(ValueError):
+            Box((1.0, 0.0), (0.0, 1.0))
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Box((0.0, 0.0), (1.0,))
+
+    def test_contains(self):
+        b = Box((0.0, 0.0), (1.0, 1.0))
+        assert b.contains((0.5, 0.5))
+        assert b.contains((0.0, 1.0))  # closed
+        assert not b.contains((1.5, 0.5))
+        assert b.contains((1.0001, 0.5), tol=0.001)
+
+    def test_overlaps(self):
+        a = Box((0.0, 0.0), (1.0, 1.0))
+        assert a.overlaps(Box((0.5, 0.5), (2.0, 2.0)))
+        # Touching faces do not overlap (zero measure).
+        assert not a.overlaps(Box((1.0, 0.0), (2.0, 1.0)))
+
+    def test_subbox_octants_tile_parent(self):
+        b = Box((0.0, 0.0, 0.0), (2.0, 2.0, 2.0))
+        subs = [b.subbox(off) for off in child_offsets(3)]
+        assert np.isclose(sum(s.volume for s in subs), b.volume)
+        assert all(s.widths == (1.0, 1.0, 1.0) for s in subs)
+        assert subs[0].lo == (0.0, 0.0, 0.0)
+        assert subs[7].lo == (1.0, 1.0, 1.0)
+
+    def test_cell_widths_and_centers(self):
+        b = Box((0.0,), (1.0,))
+        assert b.cell_widths((4,)) == (0.25,)
+        centers = b.cell_centers((4,))[0]
+        np.testing.assert_allclose(centers, [0.125, 0.375, 0.625, 0.875])
+
+    def test_meshgrid_shape(self):
+        b = Box((0.0, 0.0), (1.0, 2.0))
+        X, Y = b.meshgrid((3, 5))
+        assert X.shape == (3, 5) and Y.shape == (3, 5)
+        assert X[0, 0] == pytest.approx(1 / 6)
+        assert Y[0, 0] == pytest.approx(0.2)
+
+    @given(
+        st.floats(-10, 10),
+        st.floats(0.1, 10),
+        st.integers(1, 16),
+    )
+    def test_cell_centers_inside_box(self, lo, width, n):
+        b = Box((lo,), (lo + width,))
+        c = b.cell_centers((n,))[0]
+        assert (c > lo).all() and (c < lo + width).all()
+        # Cells are uniformly spaced by width/n.
+        if n > 1:
+            np.testing.assert_allclose(np.diff(c), width / n)

@@ -1,0 +1,96 @@
+"""Tests for checkpoint I/O (repro.amr.io)."""
+
+import numpy as np
+import pytest
+
+from repro.amr.io import grid_report, load_forest, save_forest
+from repro.core import BlockForest, BlockID, fill_ghosts
+from repro.util.geometry import Box
+
+
+def make_forest():
+    f = BlockForest(
+        Box((0.0, 0.0), (1.0, 1.0)),
+        (2, 2),
+        (4, 4),
+        nvar=3,
+        periodic=(True, False),
+        max_level=4,
+        max_level_jump=1,
+    )
+    f.adapt([BlockID(0, (0, 0))])
+    f.adapt([BlockID(1, (0, 0))])
+    rng = np.random.default_rng(11)
+    for b in f:
+        b.interior[...] = rng.random(b.interior.shape)
+    return f
+
+
+class TestRoundtrip:
+    def test_topology_and_data_preserved(self, tmp_path):
+        f = make_forest()
+        path = tmp_path / "ckpt.npz"
+        save_forest(f, path)
+        g = load_forest(path)
+        assert set(g.blocks) == set(f.blocks)
+        for bid in f.blocks:
+            np.testing.assert_array_equal(
+                g.blocks[bid].interior, f.blocks[bid].interior
+            )
+
+    def test_parameters_preserved(self, tmp_path):
+        f = make_forest()
+        path = tmp_path / "ckpt.npz"
+        save_forest(f, path)
+        g = load_forest(path)
+        assert g.m == f.m
+        assert g.n_ghost == f.n_ghost
+        assert g.periodic == f.periodic
+        assert g.max_level == f.max_level
+        assert g.domain.lo == f.domain.lo
+
+    def test_loaded_forest_is_functional(self, tmp_path):
+        f = make_forest()
+        path = tmp_path / "ckpt.npz"
+        save_forest(f, path)
+        g = load_forest(path)
+        g.check_balance()
+        g.check_coverage()
+        fill_ghosts(g)  # ghosts reconstructible
+        g.adapt([next(iter(g.blocks))])  # still adaptable
+
+    def test_uniform_forest_roundtrip(self, tmp_path):
+        f = BlockForest(Box((0.0,), (1.0,)), (3,), (6,), nvar=1)
+        for i, b in enumerate(f):
+            b.interior[...] = float(i)
+        path = tmp_path / "u.npz"
+        save_forest(f, path)
+        g = load_forest(path)
+        assert [float(b.interior[0, 0]) for b in g] == [0.0, 1.0, 2.0]
+
+
+class TestGridReport:
+    def test_contains_key_stats(self):
+        f = make_forest()
+        text = grid_report(f)
+        assert "blocks: " in text
+        assert "ghost/computational cell ratio" in text
+        assert "L0" in text and "L2" in text
+
+
+class TestHistoryCsv:
+    def test_csv_written(self, tmp_path):
+        from repro.amr import advecting_pulse
+        from repro.amr.io import history_to_csv
+
+        p = advecting_pulse(2)
+        sim = p.build()
+        sim.run(n_steps=5)
+        path = tmp_path / "hist.csv"
+        history_to_csv(sim.history, path)
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("step,time,dt")
+        assert len(lines) == 6
+        first = lines[1].split(",")
+        assert int(first[0]) == 1
+        assert float(first[2]) > 0  # dt

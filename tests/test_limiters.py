@@ -1,0 +1,90 @@
+"""Tests for TVD slope limiters (repro.solvers.limiters)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.solvers.limiters import LIMITERS, get_limiter, mc, minmod, superbee, van_leer
+
+# Magnitudes bounded away from the underflow range: products of two
+# diffs must not underflow to zero (which would legitimately zero the
+# limiter by the sign test).
+diffs = arrays(
+    np.float64,
+    (16,),
+    elements=st.floats(-1e3, 1e3, allow_nan=False).map(
+        lambda v: 0.0 if abs(v) < 1e-120 else v
+    ),
+)
+
+ALL = [minmod, van_leer, mc, superbee]
+
+
+@pytest.mark.parametrize("lim", ALL, ids=lambda f: f.__name__)
+class TestTVDProperties:
+    @given(a=diffs, b=diffs)
+    def test_zero_at_extrema(self, lim, a, b):
+        # Where the one-sided differences disagree in sign, the slope is 0.
+        s = lim(a, b)
+        disagree = a * b <= 0.0
+        np.testing.assert_allclose(s[disagree], 0.0)
+
+    @given(a=diffs, b=diffs)
+    def test_bounded_by_double_differences(self, lim, a, b):
+        s = lim(a, b)
+        bound = 2.0 * np.minimum(np.abs(a), np.abs(b)) + 1e-12
+        assert np.all(np.abs(s) <= bound)
+
+    @given(a=diffs)
+    def test_exact_on_uniform_slope(self, lim, a):
+        # a == b -> the limiter returns the common difference exactly.
+        np.testing.assert_allclose(lim(a, a), a, rtol=1e-12, atol=1e-300)
+
+    @given(a=diffs, b=diffs)
+    def test_sign_matches_data(self, lim, a, b):
+        s = lim(a, b)
+        agree = a * b > 0.0
+        assert np.all(s[agree] * a[agree] >= 0.0)
+
+
+class TestSpecificValues:
+    def test_minmod_picks_smaller(self):
+        np.testing.assert_allclose(
+            minmod(np.array([1.0]), np.array([3.0])), [1.0]
+        )
+
+    def test_van_leer_harmonic_mean(self):
+        # 2ab/(a+b) for same-sign a, b.
+        s = van_leer(np.array([1.0]), np.array([3.0]))
+        assert s[0] == pytest.approx(1.5)
+
+    def test_mc_central_in_smooth_region(self):
+        # For nearly equal differences MC returns the central average.
+        s = mc(np.array([1.0]), np.array([1.2]))
+        assert s[0] == pytest.approx(1.1)
+
+    def test_superbee_compressive(self):
+        # Superbee returns the largest admissible slope: >= minmod.
+        a, b = np.array([1.0]), np.array([0.4])
+        assert superbee(a, b)[0] >= minmod(a, b)[0]
+
+    def test_ordering_diffusive_to_compressive(self):
+        rng = np.random.default_rng(1)
+        a = rng.random(100) + 0.1
+        b = rng.random(100) + 0.1
+        assert np.all(np.abs(minmod(a, b)) <= np.abs(mc(a, b)) + 1e-12)
+        assert np.all(np.abs(mc(a, b)) <= np.abs(superbee(a, b)) + 1e-12)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(LIMITERS) == {"minmod", "van_leer", "mc", "superbee"}
+
+    def test_lookup(self):
+        assert get_limiter("minmod") is minmod
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown limiter"):
+            get_limiter("koren")

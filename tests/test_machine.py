@@ -1,0 +1,134 @@
+"""Tests for the cache simulator and Figure-5 cost model."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    ALPHA_21064_L1,
+    CacheSpec,
+    DirectMappedCache,
+    T3DCostParams,
+    fig5_model_curve,
+    stencil_misses,
+    stencil_stream,
+    time_per_cell,
+)
+
+
+class TestCacheSpec:
+    def test_t3d_geometry(self):
+        assert ALPHA_21064_L1.n_lines == 256
+        assert ALPHA_21064_L1.words_per_line == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheSpec(0, 32)
+        with pytest.raises(ValueError):
+            CacheSpec(100, 32)
+
+
+class TestDirectMappedCache:
+    def test_cold_miss_then_hit(self):
+        c = DirectMappedCache()
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(3)  # same 4-word line
+        assert not c.access(4)  # next line
+        assert c.misses == 2 and c.hits == 2
+
+    def test_conflict_eviction(self):
+        c = DirectMappedCache()
+        stride = c.spec.n_lines * c.spec.words_per_line  # same index, new tag
+        assert not c.access(0)
+        assert not c.access(stride)
+        assert not c.access(0)  # evicted by the aliasing access
+        assert c.misses == 3
+
+    def test_run_stream_matches_scalar_access(self):
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 5000, size=400)
+        c1 = DirectMappedCache()
+        c1.run_stream(stream)
+        c2 = DirectMappedCache()
+        for a in stream:
+            c2.access(int(a))
+        assert c1.misses == c2.misses
+
+    def test_sequential_stream_miss_rate(self):
+        # Pure streaming: one miss per line.
+        c = DirectMappedCache()
+        c.run_stream(np.arange(4096))
+        assert c.misses == 1024
+        assert c.miss_rate == pytest.approx(0.25)
+
+    def test_reset(self):
+        c = DirectMappedCache()
+        c.access(0)
+        c.reset()
+        assert c.accesses == 0
+        assert not c.access(0)
+
+
+class TestStencilStream:
+    def test_stream_length(self):
+        m, nvar = 4, 8
+        s = stencil_stream(m, nvar=nvar)
+        # 7 reads + 1 write per variable per cell.
+        assert len(s) == m**3 * nvar * 8
+
+    def test_subblocking_preserves_accesses(self):
+        full = stencil_stream(8)
+        tiled = stencil_stream(8, subblock=4)
+        assert len(full) == len(tiled)
+        assert sorted(full.tolist()) == sorted(tiled.tolist())
+
+    def test_padding_changes_addresses_not_count(self):
+        a = stencil_stream(4, pad=0)
+        b = stencil_stream(4, pad=1)
+        assert len(a) == len(b)
+        assert not np.array_equal(a, b)
+
+
+class TestFig5Model:
+    def test_aliasing_peak_at_12(self):
+        """The paper's 12^3 peak: padded 16^3 variable arrays alias in
+        the 8KB direct-mapped cache -> ~100% miss rate."""
+        miss12, acc12 = stencil_misses(12)
+        miss10, acc10 = stencil_misses(10)
+        assert miss12 / acc12 > 0.9
+        assert miss10 / acc10 < 0.3
+
+    def test_padding_removes_the_12_peak(self):
+        """Paper: 'the peak at 12^3 can be removed by padding the array
+        with an additional surface of cells.'"""
+        t_plain = time_per_cell(12)
+        t_padded = time_per_cell(12, pad=1)
+        assert t_padded < 0.7 * t_plain
+
+    def test_subblocking_reduces_misses_at_32(self):
+        """Paper: 'the peak at 32^3 can be reduced by data mining the
+        larger blocks into smaller ones ... optimal at sub-block size
+        14^3.'"""
+        m_full, a = stencil_misses(32)
+        m_tiled, _ = stencil_misses(32, subblock=14)
+        assert m_tiled < m_full
+
+    def test_overall_shape_drop_then_plateau(self):
+        """Fig. 5's dominant feature: time/cell drops dramatically from
+        tiny blocks (per-block overhead), then flattens."""
+        curve = fig5_model_curve([2, 4, 8, 16])
+        assert curve[2] > 2.0 * curve[8]
+        assert abs(curve[16] - curve[8]) < 0.3 * curve[8]
+
+    def test_more_than_3x_over_2cubed(self):
+        """Paper: 'more than a factor of 3 improvement over the 2x2x2
+        case' at the plateau-optimal block size."""
+        curve = fig5_model_curve([2, 16])
+        assert curve[2] / curve[16] > 2.0  # conservative bound
+
+    def test_params_scale_linearly(self):
+        p1 = T3DCostParams()
+        p2 = T3DCostParams(flops_per_cell=2 * p1.flops_per_cell)
+        t1 = time_per_cell(8, p1)
+        t2 = time_per_cell(8, p2)
+        assert t2 - t1 == pytest.approx(p1.flops_per_cell * p1.t_flop, rel=1e-6)

@@ -1,0 +1,148 @@
+"""Tests for space-filling-curve encodings (repro.util.morton)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.morton import (
+    MAX_BITS,
+    hilbert_decode2,
+    hilbert_encode2,
+    hilbert_encode3,
+    morton_decode,
+    morton_decode2,
+    morton_decode3,
+    morton_encode,
+    morton_encode2,
+    morton_encode3,
+    sfc_key,
+)
+
+coords = st.integers(min_value=0, max_value=(1 << MAX_BITS) - 1)
+
+
+class TestMorton2D:
+    def test_origin(self):
+        assert morton_encode2(0, 0) == 0
+
+    def test_unit_steps(self):
+        # Bit 0 is x, bit 1 is y.
+        assert morton_encode2(1, 0) == 1
+        assert morton_encode2(0, 1) == 2
+        assert morton_encode2(1, 1) == 3
+
+    def test_known_value(self):
+        # x=5=0b0101, y=9=0b1001 -> interleaved (y_b x_b) pairs from the
+        # high bit: 10 01 00 11 = 0b10010011 = 147.
+        assert morton_encode2(5, 9) == 0b10010011
+
+    @given(coords, coords)
+    def test_roundtrip(self, i, j):
+        assert morton_decode2(morton_encode2(i, j)) == (i, j)
+
+    def test_z_order_locality_within_quads(self):
+        # The four cells of any aligned 2x2 quad are consecutive.
+        for qi in range(4):
+            for qj in range(4):
+                keys = sorted(
+                    morton_encode2(2 * qi + a, 2 * qj + b)
+                    for a in (0, 1)
+                    for b in (0, 1)
+                )
+                assert keys == list(range(keys[0], keys[0] + 4))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode2(-1, 0)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode2(1 << MAX_BITS, 0)
+
+
+class TestMorton3D:
+    def test_unit_steps(self):
+        assert morton_encode3(1, 0, 0) == 1
+        assert morton_encode3(0, 1, 0) == 2
+        assert morton_encode3(0, 0, 1) == 4
+        assert morton_encode3(1, 1, 1) == 7
+
+    @given(coords, coords, coords)
+    @settings(max_examples=200)
+    def test_roundtrip(self, i, j, k):
+        assert morton_decode3(morton_encode3(i, j, k)) == (i, j, k)
+
+    def test_max_coordinate_roundtrips(self):
+        m = (1 << MAX_BITS) - 1
+        assert morton_decode3(morton_encode3(m, m, m)) == (m, m, m)
+
+    def test_octant_contiguity(self):
+        keys = sorted(
+            morton_encode3(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)
+        )
+        assert keys == list(range(8))
+
+
+class TestMortonGeneric:
+    @given(st.lists(coords, min_size=1, max_size=3))
+    def test_roundtrip_any_dim(self, cs):
+        key = morton_encode(tuple(cs))
+        assert morton_decode(key, len(cs)) == tuple(cs)
+
+    def test_1d_is_identity(self):
+        assert morton_encode((42,)) == 42
+
+    def test_bad_dimension(self):
+        with pytest.raises(ValueError):
+            morton_encode((1, 2, 3, 4))
+        with pytest.raises(ValueError):
+            morton_decode(0, 4)
+
+
+class TestHilbert:
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_roundtrip_2d(self, i, j):
+        d = hilbert_encode2(i, j, order=6)
+        assert hilbert_decode2(d, order=6) == (i, j)
+
+    def test_2d_is_bijection(self):
+        order = 4
+        n = 1 << order
+        seen = {hilbert_encode2(i, j, order) for i in range(n) for j in range(n)}
+        assert seen == set(range(n * n))
+
+    def test_2d_curve_is_connected(self):
+        # Consecutive curve positions are grid neighbors (distance 1).
+        order = 4
+        pts = [hilbert_decode2(d, order) for d in range((1 << order) ** 2)]
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            assert abs(x0 - x1) + abs(y0 - y1) == 1
+
+    def test_3d_is_bijection(self):
+        order = 2
+        n = 1 << order
+        seen = {
+            hilbert_encode3(i, j, k, order)
+            for i in range(n)
+            for j in range(n)
+            for k in range(n)
+        }
+        assert seen == set(range(n ** 3))
+
+    def test_out_of_grid_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_encode2(4, 0, order=2)
+
+
+class TestSfcKey:
+    def test_levels_do_not_collide(self):
+        k0 = sfc_key((3, 3), 0)
+        k1 = sfc_key((3, 3), 1)
+        assert k0 != k1 and k1 > k0
+
+    def test_hilbert_variant(self):
+        assert sfc_key((1, 2), 1, curve="hilbert") != sfc_key((2, 1), 1, curve="hilbert")
+
+    def test_unknown_curve(self):
+        with pytest.raises(ValueError):
+            sfc_key((0, 0), 0, curve="peano")

@@ -1,0 +1,306 @@
+"""Tests for the simulated parallel machine and partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockForest, BlockID
+from repro.parallel import (
+    CRAY_T3D,
+    MachineSpec,
+    MessageSchedule,
+    ParallelCostConfig,
+    ParallelSimulation,
+    VirtualMachine,
+    build_schedule,
+    fixed_size_speedup,
+    gflops,
+    migration_plan,
+    partition_cut_fraction,
+    partition_imbalance,
+    rebalance,
+    round_robin_partition,
+    scaled_efficiency,
+    sfc_partition,
+)
+from repro.util.geometry import Box
+
+
+def forest2d(n_root=(4, 4), m=(4, 4), **kw):
+    return BlockForest(Box((0.0, 0.0), (1.0, 1.0)), n_root, m, nvar=1, **kw)
+
+
+class TestVirtualMachine:
+    def test_compute_charges_one_rank(self):
+        vm = VirtualMachine(4)
+        vm.compute(1, 0.5)
+        t = vm.finish_step()
+        assert t == pytest.approx(0.5 + vm.spec.barrier_time(4))
+        assert np.all(vm.clock == vm.clock[0])  # barrier synchronized
+
+    def test_message_charges_both_endpoints(self):
+        vm = VirtualMachine(2, MachineSpec("t", 1e-8, 1e-5, 1e-8, 0, 0))
+        vm.message(0, 1, 1000)
+        expect = 1e-5 + 1000 * 1e-8
+        assert vm.clock[0] == pytest.approx(expect)
+        assert vm.clock[1] == pytest.approx(expect)
+
+    def test_local_message_free(self):
+        vm = VirtualMachine(2)
+        vm.message(0, 0, 10**6)
+        assert vm.clock[0] == 0.0
+
+    def test_step_time_is_slowest_rank(self):
+        vm = VirtualMachine(3, MachineSpec("t", 1e-8, 0, 0, 0, 0))
+        vm.compute(0, 0.1)
+        vm.compute(1, 0.3)
+        assert vm.finish_step() == pytest.approx(0.3)
+        assert vm.totals["wait"] == pytest.approx(0.3 + 0.2 + 0.0)
+
+    def test_bad_rank(self):
+        vm = VirtualMachine(2)
+        with pytest.raises(IndexError):
+            vm.compute(2, 1.0)
+        with pytest.raises(ValueError):
+            VirtualMachine(0)
+
+    def test_barrier_grows_with_log_p(self):
+        assert CRAY_T3D.barrier_time(512) > CRAY_T3D.barrier_time(2)
+        assert CRAY_T3D.barrier_time(1) == 0.0
+
+
+class TestPartition:
+    def test_sfc_all_blocks_assigned(self):
+        f = forest2d()
+        a = sfc_partition(f, 4)
+        assert set(a) == set(f.blocks)
+        assert set(a.values()) == {0, 1, 2, 3}
+
+    def test_sfc_balanced_for_uniform_forest(self):
+        f = forest2d()
+        a = sfc_partition(f, 4)
+        assert partition_imbalance(f, a, 4) == pytest.approx(1.0)
+
+    def test_sfc_contiguous_along_curve(self):
+        f = forest2d()
+        a = sfc_partition(f, 4)
+        ranks = [a[b] for b in f.sorted_ids()]
+        assert ranks == sorted(ranks)
+
+    def test_sfc_better_locality_than_round_robin(self):
+        f = forest2d((8, 8))
+        sfc = sfc_partition(f, 8)
+        rr = round_robin_partition(f, 8)
+        assert partition_cut_fraction(f, sfc) < partition_cut_fraction(f, rr)
+
+    def test_single_rank_no_cut(self):
+        f = forest2d()
+        a = sfc_partition(f, 1)
+        assert partition_cut_fraction(f, a) == 0.0
+
+    def test_weighted_partition(self):
+        f = forest2d((4, 1), m=(4, 4))
+        ids = f.sorted_ids()
+        weights = {b: (10.0 if i == 0 else 1.0) for i, b in enumerate(ids)}
+        a = sfc_partition(f, 2, weights=weights)
+        # The heavy block gets its own rank side; imbalance stays modest
+        # compared with an unweighted split.
+        unweighted = sfc_partition(f, 2)
+        imb_w = partition_imbalance(f, a, 2, weights=weights)
+        imb_u = partition_imbalance(f, unweighted, 2, weights=weights)
+        assert imb_w <= imb_u
+
+    def test_adapted_forest_imbalance_bounded(self):
+        f = forest2d()
+        f.adapt([BlockID(0, (0, 0))])
+        a = sfc_partition(f, 3)
+        assert partition_imbalance(f, a, 3) < 2.0
+
+
+class TestSchedule:
+    def test_single_rank_all_local(self):
+        f = forest2d()
+        s = build_schedule(f, sfc_partition(f, 1))
+        assert s.n_messages == 0
+        assert s.local_transfers == s.total_transfers > 0
+
+    def test_aggregation_reduces_messages(self):
+        f = forest2d((8, 8))
+        a = sfc_partition(f, 8)
+        agg = build_schedule(f, a, aggregate=True)
+        per = build_schedule(f, a, aggregate=False)
+        assert agg.total_bytes == per.total_bytes
+        assert agg.n_messages < per.n_messages
+        assert agg.n_messages == len(agg.pair_bytes)
+
+    def test_messages_iterator_conserves_bytes(self):
+        f = forest2d((8, 8))
+        a = sfc_partition(f, 8)
+        for aggregate in (True, False):
+            s = build_schedule(f, a, aggregate=aggregate)
+            msgs = list(s.messages())
+            assert len(msgs) == s.n_messages
+            assert sum(b for _, _, b in msgs) == s.total_bytes
+
+    def test_nvar_scales_bytes(self):
+        f = forest2d((4, 4))
+        a = sfc_partition(f, 4)
+        s1 = build_schedule(f, a, nvar=1)
+        s8 = build_schedule(f, a, nvar=8)
+        assert s8.total_bytes == 8 * s1.total_bytes
+
+    def test_faces_only_less_traffic(self):
+        f = forest2d((4, 4))
+        a = sfc_partition(f, 4)
+        full = build_schedule(f, a, fill_corners=True)
+        faces = build_schedule(f, a, fill_corners=False)
+        assert faces.total_bytes < full.total_bytes
+
+
+class TestRebalance:
+    def test_migration_plan_after_refinement(self):
+        f = forest2d()
+        old = sfc_partition(f, 4)
+        f.adapt([BlockID(0, (0, 0))])
+        new = rebalance(f, 4)
+        moves = migration_plan(old, new)
+        # Moves only include blocks present in both assignments.
+        for bid, src, dst in moves:
+            assert old[bid] == src and new[bid] == dst and src != dst
+
+    def test_rebalance_restores_balance(self):
+        f = forest2d((2, 2))
+        f.adapt(list(f.blocks))  # uniform refine: 16 blocks
+        a = rebalance(f, 4)
+        assert partition_imbalance(f, a, 4) == pytest.approx(1.0)
+
+
+class TestParallelSimulation:
+    def test_step_time_positive_and_reported(self):
+        f = forest2d()
+        sim = ParallelSimulation(f, 4)
+        rep = sim.run(3)
+        assert rep.time_per_step > 0
+        assert rep.n_steps == 3
+        assert 0 < rep.parallel_utilization <= 1
+
+    def test_more_ranks_same_forest_is_faster(self):
+        times = {}
+        for p in (1, 4, 16):
+            f = forest2d((8, 8))
+            sim = ParallelSimulation(f, p)
+            times[p] = sim.run(3).time_per_step
+        assert times[16] < times[4] < times[1]
+
+    def test_scaled_efficiency_high(self):
+        """Fig 6 sanity: constant work/PE keeps efficiency near 1."""
+        times = {}
+        for p, n in ((1, (2, 2)), (4, (4, 4)), (16, (8, 8))):
+            f = forest2d(n, m=(8, 8))
+            sim = ParallelSimulation(f, p)
+            times[p] = sim.run(3).time_per_step
+        eff = scaled_efficiency(times)
+        assert eff[1] == 1.0
+        assert eff[16] > 0.75
+
+    def test_fixed_speedup_monotone(self):
+        """Fig 7 sanity: fixed problem speeds up with more PEs."""
+        times = {}
+        for p in (4, 8, 16):
+            f = forest2d((8, 8), m=(8, 8))
+            sim = ParallelSimulation(f, p)
+            times[p] = sim.run(3).time_per_step
+        sp = fixed_size_speedup(times, base=4)
+        assert sp[4] == 1.0
+        assert 1.0 < sp[8] <= 2.1
+        assert sp[16] > sp[8]
+
+    def test_adapt_charges_time_and_updates_assignment(self):
+        f = forest2d()
+        sim = ParallelSimulation(f, 4)
+        t = sim.adapt(refine=[BlockID(0, (0, 0))])
+        assert t > 0
+        assert set(sim.assignment) == set(f.blocks)
+
+    def test_imbalanced_assignment_slows_step(self):
+        f = forest2d((4, 4))
+        sim = ParallelSimulation(f, 4)
+        t_balanced = sim.run(1).time_per_step
+        # Pile everything onto rank 0.
+        sim.assignment = {bid: 0 for bid in f.blocks}
+        sim.invalidate()
+        t_imbalanced = sim.run(1).time_per_step
+        assert t_imbalanced > 2.0 * t_balanced
+
+    def test_total_flops(self):
+        f = forest2d()
+        sim = ParallelSimulation(f, 2)
+        expect = f.n_cells * sim.cost.flops_per_cell_per_step * 5
+        assert sim.total_flops(5) == pytest.approx(expect)
+
+
+class TestMetrics:
+    def test_scaled_efficiency_requires_base(self):
+        with pytest.raises(ValueError):
+            scaled_efficiency({2: 1.0}, base=1)
+
+    def test_fixed_speedup_values(self):
+        sp = fixed_size_speedup({64: 8.0, 128: 4.0, 256: 2.5}, base=64)
+        assert sp[64] == 1.0
+        assert sp[128] == pytest.approx(2.0)
+        assert sp[256] == pytest.approx(3.2)
+
+    def test_gflops(self):
+        assert gflops(17e9, 1.0) == pytest.approx(17.0)
+        assert gflops(1.0, 0.0) == 0.0
+
+
+class TestTorusTopology:
+    def test_shape_factorization(self):
+        from repro.parallel import TorusTopology
+
+        assert TorusTopology(512).shape == (8, 8, 8)
+        assert TorusTopology(64).shape == (4, 4, 4)
+        assert TorusTopology(2).shape == (2, 1, 1)
+        dx, dy, dz = TorusTopology(100).shape
+        assert dx * dy * dz == 100
+
+    def test_coords_bijective(self):
+        from repro.parallel import TorusTopology
+
+        t = TorusTopology(24)
+        seen = {t.coords(r) for r in range(24)}
+        assert len(seen) == 24
+
+    def test_hops_metric_properties(self):
+        from repro.parallel import TorusTopology
+
+        t = TorusTopology(64)
+        for a, b in ((0, 0), (3, 17), (5, 63)):
+            assert t.hops(a, b) == t.hops(b, a)  # symmetric
+        assert t.hops(7, 7) == 0
+        # Wraparound: opposite corners are close on a torus.
+        far = max(t.hops(0, r) for r in range(64))
+        assert far <= 3 * 2  # at most extent/2 per dimension
+
+    def test_route_time_scales_with_hops(self):
+        from repro.parallel import TorusTopology
+
+        t = TorusTopology(64, hop_time=1e-6)
+        assert t.route_time(0, 1) == pytest.approx(1e-6)
+        assert t.route_time(0, 0) == 0.0
+
+    def test_topology_slows_remote_messages(self):
+        from repro.parallel import TorusTopology, VirtualMachine
+
+        spec = MachineSpec("t", 1e-8, 1e-6, 1e-8, 0.0, 0.0)
+        plain = VirtualMachine(64, spec)
+        routed = VirtualMachine(64, spec, topology=TorusTopology(64, hop_time=1e-5))
+        plain.message(0, 63, 100)
+        routed.message(0, 63, 100)
+        assert routed.clock[0] > plain.clock[0]
+
+    def test_invalid_rank_count(self):
+        from repro.parallel import TorusTopology
+
+        with pytest.raises(ValueError):
+            TorusTopology(0)

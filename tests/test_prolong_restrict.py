@@ -1,0 +1,148 @@
+"""Tests for the prolongation/restriction operators.
+
+The operators carry the library's conservation invariant: restriction is
+exactly conservative, prolongation preserves block totals, and a
+refine→coarsen round trip is the identity on cell means.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.prolong import minmod, prolong_inject, prolong_linear
+from repro.core.restrict import restrict_mean
+
+
+def finite_arrays(shape):
+    return arrays(
+        np.float64,
+        shape,
+        elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+    )
+
+
+class TestRestrict:
+    def test_mean_2d(self):
+        fine = np.arange(16, dtype=float).reshape(1, 4, 4)
+        coarse = restrict_mean(fine, 2)
+        assert coarse.shape == (1, 2, 2)
+        assert coarse[0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+        assert coarse[0, 1, 1] == pytest.approx((10 + 11 + 14 + 15) / 4)
+
+    def test_constant_preserved(self):
+        fine = np.full((3, 4, 4, 4), 2.5)
+        np.testing.assert_allclose(restrict_mean(fine, 3), 2.5)
+
+    def test_odd_extent_rejected(self):
+        with pytest.raises(ValueError):
+            restrict_mean(np.zeros((1, 3, 4)), 2)
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            restrict_mean(np.zeros((1, 4, 4)), 3)
+
+    @given(finite_arrays((2, 4, 6)))
+    def test_conservation(self, fine):
+        coarse = restrict_mean(fine, 2)
+        # Total = mean * volume; each coarse cell has 4x the fine volume.
+        np.testing.assert_allclose(
+            coarse.sum(axis=(1, 2)) * 4, fine.sum(axis=(1, 2)), rtol=1e-12, atol=1e-9
+        )
+
+    @given(finite_arrays((1, 4, 4)))
+    def test_bounded_by_extremes(self, fine):
+        coarse = restrict_mean(fine, 2)
+        assert coarse.min() >= fine.min() - 1e-9
+        assert coarse.max() <= fine.max() + 1e-9
+
+
+class TestProlongInject:
+    def test_shapes(self):
+        out = prolong_inject(np.zeros((2, 3, 5)), 2)
+        assert out.shape == (2, 6, 10)
+
+    def test_values_duplicated(self):
+        coarse = np.array([[1.0, 2.0]])  # (nvar=1, n=2)
+        out = prolong_inject(coarse, 1)
+        np.testing.assert_allclose(out, [[1.0, 1.0, 2.0, 2.0]])
+
+    @given(finite_arrays((1, 3, 3)))
+    def test_roundtrip_identity(self, coarse):
+        # restrict(inject(x)) == x exactly.
+        np.testing.assert_allclose(
+            restrict_mean(prolong_inject(coarse, 2), 2), coarse, rtol=1e-15
+        )
+
+
+class TestMinmod:
+    def test_same_sign_takes_smaller(self):
+        a = np.array([1.0, -3.0])
+        b = np.array([2.0, -1.0])
+        np.testing.assert_allclose(minmod(a, b), [1.0, -1.0])
+
+    def test_opposite_signs_zero(self):
+        np.testing.assert_allclose(minmod(np.array([1.0]), np.array([-2.0])), [0.0])
+
+    def test_zero_argument_gives_zero(self):
+        np.testing.assert_allclose(minmod(np.array([0.0]), np.array([5.0])), [0.0])
+
+
+class TestProlongLinear:
+    def test_shapes(self):
+        out = prolong_linear(np.zeros((2, 5, 6)), 2)
+        assert out.shape == (2, 6, 8)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            prolong_linear(np.zeros((1, 2, 4)), 2)
+
+    def test_exact_on_linear_1d(self):
+        # q(x) = x at coarse centers 0.5, 1.5, ... -> fine centers exact.
+        coarse = np.arange(6, dtype=float)[np.newaxis] + 0.5
+        fine = prolong_linear(coarse, 1, limited=False)
+        expect = 0.5 * (np.arange(8) + 0.5) + 1.0  # interior covers coarse 1..4
+        np.testing.assert_allclose(fine[0], expect)
+
+    def test_limited_exact_on_linear(self):
+        # For monotone linear data the minmod slopes equal the true slope.
+        coarse = 3.0 * (np.arange(6, dtype=float)[np.newaxis] + 0.5)
+        fine_lim = prolong_linear(coarse, 1, limited=True)
+        fine_unlim = prolong_linear(coarse, 1, limited=False)
+        np.testing.assert_allclose(fine_lim, fine_unlim)
+
+    def test_exact_on_multilinear_2d(self):
+        x = np.arange(5) + 0.5
+        y = np.arange(6) + 0.5
+        X, Y = np.meshgrid(x, y, indexing="ij")
+        coarse = (2 * X - 3 * Y)[np.newaxis]
+        fine = prolong_linear(coarse, 2, limited=False)
+        xf = 0.5 * (np.arange(6) + 0.5) + 1.0
+        yf = 0.5 * (np.arange(8) + 0.5) + 1.0
+        Xf, Yf = np.meshgrid(xf, yf, indexing="ij")
+        np.testing.assert_allclose(fine[0], 2 * Xf - 3 * Yf, rtol=1e-13)
+
+    @given(finite_arrays((1, 5, 5)))
+    @settings(max_examples=50)
+    def test_conservation(self, coarse):
+        # Sum over each 2x2 fine group equals 4x the coarse value: the
+        # +/- slope contributions cancel pairwise.
+        fine = prolong_linear(coarse, 2)
+        grouped = restrict_mean(fine, 2)
+        np.testing.assert_allclose(
+            grouped, coarse[:, 1:-1, 1:-1], rtol=1e-12, atol=1e-9
+        )
+
+    @given(finite_arrays((1, 6, 4)))
+    @settings(max_examples=50)
+    def test_limited_no_new_extrema(self, coarse):
+        # Minmod-limited prolongation stays within the local data range.
+        fine = prolong_linear(coarse, 2, limited=True)
+        assert fine.max() <= coarse.max() + 1e-9
+        assert fine.min() >= coarse.min() - 1e-9
+
+    def test_constant_preserved_3d(self):
+        coarse = np.full((2, 4, 4, 4), -7.5)
+        fine = prolong_linear(coarse, 3)
+        np.testing.assert_allclose(fine, -7.5)

@@ -1,0 +1,189 @@
+"""Tests for refinement criteria (repro.core.refine_criteria)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockForest, BlockID, fill_ghosts
+from repro.core.refine_criteria import (
+    MonitorCriterion,
+    RefinementCriterion,
+    buffer_flags,
+    compute_flags,
+    curvature_indicator,
+    geometric_indicator,
+    gradient_indicator,
+)
+from repro.amr.boundary import ExtrapolationBC
+from repro.util.geometry import Box
+
+BC = ExtrapolationBC()
+
+
+def make_forest(m=8, n_root=4):
+    # Non-periodic: periodic wrap would add a seam discontinuity that
+    # the sensors (correctly) flag, muddying the assertions.
+    return BlockForest(
+        Box((0.0, 0.0), (1.0, 1.0)), (n_root, n_root), (m, m), nvar=1,
+        n_ghost=2,
+    )
+
+
+def set_step_field(forest, edge=0.5):
+    """Sharp step at x = edge (after ghost fill the sensor sees it)."""
+    for b in forest:
+        X, _ = b.meshgrid()
+        b.interior[0] = np.where(X < edge, 1.0, 0.0)
+    fill_ghosts(forest, bc=BC)
+
+
+class TestGradientIndicator:
+    def test_zero_on_constant(self):
+        f = make_forest()
+        for b in f:
+            b.interior[0] = 3.0
+        fill_ghosts(f, bc=BC)
+        for b in f:
+            assert gradient_indicator(b, lambda d: d[0]) == 0.0
+
+    def test_detects_step(self):
+        f = make_forest()
+        set_step_field(f)
+        vals = {b.id: gradient_indicator(b, lambda d: d[0], scale=1.0) for b in f}
+        at_step = [v for bid, v in vals.items()
+                   if f.blocks[bid].box.lo[0] <= 0.5 <= f.blocks[bid].box.hi[0]]
+        far = [v for bid, v in vals.items()
+               if f.blocks[bid].box.hi[0] < 0.45]
+        # The forward-difference sensor catches the step from the left
+        # side; blocks just right of it legitimately read zero.
+        assert max(at_step) > 0.9
+        assert max(far) < 0.1
+
+    def test_resolution_halves_smooth_gradient(self):
+        # Undivided differences: refining a smooth ramp halves the value.
+        vals = {}
+        for m in (8, 16):
+            f = make_forest(m=m, n_root=2)
+            for b in f:
+                X, _ = b.meshgrid()
+                b.interior[0] = X
+            fill_ghosts(f, bc=BC)
+            b = next(iter(f))
+            vals[m] = gradient_indicator(b, lambda d: d[0], scale=1.0)
+        assert vals[16] == pytest.approx(vals[8] / 2, rel=1e-10)
+
+
+class TestCurvatureIndicator:
+    def test_zero_on_linear(self):
+        f = make_forest()
+        for b in f:
+            X, Y = b.meshgrid()
+            b.interior[0] = 2 * X - Y
+        fill_ghosts(f, bc=BC)
+        for b in f:
+            assert curvature_indicator(b, lambda d: d[0], scale=1.0) < 1e-10
+
+    def test_near_one_at_discontinuity(self):
+        f = make_forest()
+        set_step_field(f)
+        best = max(
+            curvature_indicator(b, lambda d: d[0], scale=1.0) for b in f
+        )
+        assert best > 0.8
+
+    def test_global_scale_suppresses_weak_tails(self):
+        f = make_forest(n_root=2)
+        for b in f:
+            X, Y = b.meshgrid()
+            b.interior[0] = np.exp(-200 * ((X - 0.25) ** 2 + (Y - 0.25) ** 2))
+        fill_ghosts(f, bc=BC)
+        far = f.blocks[BlockID(0, (1, 1))]
+        local = curvature_indicator(far, lambda d: d[0])          # block scale
+        scaled = curvature_indicator(far, lambda d: d[0], scale=1.0)  # global
+        assert scaled < 0.05         # negligible relative to the pulse
+        assert scaled < 0.2 * local  # block-local scale overstates it
+
+
+class TestGeometricIndicator:
+    def test_overlapping_sphere(self):
+        f = make_forest(n_root=2)
+        b = f.blocks[BlockID(0, (0, 0))]  # covers [0, 0.5]^2
+        assert geometric_indicator(b, (0.25, 0.25), 0.1) == 1.0
+        assert geometric_indicator(b, (0.9, 0.9), 0.1) == 0.0
+        # Sphere touching the block edge counts.
+        assert geometric_indicator(b, (0.6, 0.25), 0.1) == 1.0
+
+
+class TestCriteria:
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            MonitorCriterion(lambda d: d[0], 0.1, 0.5)
+        with pytest.raises(ValueError):
+            RefinementCriterion(lambda b: 0.0, 0.1, 0.5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MonitorCriterion(lambda d: d[0], 0.5, 0.1, kind="wavelet")
+
+    def test_monitor_flags_the_feature(self):
+        f = make_forest()
+        set_step_field(f)
+        crit = MonitorCriterion(lambda d: d[0], 0.5, 0.05)
+        refine, coarsen, values = crit.evaluate(f)
+        assert refine
+        for bid in refine:
+            box = f.blocks[bid].box
+            assert box.lo[0] <= 0.5 + 0.13 and box.hi[0] >= 0.5 - 0.13
+
+    def test_max_level_respected(self):
+        f = make_forest()
+        set_step_field(f)
+        crit = MonitorCriterion(lambda d: d[0], 0.5, 0.05, max_level=0)
+        refine, _, _ = crit.evaluate(f)
+        assert refine == []
+
+    def test_min_level_blocks_coarsening(self):
+        f = make_forest()
+        for b in f:
+            b.interior[0] = 1.0
+        fill_ghosts(f, bc=BC)
+        crit = MonitorCriterion(lambda d: d[0], 0.5, 0.05, min_level=0)
+        _, coarsen, _ = crit.evaluate(f)
+        assert coarsen == []  # already at min level
+
+    def test_gradient_kind(self):
+        f = make_forest()
+        set_step_field(f)
+        crit = MonitorCriterion(lambda d: d[0], 0.5, 0.05, kind="gradient")
+        refine, _, _ = crit.evaluate(f)
+        assert refine
+
+
+class TestBufferFlags:
+    def test_adds_one_ring(self):
+        f = make_forest()
+        seed = [BlockID(0, (1, 1))]
+        out = buffer_flags(f, seed, band=1)
+        assert BlockID(0, (0, 1)) in out
+        assert BlockID(0, (2, 1)) in out
+        assert BlockID(0, (1, 0)) in out
+        assert BlockID(0, (1, 2)) in out
+        assert len(out) == 5
+
+    def test_band_zero_is_identity(self):
+        f = make_forest()
+        seed = [BlockID(0, (1, 1))]
+        assert buffer_flags(f, seed, band=0) == seed
+
+    def test_band_two_reaches_farther(self):
+        f = make_forest()
+        seed = [BlockID(0, (1, 1))]
+        out2 = buffer_flags(f, seed, band=2)
+        assert BlockID(0, (3, 1)) in out2
+        assert len(out2) > len(buffer_flags(f, seed, band=1))
+
+    def test_compute_flags_removes_conflicts(self):
+        f = make_forest()
+        set_step_field(f)
+        crit = MonitorCriterion(lambda d: d[0], 0.5, 0.4)
+        refine, coarsen = compute_flags(f, crit, buffer_band=1)
+        assert not set(refine) & set(coarsen)

@@ -1,0 +1,121 @@
+"""Tests for forest sampling/diagnostics (repro.amr.sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.amr import advecting_pulse
+from repro.amr.sampling import (
+    ProbeSeries,
+    integrate,
+    line_cut,
+    resample_uniform,
+    sample_points,
+)
+from repro.core import BlockForest, BlockID
+from repro.util.geometry import Box
+
+
+def make_forest(refine=True):
+    f = BlockForest(
+        Box((0.0, 0.0), (1.0, 1.0)), (2, 2), (4, 4), nvar=2, n_ghost=2
+    )
+    if refine:
+        f.adapt([BlockID(0, (0, 0))])
+    for b in f:
+        X, Y = b.meshgrid()
+        b.interior[0] = X
+        b.interior[1] = 3.0
+    return f
+
+
+class TestResample:
+    def test_shape(self):
+        f = make_forest()
+        out = resample_uniform(f, 1)
+        assert out.shape == (2, 16, 16)
+
+    def test_constant_exact_at_any_level(self):
+        f = make_forest()
+        for level in (0, 1, 2):
+            out = resample_uniform(f, level, var=1)
+            np.testing.assert_allclose(out, 3.0)
+
+    def test_restriction_conserves_mean(self):
+        f = make_forest()
+        fine = resample_uniform(f, 2, var=0)
+        coarse = resample_uniform(f, 0, var=0)
+        assert fine.mean() == pytest.approx(coarse.mean(), rel=1e-12)
+
+    def test_matches_cell_values_same_level(self):
+        f = make_forest(refine=False)
+        out = resample_uniform(f, 0, var=0)
+        b = f.blocks[BlockID(0, (1, 1))]
+        np.testing.assert_allclose(out[4:8, 4:8], b.interior[0])
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            resample_uniform(make_forest(), -1)
+
+
+class TestSamplePoints:
+    def test_values(self):
+        f = make_forest()
+        vals = sample_points(f, [(0.1, 0.1), (0.9, 0.9)])
+        assert vals.shape == (2, 2)
+        np.testing.assert_allclose(vals[1], 3.0)
+        # var 0 is x at the containing cell center: close to the query x.
+        assert abs(vals[0, 0] - 0.1) < 0.1
+        assert abs(vals[0, 1] - 0.9) < 0.1
+
+    def test_line_cut(self):
+        f = make_forest()
+        xs, vals = line_cut(f, 0, (0.0, 0.3), n=32)
+        assert xs.shape == (32,)
+        assert vals.shape == (2, 32)
+        # x-values increase monotonically along the x cut.
+        assert np.all(np.diff(vals[0]) >= -1e-12)
+
+    def test_line_cut_bad_axis(self):
+        with pytest.raises(ValueError):
+            line_cut(make_forest(), 2, (0.0, 0.0))
+
+
+class TestIntegrate:
+    def test_conserved_totals(self):
+        f = make_forest(refine=False)
+        totals = integrate(f)
+        # var 1 is the constant 3 over the unit square.
+        assert totals[1] == pytest.approx(3.0, rel=1e-12)
+        # var 0 is x: integral = 1/2.
+        assert totals[0] == pytest.approx(0.5, rel=1e-3)
+
+    def test_custom_function(self):
+        f = make_forest(refine=False)
+        sq = integrate(f, lambda u: u[1:2] ** 2)
+        assert sq[0] == pytest.approx(9.0, rel=1e-12)
+
+    def test_refinement_invariance(self):
+        a = integrate(make_forest(refine=False))
+        b = integrate(make_forest(refine=True))
+        np.testing.assert_allclose(a, b, rtol=1e-3)
+
+
+class TestProbeSeries:
+    def test_as_driver_hook(self):
+        p = advecting_pulse(2)
+        sim = p.build(adaptive=False)
+        probe = ProbeSeries(points=[(0.5, 0.5)], every=2)
+        sim.hook = probe
+        sim.run(n_steps=6)
+        assert len(probe.times) == 3
+        t, v = probe.series(var=0)
+        assert t.shape == v.shape == (3,)
+        # The pulse peak decays at the center as it advects away.
+        assert v[-1] <= v[0] + 1e-12
+
+    def test_manual_sampling(self):
+        f = make_forest()
+        probe = ProbeSeries(points=[(0.25, 0.25), (0.75, 0.75)])
+        probe.sample(f, time=1.0)
+        assert probe.times == [1.0]
+        assert probe.values[0].shape == (2, 2)

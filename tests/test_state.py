@@ -1,0 +1,172 @@
+"""Tests for variable layouts and conversions (repro.solvers.state)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.solvers.state import DEFAULT_GAMMA, EulerLayout, MHDLayout, P_FLOOR, RHO_FLOOR
+
+
+def physical_prims_euler(ndim, n=8):
+    """Strategy: physically valid Euler primitive arrays."""
+    pos = st.floats(1e-3, 1e3, allow_nan=False)
+    vel = st.floats(-100, 100, allow_nan=False)
+    rows = [arrays(np.float64, (n,), elements=pos)]
+    rows += [arrays(np.float64, (n,), elements=vel) for _ in range(ndim)]
+    rows += [arrays(np.float64, (n,), elements=pos)]
+    return st.tuples(*rows).map(lambda rs: np.stack(rs))
+
+
+def physical_prims_mhd(n=8):
+    pos = st.floats(1e-3, 1e3, allow_nan=False)
+    sym = st.floats(-50, 50, allow_nan=False)
+    rows = [arrays(np.float64, (n,), elements=pos)]
+    rows += [arrays(np.float64, (n,), elements=sym) for _ in range(3)]
+    rows += [arrays(np.float64, (n,), elements=pos)]
+    rows += [arrays(np.float64, (n,), elements=sym) for _ in range(3)]
+    return st.tuples(*rows).map(lambda rs: np.stack(rs))
+
+
+class TestEulerLayout:
+    def test_nvar(self):
+        assert EulerLayout(1).nvar == 3
+        assert EulerLayout(2).nvar == 4
+        assert EulerLayout(3).nvar == 5
+
+    @given(physical_prims_euler(2))
+    @settings(max_examples=50)
+    def test_prim_cons_roundtrip(self, w):
+        lay = EulerLayout(2)
+        # Pressure recovery subtracts the kinetic energy, so the absolute
+        # tolerance must cover cancellation at machine precision when the
+        # kinetic energy dwarfs the pressure (KE ~ 1e6 here).
+        np.testing.assert_allclose(
+            lay.cons_to_prim(lay.prim_to_cons(w)), w, rtol=1e-8, atol=1e-6
+        )
+
+    def test_known_energy(self):
+        lay = EulerLayout(1, gamma=1.4)
+        w = np.array([[1.0], [2.0], [1.0]])  # rho=1, u=2, p=1
+        u = lay.prim_to_cons(w)
+        assert u[0, 0] == 1.0
+        assert u[1, 0] == 2.0
+        assert u[2, 0] == pytest.approx(1.0 / 0.4 + 0.5 * 4.0)
+
+    def test_pressure_floor(self):
+        lay = EulerLayout(1)
+        # Negative internal energy -> pressure floored.
+        u = np.array([[1.0], [10.0], [1.0]])  # huge KE, tiny E
+        w = lay.cons_to_prim(u)
+        assert w[2, 0] == P_FLOOR
+
+    def test_density_floor(self):
+        lay = EulerLayout(1)
+        u = np.array([[0.0], [0.0], [1.0]])
+        w = lay.cons_to_prim(u)
+        assert w[0, 0] == RHO_FLOOR
+
+    def test_sound_speed(self):
+        lay = EulerLayout(1, gamma=1.4)
+        w = np.array([[1.0], [0.0], [1.0]])
+        assert lay.sound_speed(w)[0] == pytest.approx(np.sqrt(1.4))
+
+    def test_flux_mass_is_momentum(self):
+        lay = EulerLayout(2)
+        w = np.array([[2.0], [3.0], [-1.0], [5.0]])
+        f = lay.flux(w, 0)
+        assert f[0, 0] == pytest.approx(6.0)
+        # Momentum flux includes pressure on its own axis only.
+        assert f[1, 0] == pytest.approx(2 * 3 * 3 + 5)
+        assert f[2, 0] == pytest.approx(2 * 3 * (-1))
+
+    def test_max_signal_speed(self):
+        lay = EulerLayout(1, gamma=1.4)
+        u = lay.prim_to_cons(np.array([[1.0], [3.0], [1.0]]))
+        assert lay.max_signal_speed(u) == pytest.approx(3.0 + np.sqrt(1.4))
+
+
+class TestMHDLayout:
+    @given(physical_prims_mhd())
+    @settings(max_examples=50)
+    def test_prim_cons_roundtrip(self, w):
+        lay = MHDLayout()
+        np.testing.assert_allclose(
+            lay.cons_to_prim(lay.prim_to_cons(w)), w, rtol=1e-9, atol=1e-8
+        )
+
+    def test_energy_includes_magnetic(self):
+        lay = MHDLayout(gamma=2.0)
+        w = np.zeros((8, 1))
+        w[0] = 1.0
+        w[4] = 1.0
+        w[5] = 2.0  # Bx
+        u = lay.prim_to_cons(w)
+        assert u[4, 0] == pytest.approx(1.0 / 1.0 + 0.5 * 4.0)
+
+    def test_fast_speed_reduces_to_sound_without_field(self):
+        lay = MHDLayout(gamma=5 / 3)
+        w = np.zeros((8, 1))
+        w[0] = 1.0
+        w[4] = 1.0
+        cf = lay.fast_speed(w, 0)
+        assert cf[0] == pytest.approx(np.sqrt(5 / 3))
+
+    def test_fast_speed_perpendicular_field(self):
+        # B perpendicular to the axis: cf^2 = a^2 + vA^2.
+        lay = MHDLayout(gamma=5 / 3)
+        w = np.zeros((8, 1))
+        w[0] = 1.0
+        w[4] = 1.0
+        w[6] = 3.0  # By, axis=0
+        cf = lay.fast_speed(w, 0)
+        assert cf[0] == pytest.approx(np.sqrt(5 / 3 + 9.0))
+
+    def test_fast_speed_exceeds_alfven_along_field(self):
+        lay = MHDLayout()
+        w = np.zeros((8, 1))
+        w[0] = 4.0
+        w[4] = 0.01
+        w[5] = 2.0
+        cf = lay.fast_speed(w, 0)
+        v_alfven = 2.0 / 2.0
+        assert cf[0] >= v_alfven - 1e-12
+
+    def test_normal_flux_of_normal_b_is_zero(self):
+        lay = MHDLayout()
+        rng = np.random.default_rng(3)
+        w = rng.random((8, 5)) + 0.5
+        for axis in range(3):
+            f = lay.flux(w, axis)
+            np.testing.assert_allclose(f[5 + axis], 0.0)
+
+    def test_flux_reduces_to_euler_without_field(self):
+        lay = MHDLayout(gamma=1.4)
+        euler = EulerLayout(3, gamma=1.4)
+        w = np.zeros((8, 4))
+        rng = np.random.default_rng(0)
+        w[0] = rng.random(4) + 0.5
+        w[1:4] = rng.standard_normal((3, 4))
+        w[4] = rng.random(4) + 0.5
+        f = lay.flux(w, 0)
+        fe = euler.flux(w[:5], 0)
+        np.testing.assert_allclose(f[0], fe[0])
+        np.testing.assert_allclose(f[1:4], fe[1:4])
+        np.testing.assert_allclose(f[4], fe[4])
+
+    def test_div_b_constant_field_is_zero(self):
+        lay = MHDLayout()
+        u = np.zeros((8, 8, 8))
+        u[5] = 1.0
+        u[6] = -2.0
+        div = lay.div_b(u, (0.1, 0.1), 2, 2)
+        np.testing.assert_allclose(div, 0.0)
+
+    def test_div_b_linear_field(self):
+        lay = MHDLayout()
+        u = np.zeros((8, 8, 8))
+        x = np.arange(8) * 0.1
+        u[5] = x[:, None] * np.ones(8)  # Bx = x -> divB = 1
+        div = lay.div_b(u, (0.1, 0.1), 2, 2)
+        np.testing.assert_allclose(div, 1.0)

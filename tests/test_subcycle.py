@@ -1,0 +1,149 @@
+"""Tests for time-step subcycling (repro.amr.subcycle)."""
+
+import numpy as np
+import pytest
+
+from repro.amr import Simulation, advecting_pulse
+from repro.amr.subcycle import SubcycledSimulation
+from repro.core import BlockID
+
+
+def build(cls, levels=2):
+    p = advecting_pulse(2)
+    forest = p.config.make_forest(p.scheme.nvar)
+    p.init_forest(forest)
+    forest.adapt([BlockID(0, (0, 0)), BlockID(0, (1, 1))])
+    if levels >= 2:
+        forest.adapt([BlockID(1, (1, 1))])
+    p.init_forest(forest)
+    return p, cls(forest, p.scheme)
+
+
+def run_to(sim, t_end):
+    while sim.time < t_end - 1e-12:
+        dt = min(sim.stable_dt(), t_end - sim.time)
+        sim.advance(dt)
+
+
+class TestStableDt:
+    def test_coarse_dt_larger_than_global(self):
+        _, sim_g = build(Simulation)
+        _, sim_s = build(SubcycledSimulation)
+        from repro.solvers.timestep import stable_dt
+
+        dt_global = stable_dt(sim_g.forest, sim_g.scheme)
+        dt_coarse = sim_s.stable_dt()
+        # Two levels present -> the coarse step is twice the fine limit.
+        assert dt_coarse == pytest.approx(2.0 * dt_global, rel=1e-9)
+
+    def test_uniform_forest_matches_global(self):
+        p = advecting_pulse(2)
+        forest = p.config.make_forest(p.scheme.nvar)
+        p.init_forest(forest)
+        sim = SubcycledSimulation(forest, p.scheme)
+        from repro.solvers.timestep import stable_dt
+
+        assert sim.stable_dt() == pytest.approx(
+            stable_dt(forest, p.scheme), rel=1e-12
+        )
+
+
+class TestAccuracy:
+    def test_comparable_to_global_stepping(self):
+        t_end = 0.08
+        p, sim_g = build(Simulation)
+        sim_g.run(t_end=t_end, dt_max=2e-3)
+        err_g = sim_g.error_vs(p.exact(t_end))
+        p, sim_s = build(SubcycledSimulation)
+        run_to(sim_s, t_end)
+        err_s = sim_s.error_vs(p.exact(t_end))
+        assert err_s < 2.0 * err_g + 1e-5
+
+    def test_constant_state_preserved(self):
+        _, sim = build(SubcycledSimulation)
+        for b in sim.forest:
+            b.interior[...] = 4.0
+        run_to(sim, 0.05)
+        for b in sim.forest:
+            np.testing.assert_allclose(b.interior, 4.0, rtol=1e-12)
+
+    def test_finite_and_bounded(self):
+        _, sim = build(SubcycledSimulation)
+        run_to(sim, 0.1)
+        for b in sim.forest:
+            assert np.all(np.isfinite(b.interior))
+            assert b.interior.max() < 1.5  # TVD-ish: no blowup
+
+    def test_mass_drift_small(self):
+        _, sim = build(SubcycledSimulation)
+        m0 = sim.total()
+        run_to(sim, 0.08)
+        assert abs(sim.total() - m0) / m0 < 1e-2
+
+    def test_time_advances_exactly(self):
+        _, sim = build(SubcycledSimulation)
+        sim.advance(1e-3)
+        assert sim.time == pytest.approx(1e-3)
+
+
+class TestWorkSavings:
+    def test_fewer_updates_than_global(self):
+        """The point of subcycling: per unit physical time, coarse blocks
+        take exponentially fewer steps."""
+        t_end = 0.06
+        p, sim_g = build(Simulation)
+        sim_g.run(t_end=t_end)
+        global_updates = sim_g.step_count * sim_g.forest.n_blocks
+
+        _, sim_s = build(SubcycledSimulation)
+        coarse_steps = 0
+        while sim_s.time < t_end - 1e-12:
+            dt = min(sim_s.stable_dt(), t_end - sim_s.time)
+            sim_s.advance(dt)
+            coarse_steps += 1
+        sub_updates = coarse_steps * sim_s.updates_per_step()
+        assert sub_updates < 0.7 * global_updates
+
+    def test_updates_per_step_counts_levels(self):
+        _, sim = build(SubcycledSimulation)
+        hist = sim.forest.level_histogram()
+        levels = sorted(hist)
+        expect = sum(hist[l] * (1 << (l - levels[0])) for l in levels)
+        assert sim.updates_per_step() == expect
+
+
+class TestSparseLevels:
+    def test_level_gap_handled(self):
+        """Levels {0, 2} with no level-1 blocks: the finer group takes
+        four substeps of dt/4."""
+        p = advecting_pulse(2)
+        forest = p.config.make_forest(p.scheme.nvar)
+        p.init_forest(forest)
+        # Refine one block twice; its siblings keep level 1 around it,
+        # so build a gap artificially by checking histogram afterwards.
+        forest.adapt([BlockID(0, (0, 0))])
+        forest.adapt([BlockID(1, (0, 0))])
+        p.init_forest(forest)
+        sim = SubcycledSimulation(forest, p.scheme)
+        run_to(sim, 0.02)
+        for b in sim.forest:
+            assert np.all(np.isfinite(b.interior))
+        assert sim.time == pytest.approx(0.02)
+
+
+class TestUniformEquivalence:
+    def test_single_level_matches_global_bitwise(self):
+        """On a uniform forest subcycling degenerates to exactly the
+        global midpoint step — the results must be bit-identical."""
+        results = []
+        for cls in (Simulation, SubcycledSimulation):
+            p = advecting_pulse(2)
+            forest = p.config.make_forest(p.scheme.nvar)
+            p.init_forest(forest)
+            sim = cls(forest, p.scheme)
+            for _ in range(5):
+                sim.advance(1e-3)
+            results.append({b.id: b.interior.copy() for b in sim.forest})
+        serial, subcycled = results
+        for bid in serial:
+            np.testing.assert_array_equal(serial[bid], subcycled[bid])

@@ -1,0 +1,73 @@
+"""Tests for timing utilities (repro.util.timing)."""
+
+import time
+
+import pytest
+
+from repro.util.timing import PhaseTimer, measure
+
+
+class TestMeasure:
+    def test_returns_best_and_mean(self):
+        calls = []
+        res = measure(lambda: calls.append(1), repeats=4, warmup=2)
+        assert len(calls) == 6  # warmup + repeats
+        assert res.repeats == 4
+        assert res.best <= res.mean
+
+    def test_best_is_minimum(self):
+        res = measure(lambda: time.sleep(0.001), repeats=3, warmup=0)
+        assert res.best == min(res.times)
+        assert res.best >= 0.001
+
+    def test_bad_repeats(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+
+
+class TestPhaseTimer:
+    def test_accumulates(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            time.sleep(0.002)
+        with t.phase("a"):
+            pass
+        with t.phase("b"):
+            pass
+        assert t.counts["a"] == 2
+        assert t.counts["b"] == 1
+        assert t.totals["a"] >= 0.002
+        assert t.total == pytest.approx(t.totals["a"] + t.totals["b"])
+
+    def test_fraction(self):
+        t = PhaseTimer()
+        t.totals["x"] = 3.0
+        t.totals["y"] = 1.0
+        assert t.fraction("x") == pytest.approx(0.75)
+        assert t.fraction("missing") == 0.0
+
+    def test_fraction_empty_timer(self):
+        assert PhaseTimer().fraction("x") == 0.0
+
+    def test_report_sorted_by_time(self):
+        t = PhaseTimer()
+        t.totals["small"] = 1.0
+        t.totals["big"] = 5.0
+        t.counts["small"] = t.counts["big"] = 1
+        lines = t.report().splitlines()
+        assert lines[0].startswith("big")
+
+    def test_exception_still_recorded(self):
+        t = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with t.phase("broken"):
+                raise RuntimeError("boom")
+        assert t.counts["broken"] == 1
+
+    def test_reset(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            pass
+        t.reset()
+        assert t.total == 0.0
+        assert not t.counts

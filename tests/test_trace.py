@@ -1,0 +1,100 @@
+"""Tests for machine tracing and Gantt rendering (repro.parallel.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockForest
+from repro.parallel import MachineSpec, ParallelSimulation
+from repro.parallel.trace import TraceEvent, TracingMachine, render_gantt
+from repro.util.geometry import Box
+
+SPEC = MachineSpec("test", 1e-8, 1e-6, 1e-8, 0.0, 0.0, 0.0)
+
+
+class TestTracingMachine:
+    def test_compute_recorded(self):
+        m = TracingMachine(2, SPEC)
+        m.compute(0, 0.5)
+        assert len(m.events) == 1
+        e = m.events[0]
+        assert e.rank == 0 and e.kind == "compute"
+        assert e.duration == pytest.approx(0.5)
+
+    def test_message_records_both_sides(self):
+        m = TracingMachine(2, SPEC)
+        m.message(0, 1, 100)
+        kinds = sorted(e.kind for e in m.events)
+        assert kinds == ["recv", "send"]
+        assert "->1" in [e.detail for e in m.events if e.kind == "send"][0]
+
+    def test_local_message_not_recorded(self):
+        m = TracingMachine(2, SPEC)
+        m.message(1, 1, 100)
+        assert not m.events
+
+    def test_barrier_wait_recorded(self):
+        m = TracingMachine(2, SPEC)
+        m.compute(0, 1.0)
+        m.finish_step()
+        waits = [e for e in m.events if e.kind == "barrier"]
+        assert len(waits) == 1
+        assert waits[0].rank == 1
+        assert waits[0].duration == pytest.approx(1.0)
+
+    def test_clock_semantics_unchanged(self):
+        # Tracing must not alter the timing model.
+        a = TracingMachine(3, SPEC)
+        from repro.parallel import VirtualMachine
+
+        b = VirtualMachine(3, SPEC)
+        for mach in (a, b):
+            mach.compute(0, 0.2)
+            mach.message(0, 2, 500)
+            mach.finish_step()
+        np.testing.assert_allclose(a.clock, b.clock)
+        assert a.elapsed == pytest.approx(b.elapsed)
+
+    def test_events_between(self):
+        m = TracingMachine(1, SPEC)
+        m.compute(0, 1.0)
+        m.compute(0, 1.0)
+        assert len(m.events_between(0.0, 0.5)) == 1
+        assert len(m.events_between(0.0, 2.0)) == 2
+
+
+class TestGantt:
+    def make_traced_run(self):
+        forest = BlockForest(
+            Box((0.0, 0.0), (1.0, 1.0)), (4, 4), (4, 4), nvar=1, n_ghost=2
+        )
+        sim = ParallelSimulation(forest, 4)
+        sim.machine = TracingMachine(4, sim.machine.spec)
+        sim.run(2)
+        return sim.machine
+
+    def test_render_shape(self):
+        m = self.make_traced_run()
+        out = render_gantt(m, width=40)
+        lines = out.splitlines()
+        assert len(lines) == 5  # header + 4 PEs
+        for line in lines[1:]:
+            assert line.startswith("PE")
+            assert len(line.split("|")[1]) == 40
+
+    def test_compute_dominates_chart(self):
+        m = self.make_traced_run()
+        out = render_gantt(m, width=60)
+        body = "".join(out.splitlines()[1:])
+        assert body.count("#") > 10
+
+    def test_empty_window_rejected(self):
+        m = TracingMachine(1, SPEC)
+        with pytest.raises(ValueError):
+            render_gantt(m, t0=0.0, t1=0.0)
+
+    def test_max_ranks_truncation(self):
+        m = TracingMachine(32, SPEC)
+        m.compute(0, 1.0)
+        m.finish_step()
+        out = render_gantt(m, max_ranks=4)
+        assert "28 more PEs not shown" in out

@@ -1,0 +1,235 @@
+"""Tests for the cell-based tree baseline (repro.tree)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import AdvectionScheme, EulerScheme
+from repro.tree import (
+    CellTree,
+    find_neighbor,
+    neighbor_leaves,
+    traversal_statistics,
+    tree_stable_dt,
+    tree_step,
+    tree_total,
+)
+from repro.util.geometry import Box
+
+
+def tree2d(n_root=(2, 2), nvar=1, **kw):
+    return CellTree(Box((0.0, 0.0), (1.0, 1.0)), n_root, nvar, **kw)
+
+
+class TestStructure:
+    def test_roots(self):
+        t = tree2d((3, 2))
+        assert t.n_leaves == 6
+        assert t.n_nodes == 6
+
+    def test_refine_keeps_parent(self):
+        # The defining difference from adaptive blocks: the parent node
+        # remains after subdivision (double representation).
+        t = tree2d()
+        root = t.roots[(0, 0)]
+        kids = t.refine(root)
+        assert len(kids) == 4
+        assert not root.is_leaf
+        assert t.n_nodes == 4 + 4  # roots + children
+        assert t.n_leaves == 3 + 4
+
+    def test_refine_non_leaf_rejected(self):
+        t = tree2d()
+        t.refine(t.roots[(0, 0)])
+        with pytest.raises(ValueError):
+            t.refine(t.roots[(0, 0)])
+
+    def test_coarsen(self):
+        t = tree2d()
+        root = t.roots[(0, 0)]
+        kids = t.refine(root)
+        for i, k in enumerate(kids):
+            k.data = np.array([float(i)])
+        t.coarsen(root)
+        assert root.is_leaf
+        assert root.data[0] == pytest.approx(1.5)
+        assert t.n_nodes == 4
+
+    def test_coarsen_with_grandchildren_rejected(self):
+        t = tree2d()
+        root = t.roots[(0, 0)]
+        kids = t.refine(root)
+        t.refine(kids[0])
+        with pytest.raises(ValueError):
+            t.coarsen(root)
+
+    def test_uniform_refinement_counts(self):
+        t = tree2d((1, 1))
+        t.refine_uniformly(3)
+        assert t.n_leaves == 64
+        # Interior nodes: 1 + 4 + 16 = 21 extra representations.
+        assert t.n_nodes == 64 + 21
+        assert t.depth() == 3
+
+    def test_refine_where(self):
+        t = tree2d((2, 2))
+        t.refine_where(
+            lambda n: n.level < 2 and t.cell_box(n).contains((0.1, 0.1))
+        )
+        assert t.depth() == 2
+
+    def test_geometry(self):
+        t = tree2d()
+        root = t.roots[(1, 0)]
+        box = t.cell_box(root)
+        assert box.lo == (0.5, 0.0) and box.hi == (1.0, 0.5)
+        kid = t.refine(root)[0]
+        assert t.cell_widths(kid) == (0.25, 0.25)
+
+    def test_storage_pointers_exceed_block_equivalent(self):
+        # Per-cell pointer overhead: one parent + 2^d children per node.
+        t = tree2d((1, 1))
+        t.refine_uniformly(3)
+        assert t.storage_pointers() > t.n_leaves
+
+
+class TestTraversal:
+    def test_same_level_sibling(self):
+        t = tree2d((1, 1))
+        t.refine_uniformly(1)
+        n00 = t.roots[(0, 0)].children[0]
+        res = find_neighbor(t, n00, 1)  # +x
+        assert res.node is t.roots[(0, 0)].children[1]
+        assert res.hops >= 2  # up to parent, down to sibling
+
+    def test_across_subtree_boundary_costs_more_hops(self):
+        t = tree2d((1, 1))
+        t.refine_uniformly(2)
+        # Cell (1,0) at level 2: +x neighbor (2,0) lives in the adjacent
+        # level-1 subtree -> longer up-down path than a sibling query.
+        quad = t.roots[(0, 0)].children[0]  # level-1 (0,0)
+        cell = quad.children[1]  # level-2 (1,0)
+        res = find_neighbor(t, cell, 1)
+        assert res.node.coords == (2, 0)
+        sib = find_neighbor(t, quad.children[0], 1)
+        assert res.hops > sib.hops
+
+    def test_domain_boundary(self):
+        t = tree2d()
+        res = find_neighbor(t, t.roots[(0, 0)], 0)
+        assert res.node is None
+
+    def test_coarser_neighbor(self):
+        t = tree2d()
+        kids = t.refine(t.roots[(0, 0)])
+        # Child (1,*) of root (0,0): +x neighbor is the unrefined root (1,0).
+        res = find_neighbor(t, kids[1], 1)
+        assert res.node is t.roots[(1, 0)]
+
+    def test_finer_neighbors_collected(self):
+        t = tree2d()
+        t.refine(t.roots[(0, 0)])
+        leaves, hops = neighbor_leaves(t, t.roots[(1, 0)], 0)
+        assert len(leaves) == 2
+        assert all(lf.level == 1 for lf in leaves)
+        assert hops > 0
+
+    def test_hops_grow_with_depth(self):
+        stats = []
+        for depth in (1, 2, 3):
+            t = tree2d((1, 1))
+            t.refine_uniformly(depth)
+            stats.append(traversal_statistics(t))
+        assert stats[0]["mean_hops"] < stats[1]["mean_hops"] < stats[2]["mean_hops"]
+
+    def test_3d_traversal(self):
+        t = CellTree(Box((0.0,) * 3, (1.0,) * 3), (2, 2, 2), 1)
+        t.refine_uniformly(1)
+        stats = traversal_statistics(t)
+        assert stats["queries"] == 64 * 6
+        assert stats["max_hops"] >= 2
+
+
+class TestTreeSolver:
+    def test_constant_state_fixed_point(self):
+        t = tree2d((2, 2), nvar=1)
+        t.refine_uniformly(2)
+        t.set_state(lambda c: np.array([2.5]))
+        sch = AdvectionScheme((1.0, 0.0), order=1)
+        tree_step(t, sch, 0.01)
+        for leaf in t.leaves():
+            assert leaf.data[0] == pytest.approx(2.5)
+
+    def test_conservation_interior(self):
+        # With outflow boundaries and zero velocity at the edges the
+        # total is conserved; use a pulse far from the boundary.
+        t = tree2d((1, 1), nvar=1)
+        t.refine_uniformly(4)  # 16x16 cells
+        t.set_state(
+            lambda c: np.array(
+                [1.0 if abs(c[0] - 0.5) < 0.2 and abs(c[1] - 0.5) < 0.2 else 0.0]
+            )
+        )
+        sch = AdvectionScheme((1.0, 0.5), order=1)
+        total0 = tree_total(t)
+        for _ in range(3):
+            dt = tree_stable_dt(t, sch)
+            tree_step(t, sch, dt)
+        assert tree_total(t) == pytest.approx(total0, rel=1e-12)
+
+    def test_advects_in_right_direction(self):
+        t = tree2d((1, 1), nvar=1)
+        t.refine_uniformly(4)
+        t.set_state(lambda c: np.array([np.exp(-80 * (c[0] - 0.3) ** 2)]))
+        sch = AdvectionScheme((1.0, 0.0), order=1)
+        def centroid():
+            num = den = 0.0
+            for leaf in t.leaves():
+                c = t.cell_center(leaf)
+                num += c[0] * leaf.data[0]
+                den += leaf.data[0]
+            return num / den
+        x0 = centroid()
+        for _ in range(8):
+            tree_step(t, sch, tree_stable_dt(t, sch))
+        assert centroid() > x0
+
+    def test_matches_block_solver_on_uniform_grid(self):
+        """Integration oracle: the tree solver and the block scheme give
+        identical first-order updates on a uniform grid."""
+        n = 8
+        sch = EulerScheme(2, order=1, riemann="rusanov")
+        rng = np.random.default_rng(5)
+        w = np.empty((4, n, n))
+        w[0] = rng.random((n, n)) + 0.5
+        w[1] = rng.standard_normal((n, n)) * 0.1
+        w[2] = rng.standard_normal((n, n)) * 0.1
+        w[3] = rng.random((n, n)) + 0.5
+        u0 = sch.prim_to_cons(w)
+
+        # Block path: one padded array with outflow ghosts.
+        g = 1
+        u = np.zeros((4, n + 2, n + 2))
+        u[:, g:-g, g:-g] = u0
+        u[:, 0, g:-g] = u0[:, 0]
+        u[:, -1, g:-g] = u0[:, -1]
+        u[:, g:-g, 0] = u0[:, :, 0]
+        u[:, g:-g, -1] = u0[:, :, -1]
+        u[:, 0, 0] = u0[:, 0, 0]
+        u[:, 0, -1] = u0[:, 0, -1]
+        u[:, -1, 0] = u0[:, -1, 0]
+        u[:, -1, -1] = u0[:, -1, -1]
+        dt = 1e-3
+        sch.step(u, (1.0 / n, 1.0 / n), dt, g)
+
+        # Tree path: a uniform depth-3 tree over the same domain.
+        t = tree2d((1, 1), nvar=4)
+        t.refine_uniformly(3)
+        for leaf in t.leaves():
+            i, j = leaf.coords
+            leaf.data = u0[:, i, j].copy()
+        tree_step(t, sch, dt)
+        for leaf in t.leaves():
+            i, j = leaf.coords
+            np.testing.assert_allclose(
+                leaf.data, u[:, g + i, g + j], rtol=1e-10, atol=1e-12
+            )

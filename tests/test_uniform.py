@@ -1,0 +1,115 @@
+"""Tests for the uniform-grid reference solver (repro.solvers.uniform)."""
+
+import numpy as np
+import pytest
+
+from repro.amr import Simulation
+from repro.amr.sampling import resample_uniform
+from repro.core import BlockForest
+from repro.solvers import AdvectionScheme, EulerScheme
+from repro.solvers.uniform import UniformGrid
+from repro.util.geometry import Box
+
+
+class TestConstruction:
+    def test_bad_boundary(self):
+        with pytest.raises(ValueError):
+            UniformGrid(
+                AdvectionScheme((1.0,)), Box((0.0,), (1.0,)), (16,),
+                boundary="reflecting",
+            )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            UniformGrid(AdvectionScheme((1.0,)), Box((0.0,), (1.0,)), (16, 16))
+
+    def test_ghost_width_matches_scheme(self):
+        g1 = UniformGrid(
+            AdvectionScheme((1.0,), order=1), Box((0.0,), (1.0,)), (8,)
+        )
+        g2 = UniformGrid(
+            AdvectionScheme((1.0,), order=2), Box((0.0,), (1.0,)), (8,)
+        )
+        assert g1.u.shape == (1, 10)
+        assert g2.u.shape == (1, 12)
+
+
+class TestPhysics:
+    def test_periodic_translation(self):
+        grid = UniformGrid(
+            AdvectionScheme((1.0,), order=2, limiter="mc", cfl=0.4),
+            Box((0.0,), (1.0,)),
+            (128,),
+        )
+        grid.set_primitive(lambda x: np.sin(2 * np.pi * x)[np.newaxis])
+        grid.run(1.0)
+        (x,) = grid.meshgrid()
+        assert grid.error_vs(lambda x: np.sin(2 * np.pi * x)) < 5e-3
+
+    def test_mass_conserved(self):
+        grid = UniformGrid(
+            EulerScheme(1, order=2), Box((0.0,), (1.0,)), (64,)
+        )
+        grid.set_primitive(
+            lambda x: np.stack(
+                [1.0 + 0.2 * np.sin(2 * np.pi * x), 0.5 * np.ones_like(x),
+                 np.ones_like(x)]
+            )
+        )
+        m0 = grid.total()
+        grid.run(0.2)
+        assert grid.total() == pytest.approx(m0, rel=1e-12)
+
+    def test_outflow_lets_pulse_leave(self):
+        grid = UniformGrid(
+            AdvectionScheme((1.0,), order=2),
+            Box((0.0,), (1.0,)),
+            (64,),
+            boundary="outflow",
+        )
+        grid.set_primitive(
+            lambda x: np.exp(-200 * (x - 0.8) ** 2)[np.newaxis]
+        )
+        m0 = grid.total()
+        grid.run(0.5)
+        assert grid.total() < 0.05 * m0  # the pulse exited the domain
+
+    def test_matches_single_block_forest(self):
+        """Oracle: UniformGrid equals a one-block periodic forest."""
+        scheme = EulerScheme(2, order=2, limiter="mc")
+        init = lambda X, Y: np.stack(
+            [
+                1.0 + 0.2 * np.sin(2 * np.pi * X) * np.cos(2 * np.pi * Y),
+                0.3 * np.ones_like(X),
+                -0.1 * np.ones_like(X),
+                np.ones_like(X),
+            ]
+        )
+        grid = UniformGrid(scheme, Box((0.0, 0.0), (1.0, 1.0)), (16, 16))
+        grid.set_primitive(init)
+
+        forest = BlockForest(
+            Box((0.0, 0.0), (1.0, 1.0)), (1, 1), (16, 16),
+            nvar=4, n_ghost=2, periodic=(True, True),
+        )
+        for b in forest:
+            X, Y = b.meshgrid()
+            b.interior[...] = scheme.prim_to_cons(init(X, Y))
+        sim = Simulation(forest, scheme)
+        dt = 1e-3
+        for _ in range(5):
+            grid.advance(dt)
+            sim.advance(dt)
+        np.testing.assert_allclose(
+            grid.interior, resample_uniform(forest, 0),
+            rtol=1e-13, atol=1e-14,
+        )
+
+    def test_step_counting(self):
+        grid = UniformGrid(
+            AdvectionScheme((1.0,)), Box((0.0,), (1.0,)), (32,)
+        )
+        grid.set_primitive(lambda x: np.ones_like(x)[np.newaxis])
+        grid.run(0.05)
+        assert grid.step_count > 0
+        assert grid.time == pytest.approx(0.05)

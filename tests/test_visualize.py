@@ -1,0 +1,95 @@
+"""Tests for the text visualization helpers (repro.amr.visualize)."""
+
+import numpy as np
+import pytest
+
+from repro.amr.visualize import RAMP, render_blocks, render_field, render_line
+from repro.core import BlockForest, BlockID
+from repro.util.geometry import Box
+
+
+def make_forest(ndim=2):
+    f = BlockForest(
+        Box((0.0,) * ndim, (1.0,) * ndim), (2,) * ndim, (4,) * ndim,
+        nvar=1, n_ghost=2,
+    )
+    f.adapt([BlockID(0, (0,) * ndim)])
+    for b in f:
+        grids = b.meshgrid()
+        b.interior[0] = grids[0]
+    return f
+
+
+class TestRenderField:
+    def test_shape_and_footer(self):
+        out = render_field(make_forest(), width=20, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 11
+        assert all(len(l) == 20 for l in lines[:10])
+        assert "var 0" in lines[-1]
+
+    def test_gradient_direction(self):
+        # Field is x: left column darkest, right brightest.
+        out = render_field(make_forest(), width=20, height=10)
+        top = out.splitlines()[0]
+        assert RAMP.index(top[0]) < RAMP.index(top[-1])
+
+    def test_constant_field(self):
+        f = make_forest()
+        for b in f:
+            b.interior[0] = 5.0
+        out = render_field(f, width=10, height=5)
+        assert "5" in out  # range footer shows the value
+
+    def test_3d_takes_slice(self):
+        f = make_forest(ndim=3)
+        out = render_field(f, width=12, height=6)
+        assert len(out.splitlines()) == 7
+
+    def test_1d_rejected(self):
+        f = BlockForest(Box((0.0,), (1.0,)), (2,), (4,), nvar=1)
+        with pytest.raises(ValueError):
+            render_field(f)
+
+    def test_fixed_range(self):
+        out = render_field(make_forest(), width=10, height=5, vmin=0.0, vmax=10.0)
+        # All values < 1 -> all in the darkest tenth of the ramp.
+        for line in out.splitlines()[:5]:
+            assert set(line) <= set(RAMP[:2])
+
+
+class TestRenderBlocks:
+    def test_levels_shown(self):
+        out = render_blocks(make_forest(), width=16, height=8)
+        body = "".join(out.splitlines()[:8])
+        assert "0" in body and "1" in body
+        assert "levels:" in out
+
+    def test_refined_corner_is_level_1(self):
+        out = render_blocks(make_forest(), width=16, height=16)
+        rows = out.splitlines()[:16]
+        # (x small, y small) corner is the refined block -> bottom-left.
+        assert rows[-1][0] == "1"
+        assert rows[0][-1] == "0"
+
+    def test_1d_forest(self):
+        f = BlockForest(Box((0.0,), (1.0,)), (2,), (4,), nvar=1)
+        f.adapt([BlockID(0, (0,))])
+        out = render_blocks(f)
+        assert "1" in out and "0" in out
+
+
+class TestRenderLine:
+    def test_profile_shape(self):
+        out = render_line(make_forest(), n=32, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 10  # 8 rows + separator + footer
+        assert all(len(l) == 32 for l in lines[:8])
+
+    def test_monotone_field_monotone_profile(self):
+        out = render_line(make_forest(), axis=0, n=32, height=8)
+        bottom = out.splitlines()[7]  # lowest bar row
+        # The x-field rises: right side filled, left side empty at top row.
+        top = out.splitlines()[0]
+        assert top.strip() != ""
+        assert top[:4].strip() == ""

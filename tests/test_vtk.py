@@ -1,0 +1,104 @@
+"""Tests for the VTK export (repro.amr.vtk)."""
+
+import numpy as np
+import pytest
+
+from repro.amr.vtk import save_vtk_blocks, save_vtk_uniform
+from repro.core import BlockForest, BlockID
+from repro.util.geometry import Box
+
+
+def make_forest():
+    f = BlockForest(
+        Box((0.0, 0.0), (2.0, 1.0)), (2, 1), (4, 4), nvar=2, n_ghost=2
+    )
+    f.adapt([BlockID(0, (0, 0))])
+    for b in f:
+        X, Y = b.meshgrid()
+        b.interior[0] = X
+        b.interior[1] = 7.5
+    return f
+
+
+def parse_scalars(text, name):
+    lines = text.splitlines()
+    i = next(j for j, l in enumerate(lines) if l.startswith(f"SCALARS {name} "))
+    vals = []
+    for l in lines[i + 2 :]:
+        if l and not l[0].isdigit() and not l.startswith("-"):
+            break
+        vals.extend(float(v) for v in l.split())
+    return np.array(vals)
+
+
+class TestUniform:
+    def test_header_and_geometry(self, tmp_path):
+        f = make_forest()
+        out = save_vtk_uniform(f, tmp_path / "u.vtk", level=1)
+        text = out.read_text()
+        assert text.startswith("# vtk DataFile Version 3.0")
+        assert "DATASET STRUCTURED_POINTS" in text
+        # Level-1 grid: 16 x 8 cells -> 17 x 9 x 2 points.
+        assert "DIMENSIONS 17 9 2" in text
+        assert "CELL_DATA 128" in text
+
+    def test_values_roundtrip(self, tmp_path):
+        f = make_forest()
+        out = save_vtk_uniform(f, tmp_path / "u.vtk", level=0,
+                               var_names=["x", "c"])
+        text = out.read_text()
+        c = parse_scalars(text, "c")
+        np.testing.assert_allclose(c, 7.5)
+        x = parse_scalars(text, "x")
+        assert len(x) == 8 * 4
+        # x varies along the fast (x) axis of the VTK ordering.
+        assert x[0] < x[1]
+
+    def test_default_level_is_finest(self, tmp_path):
+        f = make_forest()
+        out = save_vtk_uniform(f, tmp_path / "u.vtk")
+        assert "DIMENSIONS 17 9 2" in out.read_text()
+
+    def test_wrong_name_count(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_vtk_uniform(make_forest(), tmp_path / "u.vtk", var_names=["a"])
+
+
+class TestBlocks:
+    def test_one_piece_per_block(self, tmp_path):
+        f = make_forest()
+        index = save_vtk_blocks(f, tmp_path, basename="b")
+        lines = index.read_text().splitlines()
+        assert lines[0] == f"!NBLOCKS {f.n_blocks}"
+        assert len(lines) == 1 + f.n_blocks
+        for piece in lines[1:]:
+            assert (tmp_path / piece).exists()
+
+    def test_piece_contents(self, tmp_path):
+        f = make_forest()
+        save_vtk_blocks(f, tmp_path, basename="b", var_names=["x", "c"])
+        text = (tmp_path / "b_00000.vtk").read_text()
+        assert "DATASET RECTILINEAR_GRID" in text
+        assert "X_COORDINATES 5 double" in text
+        c = parse_scalars(text, "c")
+        np.testing.assert_allclose(c, 7.5)
+        lvl = parse_scalars(text, "amr_level")
+        assert set(lvl) <= {0.0, 1.0}
+
+    def test_levels_recorded(self, tmp_path):
+        f = make_forest()
+        save_vtk_blocks(f, tmp_path, basename="b")
+        found = set()
+        for i in range(f.n_blocks):
+            text = (tmp_path / f"b_{i:05d}.vtk").read_text()
+            found |= set(parse_scalars(text, "amr_level"))
+        assert found == {0.0, 1.0}
+
+    def test_3d_forest(self, tmp_path):
+        f = BlockForest(
+            Box((0.0,) * 3, (1.0,) * 3), (1, 1, 1), (4, 4, 4), nvar=1
+        )
+        index = save_vtk_blocks(f, tmp_path)
+        text = (tmp_path / "blocks_00000.vtk").read_text()
+        assert "DIMENSIONS 5 5 5" in text
+        assert "Z_COORDINATES 5 double" in text
