@@ -10,7 +10,14 @@ from repro.amr.boundary import (
 )
 from repro.amr.config import SimulationConfig
 from repro.amr.driver import Simulation, StepRecord
-from repro.amr.io import grid_report, load_forest, save_forest
+from repro.amr.io import (
+    CheckpointError,
+    checkpoint_metadata,
+    grid_report,
+    history_to_csv,
+    load_forest,
+    save_forest,
+)
 from repro.amr.sampling import (
     ProbeSeries,
     integrate,
@@ -44,7 +51,10 @@ __all__ = [
     "SimulationConfig",
     "Simulation",
     "StepRecord",
+    "CheckpointError",
+    "checkpoint_metadata",
     "grid_report",
+    "history_to_csv",
     "load_forest",
     "save_forest",
     "ProbeSeries",

@@ -17,6 +17,7 @@ so the benchmarks can attribute cost to compute / exchange / adaptation.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -48,6 +49,8 @@ class StepRecord:
     n_blocks: int
     n_cells: int
     adapted: Optional[AdaptSummary] = None
+    #: wall-clock seconds the step took (None for synthetic records)
+    wall_time: Optional[float] = None
 
 
 class Simulation:
@@ -69,6 +72,14 @@ class Simulation:
         Neighbor rings added around refine flags.
     hook:
         Optional per-step source hook (see :data:`StepHook`).
+    safe_mode:
+        When True, every step is health-checked (NaN/Inf, negative
+        density/pressure) and rolled back + retried with a halved dt on
+        failure; exhausted retries raise
+        :class:`repro.resilience.safestep.UnrecoverableStep` carrying a
+        structured :class:`~repro.resilience.safestep.StepFailure`.
+    max_step_retries:
+        Bounded dt-halving retries per step in safe mode.
     """
 
     def __init__(
@@ -83,6 +94,8 @@ class Simulation:
         hook: Optional[StepHook] = None,
         reflux: bool = False,
         threads: Optional[int] = None,
+        safe_mode: bool = False,
+        max_step_retries: int = 4,
     ) -> None:
         if forest.n_ghost < scheme.required_ghost:
             raise ValueError(
@@ -110,6 +123,10 @@ class Simulation:
             from concurrent.futures import ThreadPoolExecutor
 
             self._executor = ThreadPoolExecutor(max_workers=threads)
+        if max_step_retries < 0:
+            raise ValueError("max_step_retries must be >= 0")
+        self.safe_mode = safe_mode
+        self.max_step_retries = max_step_retries
         self.time = 0.0
         self.step_count = 0
         self.timer = PhaseTimer()
@@ -214,12 +231,60 @@ class Simulation:
             summary = self.forest.adapt(refine, coarsen)
         return summary
 
+    def _advance_safely(self, dt: float) -> float:
+        """Advance with health checks, rollback, and bounded dt retries.
+
+        Returns the dt that actually succeeded (<= the requested dt).
+        """
+        from repro.resilience.safestep import (
+            StepFailure,
+            UnrecoverableStep,
+            scan_forest_health,
+        )
+
+        t0 = self.time
+        # One snapshot of the full padded arrays (interior is a view
+        # into data, so this covers both state and ghosts).
+        snapshot = {
+            bid: blk.data.copy() for bid, blk in self.forest.blocks.items()
+        }
+        attempts: list[float] = []
+        dt_try = dt
+        issue = None
+        for _ in range(self.max_step_retries + 1):
+            attempts.append(dt_try)
+            self.advance(dt_try)
+            issue = scan_forest_health(self.forest, self.scheme)
+            if issue is None:
+                return dt_try
+            # Roll back the state and the clock before retrying.
+            for bid, blk in self.forest.blocks.items():
+                blk.data[...] = snapshot[bid]
+            self.time = t0
+            dt_try *= 0.5
+        raise UnrecoverableStep(
+            StepFailure(
+                step=self.step_count,
+                time=t0,
+                dt_attempts=tuple(attempts),
+                issue=issue,
+            )
+        )
+
     def step(self, dt: Optional[float] = None) -> StepRecord:
-        """One full cycle: (adapt) → dt → advance → hook."""
+        """One full cycle: (adapt) → dt → advance → hook.
+
+        In safe mode the advance is health-checked and retried with a
+        halved dt on failure; the record's ``dt`` is the one that
+        actually succeeded."""
+        wall_start = _time.perf_counter()
         adapted = self.maybe_adapt()
         if dt is None:
             dt = self.stable_dt()
-        self.advance(dt)
+        if self.safe_mode:
+            dt = self._advance_safely(dt)
+        else:
+            self.advance(dt)
         if self.hook is not None:
             with self.timer.phase("hook"):
                 self.hook(self, dt)
@@ -231,6 +296,7 @@ class Simulation:
             n_blocks=self.forest.n_blocks,
             n_cells=self.forest.n_cells,
             adapted=adapted,
+            wall_time=_time.perf_counter() - wall_start,
         )
         self.history.append(rec)
         return rec
@@ -254,22 +320,7 @@ class Simulation:
             dt = min(self.stable_dt(), dt_max)
             if t_end is not None:
                 dt = min(dt, t_end - self.time)
-            adapted = self.maybe_adapt()
-            self.advance(dt)
-            if self.hook is not None:
-                with self.timer.phase("hook"):
-                    self.hook(self, dt)
-            self.step_count += 1
-            self.history.append(
-                StepRecord(
-                    step=self.step_count,
-                    time=self.time,
-                    dt=dt,
-                    n_blocks=self.forest.n_blocks,
-                    n_cells=self.forest.n_cells,
-                    adapted=adapted,
-                )
-            )
+            self.step(dt)
         return self.history[-1] if self.history else StepRecord(0, 0.0, 0.0, self.forest.n_blocks, self.forest.n_cells)
 
     # ------------------------------------------------------------------

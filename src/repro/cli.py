@@ -49,9 +49,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--save", metavar="FILE.npz", default=None,
                      help="write a checkpoint at the end")
     run.add_argument("--report-every", type=int, default=10)
+    run.add_argument("--checkpoint-every", type=int, metavar="N", default=None,
+                     help="write a rotating checkpoint every N steps")
+    run.add_argument("--checkpoint-dir", default="checkpoints",
+                     help="directory for --checkpoint-every files")
+    run.add_argument("--checkpoint-keep", type=int, default=3,
+                     help="rotating checkpoints to retain")
+    run.add_argument("--resume", metavar="FILE.npz", default=None,
+                     help="restart from a checkpoint instead of t=0")
+    run.add_argument("--safe-mode", action="store_true",
+                     help="health-check each step; roll back and halve "
+                          "dt on NaN/Inf or negative density/pressure")
 
     info = sub.add_parser("info", help="summarize a checkpoint")
     info.add_argument("checkpoint")
+    info.add_argument("--validate", action="store_true",
+                      help="run the forest invariant validator")
 
     scaling = sub.add_parser("scaling", help="simulated-T3D efficiency sweep")
     scaling.add_argument("--steps", type=int, default=10)
@@ -70,6 +83,21 @@ def build_parser() -> argparse.ArgumentParser:
     emulate.add_argument("--ndim", type=int, default=2, choices=(1, 2, 3))
     emulate.add_argument("--ranks", type=int, default=4)
     emulate.add_argument("--steps", type=int, default=5)
+    emulate.add_argument("--kill", action="append", default=[],
+                         metavar="STEP:RANK",
+                         help="kill RANK at the start of STEP (repeatable)")
+    emulate.add_argument("--drop-message", action="append", default=[],
+                         metavar="STEP:INDEX",
+                         help="drop wire message INDEX during STEP")
+    emulate.add_argument("--corrupt-message", action="append", default=[],
+                         metavar="STEP:INDEX",
+                         help="corrupt wire message INDEX during STEP")
+    emulate.add_argument("--checkpoint-every", type=int, default=1,
+                         metavar="N",
+                         help="recovery checkpoint cadence (fault runs)")
+    emulate.add_argument("--checkpoint-dir", default=None,
+                         help="recovery checkpoint directory "
+                              "(default: a temporary directory)")
     return parser
 
 
@@ -95,14 +123,57 @@ def _make_problem(name: str, ndim: int):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    from repro.amr import grid_report, save_forest
+    from repro.amr import (
+        CheckpointError,
+        Simulation,
+        checkpoint_metadata,
+        grid_report,
+        load_forest,
+        save_forest,
+    )
+    from repro.resilience import UnrecoverableStep
 
     if args.steps is None and args.t_end is None:
         print("error: give --steps and/or --t-end", file=sys.stderr)
         return 2
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        print("error: --checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
     problem = _make_problem(args.problem, args.ndim)
-    sim = problem.build(adaptive=not args.no_adapt)
+    if args.resume:
+        try:
+            forest = load_forest(args.resume)
+            meta = checkpoint_metadata(args.resume)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        sim = Simulation(
+            forest,
+            problem.scheme,
+            bc=problem.bc,
+            criterion=None if args.no_adapt else problem.make_criterion(),
+            adapt_interval=problem.config.adapt_interval,
+            buffer_band=problem.config.buffer_band,
+            hook=problem.hook,
+            safe_mode=args.safe_mode,
+        )
+        sim.time = float(meta.get("time", 0.0))
+        sim.step_count = int(meta.get("step", 0))
+        print(
+            f"resumed from {args.resume} at step {sim.step_count}, "
+            f"t={sim.time:.5f}"
+        )
+    else:
+        sim = problem.build(adaptive=not args.no_adapt)
+        sim.safe_mode = args.safe_mode
     sim.reflux = args.reflux
+    checkpointer = None
+    if args.checkpoint_every is not None:
+        from repro.resilience import Checkpointer
+
+        checkpointer = Checkpointer(
+            args.checkpoint_dir, keep=args.checkpoint_keep
+        )
     print(f"== {problem.name} ==")
     print(grid_report(sim.forest))
     print(f"{'step':>6} {'time':>10} {'dt':>10} {'blocks':>7} {'cells':>9}")
@@ -115,14 +186,30 @@ def cmd_run(args: argparse.Namespace) -> int:
         dt = sim.stable_dt()
         if args.t_end is not None:
             dt = min(dt, args.t_end - sim.time)
-        sim.maybe_adapt()
-        sim.advance(dt)
-        if sim.hook is not None:
-            sim.hook(sim, dt)
-        sim.step_count += 1
+        try:
+            rec = sim.step(dt)
+        except UnrecoverableStep as exc:
+            f = exc.failure
+            print(
+                f"error: step {f.step} unrecoverable at t={f.time:.5f}: "
+                f"{f.issue.reason} in block {f.issue.block} "
+                f"(variable {f.issue.variable}, {f.issue.n_bad} bad cells) "
+                f"after dt attempts "
+                + ", ".join(f"{d:.3e}" for d in f.dt_attempts),
+                file=sys.stderr,
+            )
+            return 1
+        if (
+            checkpointer is not None
+            and sim.step_count % args.checkpoint_every == 0
+        ):
+            info = checkpointer.save(
+                sim.forest, step=sim.step_count, time=sim.time
+            )
+            print(f"  checkpoint -> {info.path}")
         if sim.step_count % args.report_every == 0:
             print(
-                f"{sim.step_count:6d} {sim.time:10.5f} {dt:10.3e} "
+                f"{sim.step_count:6d} {sim.time:10.5f} {rec.dt:10.3e} "
                 f"{sim.forest.n_blocks:7d} {sim.forest.n_cells:9d}"
             )
     print("\nfinal grid:")
@@ -130,15 +217,31 @@ def cmd_run(args: argparse.Namespace) -> int:
     print("\nphase timings:")
     print(sim.timer.report())
     if args.save:
-        save_forest(sim.forest, args.save)
+        save_forest(sim.forest, args.save, time=sim.time, step=sim.step_count)
         print(f"\ncheckpoint written to {args.save}")
     return 0
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    from repro.amr import grid_report, load_forest
+    from repro.amr import (
+        CheckpointError,
+        checkpoint_metadata,
+        grid_report,
+        load_forest,
+    )
 
-    forest = load_forest(args.checkpoint)
+    try:
+        meta = checkpoint_metadata(args.checkpoint)
+        forest = load_forest(args.checkpoint)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    line = f"format v{meta['format_version']}, {meta['n_blocks']} blocks"
+    if "step" in meta:
+        line += f", step {meta['step']}"
+    if "time" in meta:
+        line += f", t={meta['time']:.6g}"
+    print(line)
     print(grid_report(forest))
     totals = []
     for block in forest:
@@ -146,6 +249,15 @@ def cmd_info(args: argparse.Namespace) -> int:
         totals.append(block.interior.reshape(forest.nvar, -1).sum(axis=1) * cell_vol)
     total = np.sum(totals, axis=0)
     print("conserved totals:", "  ".join(f"{v:.6g}" for v in total))
+    if args.validate:
+        from repro.resilience import validate_forest
+
+        violations = validate_forest(forest, check_ghosts=False)
+        if violations:
+            for v in violations:
+                print(f"INVALID [{v.check}] {v.block}: {v.detail}", file=sys.stderr)
+            return 1
+        print("forest invariants: OK")
     return 0
 
 
@@ -193,15 +305,54 @@ def cmd_fig5(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fault_pairs(specs, flag):
+    pairs = []
+    for spec in specs:
+        try:
+            a, b = spec.split(":")
+            pairs.append((int(a), int(b)))
+        except ValueError:
+            raise SystemExit(f"error: {flag} expects STEP:N, got {spec!r}")
+    return pairs
+
+
 def cmd_emulate(args: argparse.Namespace) -> int:
+    import tempfile
+
     from repro.parallel import EmulatedMachine
 
     problem = _make_problem(args.problem, args.ndim)
     sim = problem.build(adaptive=False)
     forest_emu = problem.config.make_forest(problem.scheme.nvar)
     problem.init_forest(forest_emu)
+
+    kills = _parse_fault_pairs(args.kill, "--kill")
+    for step, rank in kills:
+        if not 0 <= rank < args.ranks:
+            print(
+                f"error: --kill rank {rank} out of range for "
+                f"{args.ranks} ranks",
+                file=sys.stderr,
+            )
+            return 2
+    drops = _parse_fault_pairs(args.drop_message, "--drop-message")
+    corrupts = _parse_fault_pairs(args.corrupt_message, "--corrupt-message")
+    fault_plan = None
+    if kills or drops or corrupts:
+        from repro.resilience import FaultPlan, MessageFault, RankKill
+
+        fault_plan = FaultPlan(
+            kills=[RankKill(step=s, rank=r) for s, r in kills],
+            message_faults=(
+                [MessageFault(step=s, index=i, mode="drop") for s, i in drops]
+                + [MessageFault(step=s, index=i, mode="corrupt")
+                   for s, i in corrupts]
+            ),
+        )
+
     emu = EmulatedMachine(
-        forest_emu, args.ranks, problem.scheme, bc=problem.bc
+        forest_emu, args.ranks, problem.scheme, bc=problem.bc,
+        fault_plan=fault_plan,
     )
     dt = 0.5 * sim.stable_dt()
     print(
@@ -212,7 +363,39 @@ def cmd_emulate(args: argparse.Namespace) -> int:
         sim.advance(dt)
         if sim.hook is not None:
             sim.hook(sim, dt)
-        emu.advance(dt)
+    if fault_plan is not None:
+        from repro.resilience import Checkpointer, run_with_recovery
+
+        tmpdir = None
+        if args.checkpoint_dir is None:
+            tmpdir = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+            ckpt_dir = tmpdir.name
+        else:
+            ckpt_dir = args.checkpoint_dir
+        try:
+            report = run_with_recovery(
+                emu,
+                n_steps=args.steps,
+                dt=dt,
+                checkpointer=Checkpointer(ckpt_dir),
+                checkpoint_every=args.checkpoint_every,
+            )
+        finally:
+            if tmpdir is not None:
+                tmpdir.cleanup()
+        for ev in report.events:
+            print(
+                f"recovered from {ev.kind} at step {ev.step}: "
+                f"restored checkpoint of step {ev.restored_from_step}, "
+                f"replayed {ev.replayed_steps} step(s)  [{ev.detail}]"
+            )
+        print(
+            f"survivors: ranks {emu.alive_ranks} "
+            f"({report.checkpoints_written} checkpoints written)"
+        )
+    else:
+        for _ in range(args.steps):
+            emu.advance(dt)
     gathered = emu.gather()
     worst = 0.0
     for bid, block in sim.forest.blocks.items():

@@ -349,6 +349,24 @@ class BlockForest:
                 f"{self.domain.volume}"
             )
 
+    def check_no_overlap(self) -> None:
+        """Validate that no leaf is a descendant of another leaf (every
+        region represented exactly once); raise ForestError on failure.
+
+        Complements :meth:`check_coverage`: correct total volume can
+        hide an overlap paired with a hole — together the two checks pin
+        down an exact tiling.
+        """
+        for bid in self.blocks:
+            anc = bid
+            while anc.level > 0:
+                anc = anc.parent
+                if anc in self.blocks:
+                    raise ForestError(
+                        f"overlap violated: leaf {bid} and its ancestor "
+                        f"{anc} are both present"
+                    )
+
     # ------------------------------------------------------------------
     # refinement / coarsening
     # ------------------------------------------------------------------

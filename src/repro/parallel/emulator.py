@@ -20,10 +20,21 @@ Purpose:
 Topology metadata (the forest structure) is replicated on every rank,
 matching the paper-era design where each PE holds the full (small)
 block tree but only its own block data.
+
+The machine is failure-aware: a :class:`repro.resilience.faults.FaultPlan`
+can kill ranks and drop/corrupt wire messages at scripted steps.  The
+machine *detects* such failures (lost blocks; missing or
+checksum-mismatched payloads) and raises
+:class:`~repro.resilience.faults.RankFailure` /
+:class:`~repro.resilience.faults.MessageFailure`;
+:func:`repro.resilience.recovery.run_with_recovery` then rolls the run
+back to the last checkpoint, repartitions over the surviving ranks, and
+replays — bit-for-bit identical to a fault-free run.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -79,6 +90,9 @@ class EmulatedMachine:
         Finite-volume scheme for stepping.
     bc:
         Physical boundary handler (applied rank-locally).
+    fault_plan:
+        Optional scripted failures (see
+        :class:`repro.resilience.faults.FaultPlan`).
     """
 
     def __init__(
@@ -89,11 +103,16 @@ class EmulatedMachine:
         *,
         bc: Optional[BoundaryHandler] = None,
         assignment: Optional[Assignment] = None,
+        fault_plan=None,
     ) -> None:
         self.topology = forest  # replicated metadata (structure only)
         self.scheme = scheme
         self.bc = bc
         self.n_ranks = n_ranks
+        self.fault_plan = fault_plan
+        self.alive: List[bool] = [True] * n_ranks
+        self.step_index = 0
+        self._msg_index = 0
         self.assignment = (
             assignment if assignment is not None else sfc_partition(forest, n_ranks)
         )
@@ -101,8 +120,15 @@ class EmulatedMachine:
         self.rank_blocks: List[Dict[BlockID, Block]] = [
             {} for _ in range(n_ranks)
         ]
+        self._populate(forest, self.assignment)
+        self.stats = ExchangeStats()
+        self.time = 0.0
+        self._plan = self._build_plan()
+
+    def _populate(self, forest: BlockForest, assignment: Assignment) -> None:
+        """Fill per-rank storage with private copies of the block data."""
         for bid, block in forest.blocks.items():
-            rank = self.assignment[bid]
+            rank = assignment[bid]
             clone = Block(
                 id=block.id,
                 box=block.box,
@@ -111,11 +137,11 @@ class EmulatedMachine:
                 nvar=block.nvar,
                 data=block.data.copy(),
             )
-            clone.face_neighbors = block.face_neighbors
+            # Connectivity metadata is replicated: take it from the
+            # machine's own topology so restores from a checkpoint use
+            # identical pointers.
+            clone.face_neighbors = self.topology.blocks[bid].face_neighbors
             self.rank_blocks[rank][bid] = clone
-        self.stats = ExchangeStats()
-        self.time = 0.0
-        self._plan = self._build_plan()
 
     # ------------------------------------------------------------------
 
@@ -138,6 +164,102 @@ class EmulatedMachine:
         return self.rank_blocks[self.assignment[bid]][bid]
 
     # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+
+    @property
+    def alive_ranks(self) -> List[int]:
+        """Ranks that have not failed (all of them before any fault)."""
+        return [r for r in range(self.n_ranks) if self.alive[r]]
+
+    def kill_rank(self, rank: int) -> None:
+        """Simulate a node loss: the rank's private block data vanishes."""
+        if not (0 <= rank < self.n_ranks):
+            raise ValueError(f"rank {rank} out of range")
+        self.alive[rank] = False
+        self.rank_blocks[rank] = {}
+
+    def lost_blocks(self) -> List[BlockID]:
+        """Blocks of the replicated topology no surviving rank owns."""
+        owned = set()
+        for rank in self.alive_ranks:
+            owned.update(self.rank_blocks[rank])
+        return [bid for bid in self.topology.sorted_ids() if bid not in owned]
+
+    def restore(
+        self,
+        forest: BlockForest,
+        *,
+        time: float,
+        step_index: Optional[int] = None,
+        assignment: Optional[Assignment] = None,
+    ) -> None:
+        """Rebuild the machine's global state from a checkpoint forest.
+
+        The block-to-rank assignment is recomputed over the *surviving*
+        ranks (SFC repartition) unless one is given, every block's data
+        is repopulated from ``forest``, and the simulation clock rewinds
+        to the checkpoint — the receiving half of the global
+        rollback-and-replay recovery protocol.
+        """
+        if set(forest.blocks) != set(self.topology.blocks):
+            raise ValueError(
+                "checkpoint topology does not match the machine's "
+                "replicated topology"
+            )
+        alive = self.alive_ranks
+        if not alive:
+            raise RuntimeError("cannot restore: every rank has failed")
+        if assignment is None:
+            chunks = sfc_partition(self.topology, len(alive))
+            assignment = {bid: alive[r] for bid, r in chunks.items()}
+        else:
+            bad = {assignment[bid] for bid in assignment} - set(alive)
+            if bad:
+                raise ValueError(f"assignment targets dead rank(s) {sorted(bad)}")
+        self.assignment = assignment
+        self.rank_blocks = [{} for _ in range(self.n_ranks)]
+        self._populate(forest, assignment)
+        self.time = time
+        if step_index is not None:
+            self.step_index = step_index
+
+    def _send(self, payload: np.ndarray, src_rank: int, dst_rank: int,
+              t: Transfer, *, extra_values: int = 0) -> np.ndarray:
+        """Move one payload between ranks, injecting planned faults.
+
+        Remote payloads are counted in the wire stats and checked
+        against the fault plan: a "drop" fault never arrives (raises
+        immediately — the timeout analogue), a "corrupt" fault flips the
+        payload and is caught by the receiver's content checksum.
+        """
+        if src_rank == dst_rank:
+            self.stats.n_local += 1
+            return payload
+        index = self._msg_index
+        self._msg_index += 1
+        self.stats.add(payload.size + extra_values)
+        if self.fault_plan is not None:
+            mode = self.fault_plan.message_fault(self.step_index, index)
+            if mode is not None:
+                from repro.resilience.faults import MessageFailure
+
+                if mode == "drop":
+                    raise MessageFailure(
+                        self.step_index, index, "drop", t.dst_id, t.src_id
+                    )
+                sent_crc = zlib.crc32(np.ascontiguousarray(payload).tobytes())
+                tampered = payload.copy()
+                tampered.flat[0] = np.nan
+                got_crc = zlib.crc32(np.ascontiguousarray(tampered).tobytes())
+                if got_crc != sent_crc:
+                    raise MessageFailure(
+                        self.step_index, index, "corrupt", t.dst_id, t.src_id
+                    )
+                return tampered  # unreachable: NaN always breaks the CRC
+        return payload
+
+    # ------------------------------------------------------------------
 
     def exchange(self) -> None:
         """One full ghost exchange through explicit messages.
@@ -150,6 +272,13 @@ class EmulatedMachine:
         """
         ndim = self.topology.ndim
         order = self.topology.prolong_order
+        if not all(self.alive):
+            lost = self.lost_blocks()
+            if lost:
+                raise RuntimeError(
+                    f"cannot exchange: {len(lost)} block(s) lost to failed "
+                    "ranks; restore from a checkpoint first"
+                )
 
         # ---- stage 1: same + restriction --------------------------------
         for bid, _offset, transfers in self._plan:
@@ -161,19 +290,15 @@ class EmulatedMachine:
                 src = self.rank_blocks[src_rank][t.src_id]
                 if t.delta == 0:
                     payload = src.view(t.src_box).copy()  # the message
-                    if src_rank != dst_rank:
-                        self.stats.add(payload.size)
-                    else:
-                        self.stats.n_local += 1
+                    payload = self._send(payload, src_rank, dst_rank, t)
                     dst.view(t.dst_box)[...] = payload
                 elif t.delta > 0:
                     coarse_box, csum, wsum = restriction_contribution(
                         src, t, ndim
                     )
-                    if src_rank != dst_rank:
-                        self.stats.add(csum.size + wsum.size)
-                    else:
-                        self.stats.n_local += 1
+                    csum = self._send(
+                        csum, src_rank, dst_rank, t, extra_values=wsum.size
+                    )
                     restrict_items.append((t.dst_box, coarse_box, csum, wsum))
             if restrict_items:
                 apply_restrictions(dst, restrict_items)
@@ -191,10 +316,7 @@ class EmulatedMachine:
                 up = -t.delta
                 border = prolongation_border(up, order)
                 payload = gather_bordered(src, t.src_box, border)
-                if src_rank != dst_rank:
-                    self.stats.add(payload.size)
-                else:
-                    self.stats.n_local += 1
+                payload = self._send(payload, src_rank, dst_rank, t)
                 fine = prolong_bordered(payload, t.src_box, up, order, ndim)
                 cover = t.src_box.refined(up).shift(_neg(t.shift))
                 sub = t.dst_box.slices(cover.lo)
@@ -220,38 +342,67 @@ class EmulatedMachine:
     # ------------------------------------------------------------------
 
     def advance(self, dt: float) -> None:
-        """One (two-stage for order 2) time step across all ranks."""
+        """One (two-stage for order 2) time step across all ranks.
+
+        With a fault plan attached, scripted rank deaths fire before the
+        step executes; the resulting lost blocks are detected and
+        reported by raising :class:`~repro.resilience.faults.RankFailure`
+        (message faults surface mid-exchange as
+        :class:`~repro.resilience.faults.MessageFailure`).  The machine
+        is then in a partial state; recover with :meth:`restore`.
+        """
+        if self.fault_plan is not None:
+            killed = [
+                r for r in self.fault_plan.kills_at(self.step_index)
+                if 0 <= r < self.n_ranks and self.alive[r]
+            ]
+            if killed:
+                from repro.resilience.faults import RankFailure
+
+                for rank in killed:
+                    self.kill_rank(rank)
+                raise RankFailure(
+                    self.step_index, tuple(killed), tuple(self.lost_blocks())
+                )
+        self._msg_index = 0
         scheme = self.scheme
         g = self.topology.n_ghost
         self.exchange()
         if scheme.n_stages == 1:
-            for rank in range(self.n_ranks):
+            for rank in self.alive_ranks:
                 for block in self.rank_blocks[rank].values():
                     scheme.step(block.data, block.dx, dt, g)
         else:
             saved: Dict[BlockID, np.ndarray] = {}
-            for rank in range(self.n_ranks):
+            for rank in self.alive_ranks:
                 for block in self.rank_blocks[rank].values():
                     saved[block.id] = block.interior.copy()
                     scheme.step(block.data, block.dx, 0.5 * dt, g)
             self.exchange()
-            for rank in range(self.n_ranks):
+            for rank in self.alive_ranks:
                 for block in self.rank_blocks[rank].values():
                     rate = scheme.flux_divergence(block.data, block.dx, g)
                     block.interior[...] = saved[block.id] + dt * rate
         self.time += dt
+        self.step_index += 1
 
     def gather(self) -> Dict[BlockID, np.ndarray]:
-        """Collect every block's interior (the 'MPI_Gather' at the end)."""
+        """Collect every surviving block's interior (the 'MPI_Gather' at
+        the end).  After a clean run or a completed recovery this covers
+        the whole topology; blocks lost to an unrecovered rank failure
+        are absent (see :meth:`lost_blocks`)."""
         out: Dict[BlockID, np.ndarray] = {}
-        for rank in range(self.n_ranks):
+        for rank in self.alive_ranks:
             for bid, block in self.rank_blocks[rank].items():
                 out[bid] = block.interior.copy()
         return out
 
     def rank_cells(self) -> List[int]:
-        """Computational cells owned per rank (load distribution)."""
+        """Computational cells owned per *alive* rank (load distribution).
+
+        Dead ranks are excluded so post-recovery imbalance metrics
+        reflect the surviving machine rather than averaging in zeros."""
         return [
-            sum(b.n_cells for b in blocks.values())
-            for blocks in self.rank_blocks
+            sum(b.n_cells for b in self.rank_blocks[rank].values())
+            for rank in self.alive_ranks
         ]

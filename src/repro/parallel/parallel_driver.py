@@ -85,6 +85,7 @@ class ParallelSimulation:
         self.machine = VirtualMachine(n_ranks, spec, topology=topology)
         self.assignment: Assignment = sfc_partition(forest, n_ranks)
         self.n_steps = 0
+        self.dead_ranks: set = set()
         self._schedule_cache: Optional[MessageSchedule] = None
 
     # ------------------------------------------------------------------
@@ -92,6 +93,43 @@ class ParallelSimulation:
     @property
     def n_ranks(self) -> int:
         return self.machine.n_ranks
+
+    @property
+    def alive_ranks(self):
+        """PEs that have not been failed via :meth:`simulate_rank_failure`."""
+        return [r for r in range(self.n_ranks) if r not in self.dead_ranks]
+
+    def simulate_rank_failure(self, rank: int) -> float:
+        """Charge the cost of losing one PE and recovering without it.
+
+        Models the global rollback protocol of the resilience subsystem
+        on the machine's clock: the survivors repartition the SFC
+        ordering among themselves, and every block's checkpoint data is
+        re-sent from the I/O PE (the lowest surviving rank) to its new
+        owner.  Returns the wall time charged for the recovery step.
+        """
+        if not (0 <= rank < self.n_ranks):
+            raise ValueError(f"rank {rank} out of range")
+        if rank in self.dead_ranks:
+            raise ValueError(f"rank {rank} already failed")
+        self.dead_ranks.add(rank)
+        survivors = self.alive_ranks
+        if not survivors:
+            raise RuntimeError("cannot recover: every rank has failed")
+        chunks = sfc_partition(self.forest, len(survivors))
+        self.assignment = {
+            bid: survivors[r] for bid, r in chunks.items()
+        }
+        io_rank = survivors[0]
+        for bid, owner in self.assignment.items():
+            if owner != io_rank:
+                self.machine.message(
+                    io_rank,
+                    owner,
+                    migration_bytes(self.forest, bid, self.cost.nvar),
+                )
+        self.invalidate()
+        return self.machine.finish_step()
 
     def _cells_per_rank(self) -> np.ndarray:
         cells = np.zeros(self.n_ranks)

@@ -1,0 +1,68 @@
+"""Resilience subsystem: fault injection, checkpoint/restart, validation.
+
+Production block-AMR frameworks treat failure handling as a first-class
+subsystem; this package supplies that layer for the reproduction:
+
+* :mod:`repro.resilience.faults` — deterministic, seeded
+  :class:`FaultPlan` killing emulated ranks and dropping/corrupting
+  wire messages, plus the detection exceptions;
+* :mod:`repro.resilience.checkpoint` — rotating :class:`Checkpointer`
+  over the atomic, checksummed checkpoint format of
+  :mod:`repro.amr.io`;
+* :mod:`repro.resilience.recovery` — global rollback-and-replay
+  (:func:`run_with_recovery`) restoring a faulted emulated run
+  bit-for-bit;
+* :mod:`repro.resilience.validate` — :func:`validate_forest` invariant
+  checks (coverage, level jumps, neighbor symmetry, ghost consistency);
+* :mod:`repro.resilience.safestep` — post-step health scanning and the
+  structured :class:`StepFailure` surfaced by the driver's safe mode.
+"""
+
+from repro.resilience.checkpoint import Checkpointer, CheckpointInfo
+from repro.resilience.faults import (
+    FaultDetected,
+    FaultPlan,
+    MessageFailure,
+    MessageFault,
+    RankFailure,
+    RankKill,
+)
+from repro.resilience.recovery import (
+    RecoveryEvent,
+    ResilienceReport,
+    run_with_recovery,
+    snapshot_forest,
+)
+from repro.resilience.safestep import (
+    HealthIssue,
+    StepFailure,
+    UnrecoverableStep,
+    scan_forest_health,
+)
+from repro.resilience.validate import (
+    InvariantViolation,
+    assert_valid_forest,
+    validate_forest,
+)
+
+__all__ = [
+    "Checkpointer",
+    "CheckpointInfo",
+    "FaultDetected",
+    "FaultPlan",
+    "MessageFailure",
+    "MessageFault",
+    "RankFailure",
+    "RankKill",
+    "RecoveryEvent",
+    "ResilienceReport",
+    "run_with_recovery",
+    "snapshot_forest",
+    "HealthIssue",
+    "StepFailure",
+    "UnrecoverableStep",
+    "scan_forest_health",
+    "InvariantViolation",
+    "assert_valid_forest",
+    "validate_forest",
+]

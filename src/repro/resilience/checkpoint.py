@@ -1,0 +1,135 @@
+"""Checkpoint manager: rotation, discovery, and restart metadata.
+
+A :class:`Checkpointer` owns a directory of forest checkpoints written
+through :func:`repro.amr.io.save_forest` (atomic write, format version,
+content checksum) and keeps only the newest ``keep`` of them —
+the rotation policy every long-running AMR production code uses so disk
+usage stays bounded while a recent restart point always exists.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.amr.io import (
+    CheckpointError,
+    checkpoint_metadata,
+    load_forest,
+    save_forest,
+)
+from repro.core.forest import BlockForest
+
+__all__ = ["CheckpointInfo", "Checkpointer"]
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """One on-disk checkpoint: where it lives and when it was taken."""
+
+    path: Path
+    step: int
+    time: float
+
+
+class Checkpointer:
+    """Rotating checkpoint store for a simulation run.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files live (created if missing).
+    keep:
+        How many checkpoints to retain; older ones are deleted after
+        each save.
+    prefix:
+        Filename prefix; files are named ``<prefix>-<step:08d>.npz``.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        keep: int = 3,
+        prefix: str = "ckpt",
+    ) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.prefix = prefix
+        self._pattern = re.compile(re.escape(prefix) + r"-(\d+)\.npz$")
+
+    # ------------------------------------------------------------------
+
+    def _path_for(self, step: int) -> Path:
+        return self.directory / f"{self.prefix}-{step:08d}.npz"
+
+    def save(self, forest: BlockForest, *, step: int, time: float) -> CheckpointInfo:
+        """Atomically write a checkpoint and rotate out old ones."""
+        path = self._path_for(step)
+        save_forest(forest, path, time=time, step=step)
+        self._rotate()
+        return CheckpointInfo(path=path, step=step, time=time)
+
+    def _rotate(self) -> None:
+        entries = self._scan()
+        for step, path in entries[: -self.keep]:
+            path.unlink(missing_ok=True)
+
+    def _scan(self) -> List[Tuple[int, Path]]:
+        """(step, path) pairs of on-disk checkpoints, oldest first."""
+        out: List[Tuple[int, Path]] = []
+        for path in self.directory.iterdir():
+            m = self._pattern.match(path.name)
+            if m:
+                out.append((int(m.group(1)), path))
+        out.sort()
+        return out
+
+    # ------------------------------------------------------------------
+
+    def checkpoints(self) -> List[CheckpointInfo]:
+        """All verified checkpoints on disk, oldest first."""
+        out: List[CheckpointInfo] = []
+        for step, path in self._scan():
+            meta = checkpoint_metadata(path)
+            out.append(
+                CheckpointInfo(
+                    path=path,
+                    step=int(meta.get("step", step)),
+                    time=float(meta.get("time", 0.0)),
+                )
+            )
+        return out
+
+    def latest(self) -> Optional[CheckpointInfo]:
+        """Newest verified checkpoint, or None when the store is empty.
+
+        A corrupt newest file (failed checksum, truncated) is skipped so
+        recovery can fall back to the previous one — the reason more
+        than one checkpoint is kept.
+        """
+        for step, path in reversed(self._scan()):
+            try:
+                meta = checkpoint_metadata(path)
+            except CheckpointError:
+                continue
+            return CheckpointInfo(
+                path=path,
+                step=int(meta.get("step", step)),
+                time=float(meta.get("time", 0.0)),
+            )
+        return None
+
+    def load_latest(self) -> Tuple[BlockForest, CheckpointInfo]:
+        """Load the newest usable checkpoint."""
+        info = self.latest()
+        if info is None:
+            raise CheckpointError(
+                f"no usable checkpoint found in {self.directory}"
+            )
+        return load_forest(info.path), info

@@ -1,0 +1,169 @@
+"""Deterministic fault injection for the emulated distributed machine.
+
+A :class:`FaultPlan` scripts failures against an emulated run: killing
+ranks before a chosen step and dropping or corrupting individual wire
+messages of a chosen exchange.  Plans are deterministic — either built
+explicitly from :class:`RankKill` / :class:`MessageFault` records or
+generated from a seed via :meth:`FaultPlan.random` — so every failure
+scenario is exactly reproducible.
+
+Faults are *one-shot*: once a fault has fired it is consumed and will
+not fire again when the recovery machinery replays the same steps from
+a checkpoint (the emulated analogue of a transient hardware failure).
+
+The machine raises the exceptions defined here at the moment it
+*detects* the failure — lost blocks after a rank death, a missing or
+checksum-mismatched payload — and the recovery driver
+(:func:`repro.resilience.recovery.run_with_recovery`) catches them and
+rolls the machine back to the last checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FaultDetected",
+    "RankFailure",
+    "MessageFailure",
+    "RankKill",
+    "MessageFault",
+    "FaultPlan",
+]
+
+
+class FaultDetected(RuntimeError):
+    """Base class: the emulated machine noticed an injected failure."""
+
+
+class RankFailure(FaultDetected):
+    """A rank died and its blocks are lost."""
+
+    def __init__(self, step: int, ranks: Tuple[int, ...], lost_blocks: Tuple) -> None:
+        self.step = step
+        self.ranks = tuple(ranks)
+        self.lost_blocks = tuple(lost_blocks)
+        super().__init__(
+            f"rank(s) {list(self.ranks)} failed before step {step}; "
+            f"{len(self.lost_blocks)} block(s) lost"
+        )
+
+
+class MessageFailure(FaultDetected):
+    """A wire message was dropped or failed its content checksum."""
+
+    def __init__(self, step: int, index: int, mode: str, dst_id, src_id) -> None:
+        self.step = step
+        self.index = index
+        self.mode = mode
+        self.dst_id = dst_id
+        self.src_id = src_id
+        what = "lost in transit" if mode == "drop" else "failed checksum"
+        super().__init__(
+            f"message {index} of step {step} ({src_id} -> {dst_id}) {what}"
+        )
+
+
+_MESSAGE_MODES = ("drop", "corrupt")
+
+
+@dataclass(frozen=True)
+class RankKill:
+    """Kill ``rank`` immediately before the machine executes ``step``."""
+
+    step: int
+    rank: int
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Tamper with the ``index``-th wire message of ``step``.
+
+    ``mode`` is ``"drop"`` (the message never arrives) or ``"corrupt"``
+    (the payload is bit-flipped, caught by the receiver's checksum).
+    Message indices count remote payloads from the start of the step's
+    :meth:`~repro.parallel.emulator.EmulatedMachine.advance`, in the
+    machine's deterministic exchange order.
+    """
+
+    step: int
+    index: int
+    mode: str = "corrupt"
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MESSAGE_MODES:
+            raise ValueError(
+                f"mode must be one of {_MESSAGE_MODES}, got {self.mode!r}"
+            )
+
+
+class FaultPlan:
+    """A scripted, deterministic set of faults for one emulated run."""
+
+    def __init__(
+        self,
+        kills: Iterable[RankKill] = (),
+        message_faults: Iterable[MessageFault] = (),
+    ) -> None:
+        self.kills: Tuple[RankKill, ...] = tuple(kills)
+        self.message_faults: Tuple[MessageFault, ...] = tuple(message_faults)
+        self._fired: Set = set()
+
+    @classmethod
+    def random(
+        cls,
+        *,
+        seed: int,
+        n_steps: int,
+        n_ranks: int,
+        n_kills: int = 1,
+        n_message_faults: int = 0,
+    ) -> "FaultPlan":
+        """Seeded random plan: ``n_kills`` distinct rank deaths (always
+        leaving at least one survivor) and ``n_message_faults`` message
+        faults spread over steps ``1..n_steps-1``."""
+        if n_kills >= n_ranks:
+            raise ValueError("must leave at least one surviving rank")
+        rng = np.random.default_rng(seed)
+        hi = max(n_steps, 2)
+        doomed = rng.choice(n_ranks, size=n_kills, replace=False)
+        kills = [
+            RankKill(int(rng.integers(1, hi)), int(r)) for r in doomed
+        ]
+        faults = [
+            MessageFault(
+                int(rng.integers(1, hi)),
+                int(rng.integers(0, 8)),
+                _MESSAGE_MODES[int(rng.integers(0, 2))],
+            )
+            for _ in range(n_message_faults)
+        ]
+        return cls(kills, faults)
+
+    # ------------------------------------------------------------------
+
+    def kills_at(self, step: int) -> List[int]:
+        """Ranks to kill before executing ``step`` (consumed, one-shot)."""
+        out: List[int] = []
+        for k in self.kills:
+            if k.step == step and k not in self._fired:
+                self._fired.add(k)
+                out.append(k.rank)
+        return out
+
+    def message_fault(self, step: int, index: int) -> Optional[str]:
+        """Fault mode for this step's ``index``-th wire message, if any
+        (consumed, one-shot)."""
+        for mf in self.message_faults:
+            if mf.step == step and mf.index == index and mf not in self._fired:
+                self._fired.add(mf)
+                return mf.mode
+        return None
+
+    @property
+    def pending(self) -> int:
+        """Faults that have not fired yet."""
+        return len(self.kills) + len(self.message_faults) - len(self._fired)

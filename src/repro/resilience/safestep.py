@@ -1,0 +1,107 @@
+"""Safe stepping: post-step health checks, rollback, and dt retry.
+
+A hyperbolic step that goes unstable — too-aggressive ``dt``, a shock
+hitting a coarse-fine interface, a pathological limiter state — shows up
+as NaN/Inf in the conserved variables or as negative density/pressure.
+Left alone, the poison spreads through the ghost exchange and silently
+destroys the whole run.
+
+The serial driver's *safe mode* (``Simulation(..., safe_mode=True)``)
+uses this module: after every advance it scans the forest
+(:func:`scan_forest_health`), and on a detected failure rolls the
+interiors back to the pre-step snapshot, halves ``dt``, and retries a
+bounded number of times.  If the state never becomes healthy a
+structured :class:`StepFailure` is surfaced via
+:class:`UnrecoverableStep` instead of a silent divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.forest import BlockForest
+from repro.solvers.scheme import FVScheme
+
+__all__ = [
+    "HealthIssue",
+    "StepFailure",
+    "UnrecoverableStep",
+    "scan_forest_health",
+]
+
+
+@dataclass(frozen=True)
+class HealthIssue:
+    """First unhealthy value found in a forest scan."""
+
+    reason: str  #: "non-finite" | "non-positive"
+    block: object  #: BlockID of the offending block
+    variable: int  #: conserved (non-finite) or primitive (positivity) index
+    n_bad: int  #: unhealthy cells in that block
+
+    def __str__(self) -> str:
+        return (
+            f"{self.reason} state in block {self.block} "
+            f"(variable {self.variable}, {self.n_bad} cell(s))"
+        )
+
+
+@dataclass(frozen=True)
+class StepFailure:
+    """Structured report of a step that could not be completed safely."""
+
+    step: int  #: step index that failed (0-based attempt)
+    time: float  #: simulation time the step started from
+    dt_attempts: Tuple[float, ...]  #: every dt tried, largest first
+    issue: HealthIssue  #: what the last attempt's scan found
+
+    def __str__(self) -> str:
+        tried = ", ".join(f"{dt:.3e}" for dt in self.dt_attempts)
+        return (
+            f"step {self.step} at t={self.time:.6g} failed after "
+            f"{len(self.dt_attempts)} attempt(s) (dt tried: {tried}): "
+            f"{self.issue}"
+        )
+
+
+class UnrecoverableStep(RuntimeError):
+    """Raised when safe mode exhausts its dt retries."""
+
+    def __init__(self, failure: StepFailure) -> None:
+        self.failure = failure
+        super().__init__(str(failure))
+
+
+def scan_forest_health(
+    forest: BlockForest, scheme: FVScheme
+) -> Optional[HealthIssue]:
+    """First health problem in the forest's interiors, or None.
+
+    Checks every conserved variable for NaN/Inf, then — for schemes
+    declaring :attr:`FVScheme.positivity_indices` (density, pressure) —
+    converts to primitives and checks those stay strictly positive.
+    """
+    positivity = getattr(scheme, "positivity_indices", ())
+    for block in forest:
+        u = block.interior
+        finite = np.isfinite(u)
+        if not finite.all():
+            bad = ~finite
+            var = int(np.argmax(bad.reshape(u.shape[0], -1).any(axis=1)))
+            return HealthIssue("non-finite", block.id, var, int(bad.sum()))
+        if positivity:
+            # Check the conserved variables too: cons_to_prim may apply
+            # a floor (Euler/MHD density), which would otherwise mask a
+            # negative conserved density.
+            w = scheme.cons_to_prim(u)
+            for var in positivity:
+                for arr in (u, w):
+                    bad = ~(arr[var] > 0.0)
+                    if bad.any():
+                        return HealthIssue(
+                            "non-positive", block.id, int(var), int(bad.sum())
+                        )
+    return None

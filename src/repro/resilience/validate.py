@@ -1,0 +1,216 @@
+"""Forest invariant validation.
+
+:func:`validate_forest` checks every structural invariant the adaptive
+block design relies on and returns a list of
+:class:`InvariantViolation` records (empty = healthy):
+
+* **coverage** — the leaves tile the domain exactly once, and no leaf
+  is a descendant of another leaf;
+* **level-jump** — adjacent leaves differ by at most
+  ``max_level_jump`` levels (the paper's refinement-level constraint);
+* **neighbor pointers** — every stored face-neighbor pointer matches a
+  fresh recomputation, and pointers are symmetric (if A lists B, B
+  lists A across the opposite face);
+* **ghost consistency** — every ghost cell holds exactly what a fresh
+  exchange would put there (run this *after* an exchange; it detects
+  stale or scribbled halos).
+
+The ghost check is side-effect free: block data is snapshotted,
+a reference exchange is run, and the original data — stale ghosts
+included — is restored before returning, so a validator pass never
+masks the corruption it reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.forest import BlockForest, ForestError
+from repro.core.ghost import BoundaryHandler, fill_ghosts
+
+__all__ = ["InvariantViolation", "validate_forest", "assert_valid_forest"]
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One detected breach of a forest invariant."""
+
+    check: str  #: "coverage" | "overlap" | "level-jump" | "neighbor" | "ghost"
+    block: Optional[object]  #: offending BlockID (None for global checks)
+    detail: str
+
+    def __str__(self) -> str:
+        where = f" at {self.block}" if self.block is not None else ""
+        return f"[{self.check}]{where}: {self.detail}"
+
+
+def _check_coverage(forest: BlockForest, out: List[InvariantViolation]) -> None:
+    total = sum(forest.blocks[bid].box.volume for bid in forest.blocks)
+    if not np.isclose(total, forest.domain.volume, rtol=1e-10):
+        out.append(
+            InvariantViolation(
+                "coverage",
+                None,
+                f"leaf volume {total} != domain volume {forest.domain.volume}",
+            )
+        )
+    for bid in forest.blocks:
+        anc = bid
+        while anc.level > 0:
+            anc = anc.parent
+            if anc in forest.blocks:
+                out.append(
+                    InvariantViolation(
+                        "overlap",
+                        bid,
+                        f"leaf {bid} and its ancestor {anc} are both present",
+                    )
+                )
+                break
+
+
+def _check_level_jumps(forest: BlockForest, out: List[InvariantViolation]) -> None:
+    for bid, block in forest.blocks.items():
+        for fn in block.face_neighbors.values():
+            for nid in fn.ids:
+                if abs(nid.level - bid.level) > forest.max_level_jump:
+                    out.append(
+                        InvariantViolation(
+                            "level-jump",
+                            bid,
+                            f"level {bid.level} faces leaf {nid} at level "
+                            f"{nid.level} (max jump {forest.max_level_jump})",
+                        )
+                    )
+
+
+def _check_neighbor_pointers(
+    forest: BlockForest, out: List[InvariantViolation]
+) -> None:
+    from repro.util.geometry import iter_faces, opposite_face, face_axis
+
+    for bid, block in forest.blocks.items():
+        for face in iter_faces(forest.ndim):
+            stored = block.face_neighbors.get(face)
+            if stored is None:
+                out.append(
+                    InvariantViolation(
+                        "neighbor", bid, f"face {face} has no neighbor pointer"
+                    )
+                )
+                continue
+            try:
+                fresh = forest.find_face_neighbors(bid, face)
+            except ForestError as exc:
+                out.append(InvariantViolation("neighbor", bid, str(exc)))
+                continue
+            if stored != fresh:
+                out.append(
+                    InvariantViolation(
+                        "neighbor",
+                        bid,
+                        f"face {face} pointer {stored} is stale "
+                        f"(recomputed: {fresh})",
+                    )
+                )
+                continue
+            # Symmetry: every listed neighbor must point back at me on
+            # faces of the same axis (a coarser neighbor's pointer may
+            # list my siblings too; mine must be among them).
+            axis = face_axis(face)
+            for nid in stored.ids:
+                if nid not in forest.blocks:
+                    out.append(
+                        InvariantViolation(
+                            "neighbor",
+                            bid,
+                            f"face {face} points at {nid}, which is not a leaf",
+                        )
+                    )
+                    continue
+                back_ids = set()
+                for back_face in (2 * axis, 2 * axis + 1):
+                    back = forest.blocks[nid].face_neighbors.get(back_face)
+                    if back is not None:
+                        back_ids.update(back.ids)
+                if bid not in back_ids:
+                    out.append(
+                        InvariantViolation(
+                            "neighbor",
+                            bid,
+                            f"asymmetric pointer: face {face} lists {nid}, "
+                            f"which does not point back",
+                        )
+                    )
+
+
+def _check_ghosts(
+    forest: BlockForest,
+    bc: Optional[BoundaryHandler],
+    out: List[InvariantViolation],
+) -> None:
+    saved = {bid: blk.data.copy() for bid, blk in forest.blocks.items()}
+    try:
+        fill_ghosts(forest, bc)
+        for bid, blk in forest.blocks.items():
+            if not np.array_equal(blk.data, saved[bid], equal_nan=True):
+                n_bad = int(
+                    np.sum(
+                        ~(
+                            (blk.data == saved[bid])
+                            | (np.isnan(blk.data) & np.isnan(saved[bid]))
+                        )
+                    )
+                )
+                out.append(
+                    InvariantViolation(
+                        "ghost",
+                        bid,
+                        f"{n_bad} ghost value(s) differ from a fresh exchange",
+                    )
+                )
+    finally:
+        for bid, blk in forest.blocks.items():
+            blk.data[...] = saved[bid]
+
+
+def validate_forest(
+    forest: BlockForest,
+    *,
+    bc: Optional[BoundaryHandler] = None,
+    check_ghosts: bool = True,
+) -> List[InvariantViolation]:
+    """Run every invariant check; return all violations found.
+
+    ``bc`` must match the boundary handler the simulation uses so the
+    ghost reference exchange reproduces the run's halos.  Set
+    ``check_ghosts=False`` when ghosts are legitimately stale (e.g.
+    right after :meth:`BlockForest.adapt`, before the next exchange).
+    """
+    out: List[InvariantViolation] = []
+    _check_coverage(forest, out)
+    _check_level_jumps(forest, out)
+    _check_neighbor_pointers(forest, out)
+    # A structurally broken forest would crash the reference exchange;
+    # only probe ghosts once the topology checks pass.
+    if check_ghosts and not out:
+        _check_ghosts(forest, bc, out)
+    return out
+
+
+def assert_valid_forest(
+    forest: BlockForest,
+    *,
+    bc: Optional[BoundaryHandler] = None,
+    check_ghosts: bool = True,
+) -> None:
+    """Raise :class:`ForestError` listing every violation found."""
+    violations = validate_forest(forest, bc=bc, check_ghosts=check_ghosts)
+    if violations:
+        raise ForestError(
+            "forest invariant validation failed:\n"
+            + "\n".join(f"  - {v}" for v in violations)
+        )

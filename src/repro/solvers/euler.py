@@ -73,6 +73,12 @@ class EulerScheme(FVScheme):
             src[self.layout.i_energy] += u_interior[1 + a] * grav
         return src
 
+    @property
+    def positivity_indices(self):
+        # Density and pressure (primitive layout [rho, u..., p]); the
+        # matching conserved slots (rho, E) must be positive too.
+        return (0, self.nvar - 1)
+
     def cons_to_prim(self, u: np.ndarray) -> np.ndarray:
         return self.layout.cons_to_prim(u)
 

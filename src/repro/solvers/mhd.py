@@ -84,6 +84,12 @@ class MHDScheme(FVScheme):
             np.maximum(w[4], self.p_floor, out=w[4])
         u[...] = self.layout.prim_to_cons(w)
 
+    @property
+    def positivity_indices(self):
+        # Density and pressure (primitive layout [rho, u, p, B]); the
+        # matching conserved slots (rho, E) must be positive too.
+        return (0, 4)
+
     def cons_to_prim(self, u: np.ndarray) -> np.ndarray:
         return self.layout.cons_to_prim(u)
 

@@ -74,6 +74,13 @@ class FVScheme(ABC):
         """Ghost layers the scheme needs (1 for order 1, 2 for MUSCL)."""
         return self.order
 
+    @property
+    def positivity_indices(self) -> Tuple[int, ...]:
+        """Primitive-variable indices that must stay strictly positive
+        (density, pressure).  Used by the safe-stepping health scan;
+        base schemes have none."""
+        return ()
+
     # ------------------------------------------------------------------
     # physics hooks implemented by subclasses
     # ------------------------------------------------------------------

@@ -59,6 +59,65 @@ class TestRun:
         assert "conserved totals" in out
         assert "blocks:" in out
 
+    def test_info_validate(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.npz")
+        assert main(["run", "pulse", "--steps", "2", "--save", ck]) == 0
+        capsys.readouterr()
+        assert main(["info", ck, "--validate"]) == 0
+        assert "forest invariants: OK" in capsys.readouterr().out
+
+    def test_info_rejects_corrupt_checkpoint(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"garbage")
+        assert main(["info", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestResilienceFlags:
+    def test_checkpoint_every_rotates(self, tmp_path, capsys):
+        ckdir = tmp_path / "ckpts"
+        rc = main([
+            "run", "pulse", "--steps", "5",
+            "--checkpoint-every", "1", "--checkpoint-dir", str(ckdir),
+            "--checkpoint-keep", "2",
+        ])
+        assert rc == 0
+        assert "checkpoint ->" in capsys.readouterr().out
+        names = sorted(p.name for p in ckdir.glob("*.npz"))
+        assert names == ["ckpt-00000004.npz", "ckpt-00000005.npz"]
+
+    def test_resume_continues_from_checkpoint(self, tmp_path, capsys):
+        ckdir = tmp_path / "ckpts"
+        assert main([
+            "run", "pulse", "--steps", "3",
+            "--checkpoint-every", "1", "--checkpoint-dir", str(ckdir),
+        ]) == 0
+        capsys.readouterr()
+        rc = main([
+            "run", "pulse", "--steps", "5", "--report-every", "1",
+            "--resume", str(ckdir / "ckpt-00000003.npz"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resumed from" in out and "at step 3" in out
+        assert "     5 " in out  # reached the absolute step target
+
+    def test_resume_rejects_bad_checkpoint(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"garbage")
+        rc = main(["run", "pulse", "--steps", "2", "--resume", str(bad)])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_safe_mode_flag(self, capsys):
+        rc = main(["run", "pulse", "--steps", "2", "--safe-mode"])
+        assert rc == 0
+
+    def test_checkpoint_every_must_be_positive(self, capsys):
+        rc = main(["run", "pulse", "--steps", "2", "--checkpoint-every", "0"])
+        assert rc == 2
+        assert "--checkpoint-every" in capsys.readouterr().err
+
 
 class TestOtherCommands:
     def test_fig5(self, capsys):
@@ -94,3 +153,33 @@ class TestEmulate:
         assert rc == 0
         assert "wire messages:" in out
         assert "cells/rank" in out
+
+    def test_emulate_survives_rank_kill(self, tmp_path, capsys):
+        rc = main([
+            "emulate", "pulse", "--ranks", "4", "--steps", "5",
+            "--kill", "2:1", "--checkpoint-every", "1",
+            "--checkpoint-dir", str(tmp_path / "ck"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "recovered from rank-failure at step 2" in out
+        assert "survivors: ranks [0, 2, 3]" in out
+        assert "max |emulated - serial| = 0.000e+00" in out
+
+    @pytest.mark.parametrize("flag,kind", [
+        ("--drop-message", "message-drop"),
+        ("--corrupt-message", "message-corrupt"),
+    ])
+    def test_emulate_survives_message_fault(self, flag, kind, capsys):
+        rc = main([
+            "emulate", "pulse", "--ranks", "3", "--steps", "4",
+            flag, "1:5",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"recovered from {kind} at step 1" in out
+        assert "max |emulated - serial| = 0.000e+00" in out
+
+    def test_emulate_rejects_malformed_fault_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["emulate", "pulse", "--kill", "nonsense"])

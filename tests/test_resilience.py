@@ -1,0 +1,457 @@
+"""Tests for the resilience subsystem (repro.resilience).
+
+Covers the three pillars:
+
+* deterministic fault injection + rollback recovery on the emulated
+  machine, with the headline oracle that a recovered faulty run matches
+  the fault-free serial driver **bit-for-bit**;
+* the rotating checkpoint manager (atomic writes, corrupt-newest
+  fallback);
+* the forest invariant validator and the driver's safe mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.amr import Simulation, advecting_pulse
+from repro.amr.io import CheckpointError, save_forest
+from repro.core import BlockForest, BlockID
+from repro.core.forest import ForestError
+from repro.core.ghost import fill_ghosts
+from repro.parallel.emulator import EmulatedMachine
+from repro.resilience import (
+    Checkpointer,
+    FaultPlan,
+    HealthIssue,
+    MessageFailure,
+    MessageFault,
+    RankFailure,
+    RankKill,
+    UnrecoverableStep,
+    assert_valid_forest,
+    run_with_recovery,
+    scan_forest_health,
+    validate_forest,
+)
+from repro.solvers import AdvectionScheme, EulerScheme
+from repro.util.geometry import Box
+
+
+def make_amr_forest(nvar=1, periodic=(True, True)):
+    f = BlockForest(
+        Box((0.0, 0.0), (1.0, 1.0)), (2, 2), (8, 8), nvar=nvar,
+        n_ghost=2, periodic=periodic, max_level=3,
+    )
+    f.adapt([BlockID(0, (0, 0)), BlockID(0, (1, 1))])
+    f.adapt([BlockID(1, (1, 1))])
+    return f
+
+
+def init_pulse(forest):
+    for b in forest:
+        X, Y = b.meshgrid()
+        b.interior[0] = np.exp(-50 * ((X - 0.5) ** 2 + (Y - 0.5) ** 2))
+
+
+def serial_reference(scheme, n_steps, dt):
+    forest = make_amr_forest()
+    init_pulse(forest)
+    sim = Simulation(forest, scheme)
+    for _ in range(n_steps):
+        sim.advance(dt)
+    return forest
+
+
+# ---------------------------------------------------------------------------
+# fault plans
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_random_is_deterministic(self):
+        a = FaultPlan.random(seed=7, n_steps=10, n_ranks=4, n_kills=2,
+                             n_message_faults=3)
+        b = FaultPlan.random(seed=7, n_steps=10, n_ranks=4, n_kills=2,
+                             n_message_faults=3)
+        assert a.kills == b.kills
+        assert a.message_faults == b.message_faults
+        c = FaultPlan.random(seed=8, n_steps=10, n_ranks=4, n_kills=2,
+                             n_message_faults=3)
+        assert (a.kills, a.message_faults) != (c.kills, c.message_faults)
+
+    def test_random_leaves_a_survivor(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(seed=0, n_steps=5, n_ranks=3, n_kills=3)
+
+    def test_faults_are_one_shot(self):
+        plan = FaultPlan(
+            kills=[RankKill(step=2, rank=1)],
+            message_faults=[MessageFault(step=3, index=0, mode="drop")],
+        )
+        assert plan.pending == 2
+        assert plan.kills_at(1) == []
+        assert plan.kills_at(2) == [1]
+        assert plan.kills_at(2) == []  # consumed
+        assert plan.message_fault(3, 0) == "drop"
+        assert plan.message_fault(3, 0) is None  # consumed
+        assert plan.pending == 0
+
+    def test_bad_message_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MessageFault(step=1, index=0, mode="explode")
+
+
+# ---------------------------------------------------------------------------
+# emulator fault handling
+# ---------------------------------------------------------------------------
+
+
+class TestEmulatorFaults:
+    def test_kill_rank_updates_liveness_and_guards(self):
+        scheme = AdvectionScheme((1.0, 0.5), order=2)
+        forest = make_amr_forest()
+        init_pulse(forest)
+        emu = EmulatedMachine(forest, 4, scheme)
+        assert emu.alive_ranks == [0, 1, 2, 3]
+        emu.kill_rank(1)
+        assert emu.alive_ranks == [0, 2, 3]
+        assert emu.lost_blocks()  # its blocks are unowned now
+        # gather()/rank_cells() skip the dead rank instead of crashing.
+        gathered = emu.gather()
+        assert len(gathered) < forest.n_blocks
+        assert len(emu.rank_cells()) == 3
+        # An exchange with unowned blocks is refused with a clear error.
+        with pytest.raises(RuntimeError, match="lost"):
+            emu.exchange()
+
+    def test_restore_repartitions_over_survivors(self, tmp_path):
+        scheme = AdvectionScheme((1.0, 0.5), order=2)
+        forest = make_amr_forest()
+        init_pulse(forest)
+        emu = EmulatedMachine(forest, 4, scheme)
+        ckpt = Checkpointer(tmp_path)
+        ckpt.save(forest, step=0, time=0.0)
+        emu.advance(1e-3)
+        emu.kill_rank(2)
+        restored, info = ckpt.load_latest()
+        emu.restore(restored, time=info.time, step_index=info.step)
+        assert not emu.lost_blocks()
+        assert emu.time == 0.0 and emu.step_index == 0
+        assert set(emu.assignment.values()) <= {0, 1, 3}
+        gathered = emu.gather()
+        for bid, blk in forest.blocks.items():
+            np.testing.assert_array_equal(gathered[bid], blk.interior)
+
+    def test_rank_kill_raises_rank_failure(self):
+        scheme = AdvectionScheme((1.0, 0.5), order=2)
+        forest = make_amr_forest()
+        init_pulse(forest)
+        plan = FaultPlan(kills=[RankKill(step=0, rank=0)])
+        emu = EmulatedMachine(forest, 3, scheme, fault_plan=plan)
+        with pytest.raises(RankFailure) as exc:
+            emu.advance(1e-3)
+        assert exc.value.ranks == (0,)
+        assert exc.value.lost_blocks
+
+    @pytest.mark.parametrize("mode", ["drop", "corrupt"])
+    def test_message_fault_raises_message_failure(self, mode):
+        scheme = AdvectionScheme((1.0, 0.5), order=2)
+        forest = make_amr_forest()
+        init_pulse(forest)
+        plan = FaultPlan(
+            message_faults=[MessageFault(step=0, index=3, mode=mode)]
+        )
+        emu = EmulatedMachine(forest, 4, scheme, fault_plan=plan)
+        with pytest.raises(MessageFailure) as exc:
+            emu.advance(1e-3)
+        assert exc.value.mode == mode
+        assert exc.value.index == 3
+
+
+# ---------------------------------------------------------------------------
+# recovery: the bit-for-bit acceptance criterion
+# ---------------------------------------------------------------------------
+
+
+class TestRecovery:
+    N_STEPS = 6
+    DT = 1e-3
+
+    def _run(self, plan, tmp_path, n_ranks=4, checkpoint_every=2):
+        scheme = AdvectionScheme((1.0, 0.5), order=2)
+        forest = make_amr_forest()
+        init_pulse(forest)
+        emu = EmulatedMachine(forest, n_ranks, scheme, fault_plan=plan)
+        report = run_with_recovery(
+            emu,
+            n_steps=self.N_STEPS,
+            dt=self.DT,
+            checkpointer=Checkpointer(tmp_path),
+            checkpoint_every=checkpoint_every,
+        )
+        reference = serial_reference(scheme, self.N_STEPS, self.DT)
+        gathered = emu.gather()
+        worst = 0.0
+        for bid, blk in reference.blocks.items():
+            worst = max(worst, float(np.abs(gathered[bid] - blk.interior).max()))
+        return emu, report, worst
+
+    def test_rank_failure_recovers_bit_for_bit(self, tmp_path):
+        plan = FaultPlan(kills=[RankKill(step=3, rank=1)])
+        emu, report, worst = self._run(plan, tmp_path)
+        assert worst == 0.0
+        assert emu.alive_ranks == [0, 2, 3]
+        assert report.steps_completed == self.N_STEPS
+        (event,) = report.events
+        assert event.kind == "rank-failure"
+        assert event.step == 3
+        assert event.restored_from_step == 2
+        assert event.replayed_steps == 1
+
+    @pytest.mark.parametrize("mode", ["drop", "corrupt"])
+    def test_message_fault_recovers_bit_for_bit(self, mode, tmp_path):
+        plan = FaultPlan(
+            message_faults=[MessageFault(step=2, index=7, mode=mode)]
+        )
+        emu, report, worst = self._run(plan, tmp_path, n_ranks=3,
+                                       checkpoint_every=1)
+        assert worst == 0.0
+        assert emu.alive_ranks == [0, 1, 2]
+        (event,) = report.events
+        assert event.kind == f"message-{mode}"
+
+    def test_multiple_faults_recover_bit_for_bit(self, tmp_path):
+        plan = FaultPlan(
+            kills=[RankKill(step=1, rank=3), RankKill(step=4, rank=0)],
+            message_faults=[MessageFault(step=2, index=0, mode="corrupt")],
+        )
+        emu, report, worst = self._run(plan, tmp_path, checkpoint_every=1)
+        assert worst == 0.0
+        assert emu.alive_ranks == [1, 2]
+        assert len(report.events) == 3
+        assert plan.pending == 0
+
+    def test_recovery_budget_is_bounded(self, tmp_path):
+        plan = FaultPlan(kills=[RankKill(step=1, rank=1)])
+        scheme = AdvectionScheme((1.0, 0.5), order=2)
+        forest = make_amr_forest()
+        init_pulse(forest)
+        emu = EmulatedMachine(forest, 4, scheme, fault_plan=plan)
+        with pytest.raises(RankFailure):
+            run_with_recovery(
+                emu, n_steps=4, dt=self.DT,
+                checkpointer=Checkpointer(tmp_path),
+                max_recoveries=0,
+            )
+
+
+# ---------------------------------------------------------------------------
+# checkpoint manager
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointer:
+    def _forest(self):
+        forest = make_amr_forest()
+        init_pulse(forest)
+        return forest
+
+    def test_rotation_keeps_newest(self, tmp_path):
+        forest = self._forest()
+        ckpt = Checkpointer(tmp_path, keep=2)
+        for step in (1, 2, 3, 4):
+            ckpt.save(forest, step=step, time=0.1 * step)
+        infos = ckpt.checkpoints()
+        assert [i.step for i in infos] == [3, 4]
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+
+    def test_latest_skips_corrupt_newest(self, tmp_path):
+        forest = self._forest()
+        ckpt = Checkpointer(tmp_path, keep=3)
+        ckpt.save(forest, step=1, time=0.1)
+        info2 = ckpt.save(forest, step=2, time=0.2)
+        info2.path.write_bytes(b"not a checkpoint at all")
+        latest = ckpt.latest()
+        assert latest is not None and latest.step == 1
+        restored, info = ckpt.load_latest()
+        assert info.step == 1
+        assert set(restored.blocks) == set(forest.blocks)
+
+    def test_empty_store_raises(self, tmp_path):
+        ckpt = Checkpointer(tmp_path)
+        assert ckpt.latest() is None
+        with pytest.raises(CheckpointError):
+            ckpt.load_latest()
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            Checkpointer(tmp_path, keep=0)
+
+
+# ---------------------------------------------------------------------------
+# forest invariant validation
+# ---------------------------------------------------------------------------
+
+
+class TestValidateForest:
+    def test_clean_forest_passes(self):
+        forest = make_amr_forest()
+        init_pulse(forest)
+        fill_ghosts(forest)
+        assert validate_forest(forest) == []
+        assert_valid_forest(forest)  # should not raise
+
+    def test_passes_after_every_adapt_of_a_driven_run(self):
+        # Property: whatever sequence of refinements/coarsenings the
+        # criterion produces, the forest invariants hold after each one.
+        problem = advecting_pulse(2)
+        sim = problem.build(adaptive=True)
+        for _ in range(8):
+            sim.step()
+            sim.fill_ghosts()
+            violations = validate_forest(sim.forest, bc=problem.bc)
+            assert violations == [], [str(v) for v in violations]
+
+    def test_missing_leaf_breaks_coverage(self):
+        forest = make_amr_forest()
+        dropped = next(iter(forest.blocks))
+        del forest.blocks[dropped]
+        checks = {v.check for v in validate_forest(forest, check_ghosts=False)}
+        assert "coverage" in checks
+
+    def test_level_jump_violation_detected(self):
+        # Refine one corner three levels deep *without* the cascade
+        # adapt() would perform: level 3 then touches level 0.
+        forest = BlockForest(
+            Box((0.0, 0.0), (1.0, 1.0)), (2, 2), (4, 4), nvar=1,
+            n_ghost=2, periodic=(True, True), max_level=4,
+        )
+        forest.refine(BlockID(0, (0, 0)), update=False)
+        forest.refine(BlockID(1, (0, 0)), update=False)
+        forest.refine(BlockID(2, (0, 0)), update=False)
+        forest.update_neighbors()
+        checks = {v.check for v in validate_forest(forest, check_ghosts=False)}
+        assert "level-jump" in checks
+        with pytest.raises(ForestError):
+            assert_valid_forest(forest, check_ghosts=False)
+
+    def test_stale_neighbor_pointer_detected(self):
+        forest = make_amr_forest()
+        block = forest.blocks[next(iter(forest.blocks))]
+        face, good = next(iter(block.face_neighbors.items()))
+        other = next(f for f in block.face_neighbors if f != face)
+        block.face_neighbors[face] = block.face_neighbors[other]
+        violations = validate_forest(forest, check_ghosts=False)
+        assert any(v.check == "neighbor" for v in violations)
+
+    def test_scribbled_ghost_detected(self):
+        forest = make_amr_forest()
+        init_pulse(forest)
+        fill_ghosts(forest)
+        block = forest.blocks[next(iter(forest.blocks))]
+        block.data[0, 0, 0] = 999.0  # corner ghost cell
+        violations = validate_forest(forest)
+        assert any(v.check == "ghost" for v in violations)
+        # The check must not mutate the (broken) state it inspected.
+        assert block.data[0, 0, 0] == 999.0
+
+
+# ---------------------------------------------------------------------------
+# safe stepping
+# ---------------------------------------------------------------------------
+
+
+class FragileAdvection(AdvectionScheme):
+    """Poisons the predictor state whenever its dt exceeds a limit."""
+
+    def __init__(self, *args, dt_limit, **kw):
+        super().__init__(*args, **kw)
+        self.dt_limit = dt_limit
+
+    def step(self, u, dx, dt, g):
+        super().step(u, dx, dt, g)
+        if dt > self.dt_limit:
+            u[0, g, g] = np.nan
+
+
+class TestSafeMode:
+    def _sim(self, dt_limit, **kw):
+        scheme = FragileAdvection((1.0, 0.5), order=2, dt_limit=dt_limit)
+        forest = make_amr_forest()
+        init_pulse(forest)
+        return Simulation(forest, scheme, safe_mode=True, **kw)
+
+    def test_dt_halving_recovers(self):
+        dt = 1e-3
+        # The predictor runs at dt/2; make the first attempt poison and
+        # the halved retry succeed.
+        sim = self._sim(dt_limit=0.3 * dt)
+        rec = sim.step(dt)
+        assert rec.dt == pytest.approx(0.5 * dt)
+        assert sim.time == pytest.approx(0.5 * dt)
+        assert scan_forest_health(sim.forest, sim.scheme) is None
+
+    def test_unrecoverable_step_is_structured(self):
+        dt = 1e-3
+        sim = self._sim(dt_limit=0.0, max_step_retries=2)  # always poisons
+        with pytest.raises(UnrecoverableStep) as exc:
+            sim.step(dt)
+        failure = exc.value.failure
+        assert failure.step == 0
+        assert failure.time == 0.0
+        assert len(failure.dt_attempts) == 3
+        assert failure.dt_attempts[0] == pytest.approx(dt)
+        assert failure.issue.reason == "non-finite"
+        # The rollback left the pre-step state intact.
+        assert sim.time == 0.0
+        assert scan_forest_health(sim.forest, sim.scheme) is None
+
+    def test_without_safe_mode_poison_persists(self):
+        scheme = FragileAdvection((1.0, 0.5), order=2, dt_limit=0.0)
+        forest = make_amr_forest()
+        init_pulse(forest)
+        sim = Simulation(forest, scheme)
+        sim.step(1e-3)
+        issue = scan_forest_health(sim.forest, sim.scheme)
+        assert issue is not None and issue.reason == "non-finite"
+
+
+class TestHealthScan:
+    def _euler_forest(self, scheme):
+        forest = make_amr_forest(nvar=scheme.nvar)
+        for b in forest:
+            X, _ = b.meshgrid()
+            w = np.stack([
+                np.ones_like(X), np.zeros_like(X), np.zeros_like(X),
+                np.ones_like(X),
+            ])
+            b.interior[...] = scheme.prim_to_cons(w)
+        return forest
+
+    def test_healthy_euler_state_passes(self):
+        scheme = EulerScheme(2)
+        forest = self._euler_forest(scheme)
+        assert scan_forest_health(forest, scheme) is None
+
+    def test_negative_conserved_density_caught_despite_floor(self):
+        # cons_to_prim floors density, so a primitive-only check would
+        # miss this; the scan must inspect the conserved slot too.
+        scheme = EulerScheme(2)
+        forest = self._euler_forest(scheme)
+        block = forest.blocks[next(iter(forest.blocks))]
+        block.interior[0, 2, 2] = -0.5
+        issue = scan_forest_health(forest, scheme)
+        assert isinstance(issue, HealthIssue)
+        assert issue.reason == "non-positive"
+        assert issue.variable == 0
+        assert issue.block == block.id
+
+    def test_nan_caught(self):
+        scheme = EulerScheme(2)
+        forest = self._euler_forest(scheme)
+        block = forest.blocks[next(iter(forest.blocks))]
+        block.interior[1, 0, 0] = np.inf
+        issue = scan_forest_health(forest, scheme)
+        assert issue is not None
+        assert issue.reason == "non-finite"
+        assert issue.variable == 1
