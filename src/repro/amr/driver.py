@@ -51,6 +51,10 @@ class StepRecord:
     adapted: Optional[AdaptSummary] = None
     #: wall-clock seconds the step took (None for synthetic records)
     wall_time: Optional[float] = None
+    #: wall-clock seconds spent recovering from faults before this step
+    #: completed (None when no recovery machinery ran; see
+    #: :func:`repro.resilience.recovery.run_with_recovery`)
+    recovery_time: Optional[float] = None
 
 
 class Simulation:

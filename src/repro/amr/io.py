@@ -91,15 +91,24 @@ def history_to_csv(history, path: "Union[str, Path]") -> None:
 
     When the records carry per-step wall-clock timings (see
     :class:`repro.amr.driver.StepRecord`) a ``wall_time`` column is
-    appended.  An empty history produces a header-only file.
+    appended; when any record carries a fault-recovery duration (runs
+    driven by :func:`repro.resilience.recovery.run_with_recovery`) a
+    ``recovery_time`` column follows, so benchmark runs can track
+    recovery cost over time.  An empty history produces a header-only
+    file.
     """
     path = Path(path)
     records = list(history)
     has_wall = any(getattr(r, "wall_time", None) is not None for r in records)
+    has_recovery = any(
+        getattr(r, "recovery_time", None) is not None for r in records
+    )
     with path.open("w") as f:
         header = "step,time,dt,n_blocks,n_cells,refined,coarsened"
         if has_wall:
             header += ",wall_time"
+        if has_recovery:
+            header += ",recovery_time"
         f.write(header + "\n")
         for rec in records:
             refined = rec.adapted.refined if rec.adapted else 0
@@ -111,6 +120,9 @@ def history_to_csv(history, path: "Union[str, Path]") -> None:
             if has_wall:
                 wall = getattr(rec, "wall_time", None)
                 row += f",{wall:.6g}" if wall is not None else ","
+            if has_recovery:
+                rec_t = getattr(rec, "recovery_time", None)
+                row += f",{rec_t:.6g}" if rec_t is not None else ","
             f.write(row + "\n")
 
 

@@ -92,12 +92,34 @@ def build_parser() -> argparse.ArgumentParser:
     emulate.add_argument("--corrupt-message", action="append", default=[],
                          metavar="STEP:INDEX",
                          help="corrupt wire message INDEX during STEP")
+    emulate.add_argument("--transient-message", action="append", default=[],
+                         metavar="STEP:INDEX",
+                         help="transiently drop wire message INDEX during "
+                              "STEP (retried with backoff, see --retry-max)")
     emulate.add_argument("--checkpoint-every", type=int, default=1,
                          metavar="N",
                          help="recovery checkpoint cadence (fault runs)")
     emulate.add_argument("--checkpoint-dir", default=None,
                          help="recovery checkpoint directory "
                               "(default: a temporary directory)")
+    emulate.add_argument("--recovery-strategy", default="auto",
+                         choices=("local", "global", "auto"),
+                         help="fault recovery policy: localized "
+                              "partner-copy recovery (escalating to "
+                              "global on double faults), always-global "
+                              "checkpoint rollback, or auto (default)")
+    emulate.add_argument("--partner-refresh-every", type=int, default=1,
+                         metavar="N",
+                         help="partner-snapshot refresh cadence in steps "
+                              "(local/auto strategies; larger N = less "
+                              "redundancy traffic, longer replay window)")
+    emulate.add_argument("--retry-max", type=int, default=2, metavar="N",
+                         help="retransmissions before a transient message "
+                              "fault escalates to a failure")
+    emulate.add_argument("--retry-backoff", type=float, default=1e-4,
+                         metavar="SECONDS",
+                         help="base backoff before the first "
+                              "retransmission (doubles per retry, capped)")
     return parser
 
 
@@ -337,8 +359,20 @@ def cmd_emulate(args: argparse.Namespace) -> int:
             return 2
     drops = _parse_fault_pairs(args.drop_message, "--drop-message")
     corrupts = _parse_fault_pairs(args.corrupt_message, "--corrupt-message")
+    transients = _parse_fault_pairs(args.transient_message,
+                                    "--transient-message")
+    for flag, value, floor in (
+        ("--partner-refresh-every", args.partner_refresh_every, 1),
+        ("--retry-max", args.retry_max, 0),
+    ):
+        if value < floor:
+            print(f"error: {flag} must be >= {floor}", file=sys.stderr)
+            return 2
+    if args.retry_backoff <= 0:
+        print("error: --retry-backoff must be > 0", file=sys.stderr)
+        return 2
     fault_plan = None
-    if kills or drops or corrupts:
+    if kills or drops or corrupts or transients:
         from repro.resilience import FaultPlan, MessageFault, RankKill
 
         fault_plan = FaultPlan(
@@ -347,12 +381,18 @@ def cmd_emulate(args: argparse.Namespace) -> int:
                 [MessageFault(step=s, index=i, mode="drop") for s, i in drops]
                 + [MessageFault(step=s, index=i, mode="corrupt")
                    for s, i in corrupts]
+                + [MessageFault(step=s, index=i, mode="drop", transient=True)
+                   for s, i in transients]
             ),
         )
+
+    from repro.resilience import RetryPolicy
 
     emu = EmulatedMachine(
         forest_emu, args.ranks, problem.scheme, bc=problem.bc,
         fault_plan=fault_plan,
+        retry_policy=RetryPolicy(max_retries=args.retry_max,
+                                 backoff_base=args.retry_backoff),
     )
     dt = 0.5 * sim.stable_dt()
     print(
@@ -379,19 +419,33 @@ def cmd_emulate(args: argparse.Namespace) -> int:
                 dt=dt,
                 checkpointer=Checkpointer(ckpt_dir),
                 checkpoint_every=args.checkpoint_every,
+                strategy=args.recovery_strategy,
+                partner_refresh_every=args.partner_refresh_every,
             )
         finally:
             if tmpdir is not None:
                 tmpdir.cleanup()
         for ev in report.events:
+            if ev.strategy == "local":
+                how = (
+                    f"restored {ev.blocks_restored} block(s) "
+                    f"({ev.bytes_restored / 1024:.0f} KB) from partner "
+                    f"copies of step {ev.restored_from_step}"
+                )
+            else:
+                how = f"restored checkpoint of step {ev.restored_from_step}"
+                if ev.escalated:
+                    how += " (escalated: partner copies unusable)"
             print(
                 f"recovered from {ev.kind} at step {ev.step}: "
-                f"restored checkpoint of step {ev.restored_from_step}, "
+                f"[{ev.strategy}] {how}, "
                 f"replayed {ev.replayed_steps} step(s)  [{ev.detail}]"
             )
         print(
             f"survivors: ranks {emu.alive_ranks} "
-            f"({report.checkpoints_written} checkpoints written)"
+            f"({report.checkpoints_written} checkpoints written, "
+            f"{report.n_local_recoveries} local recoveries, "
+            f"{report.n_escalations} escalations)"
         )
     else:
         for _ in range(args.steps):
@@ -407,6 +461,19 @@ def cmd_emulate(args: argparse.Namespace) -> int:
         f"({emu.stats.n_bytes / 1024:.0f} KB);  "
         f"local transfers: {emu.stats.n_local}"
     )
+    if emu.stats.n_retries:
+        print(
+            f"retransmissions: {emu.stats.n_retries}  "
+            f"(backoff {emu.stats.retry_wait * 1e3:.2f} ms)"
+        )
+    if emu.stats.n_partner_bytes:
+        from repro.parallel import redundancy_overhead
+
+        print(
+            f"partner redundancy: {emu.stats.n_partner_messages} "
+            f"snapshot copies ({emu.stats.n_partner_bytes / 1024:.0f} KB, "
+            f"{100 * redundancy_overhead(emu.stats):.1f}% of traffic)"
+        )
     hook_note = " (driver hook runs serial-side only)" if problem.hook else ""
     print(f"max |emulated - serial| = {worst:.3e}{hook_note}")
     if problem.hook is None and worst != 0.0:

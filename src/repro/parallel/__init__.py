@@ -8,6 +8,7 @@ from repro.parallel.metrics import (
     StepTimeReport,
     fixed_size_speedup,
     gflops,
+    redundancy_overhead,
     scaled_efficiency,
 )
 from repro.parallel.parallel_driver import ParallelCostConfig, ParallelSimulation
@@ -36,6 +37,7 @@ __all__ = [
     "StepTimeReport",
     "fixed_size_speedup",
     "gflops",
+    "redundancy_overhead",
     "scaled_efficiency",
     "ParallelCostConfig",
     "ParallelSimulation",

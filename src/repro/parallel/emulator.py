@@ -34,7 +34,6 @@ replays — bit-for-bit identical to a fault-free run.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -64,15 +63,36 @@ __all__ = ["EmulatedMachine", "ExchangeStats"]
 
 @dataclass
 class ExchangeStats:
-    """Wire traffic of the emulated exchanges."""
+    """Wire traffic of the emulated exchanges.
+
+    Besides the ghost-exchange payloads, the stats charge the two
+    resilience overheads so their cost is measurable against the
+    productive traffic: partner-snapshot refreshes (the in-memory
+    redundancy tier of :mod:`repro.resilience.partner`) and transient
+    message retransmissions with their backoff wait.
+    """
 
     n_messages: int = 0
     n_bytes: int = 0
     n_local: int = 0
+    #: partner-redundancy snapshot traffic (localized-recovery tier)
+    n_partner_messages: int = 0
+    n_partner_bytes: int = 0
+    #: transient-fault retransmissions and their summed backoff wait
+    n_retries: int = 0
+    retry_wait: float = 0.0
 
     def add(self, payload_values: int) -> None:
         self.n_messages += 1
         self.n_bytes += payload_values * 8
+
+    def add_partner(self, payload_values: int) -> None:
+        self.n_partner_messages += 1
+        self.n_partner_bytes += payload_values * 8
+
+    def add_retry(self, wait: float) -> None:
+        self.n_retries += 1
+        self.retry_wait += wait
 
 
 class EmulatedMachine:
@@ -93,6 +113,11 @@ class EmulatedMachine:
     fault_plan:
         Optional scripted failures (see
         :class:`repro.resilience.faults.FaultPlan`).
+    retry_policy:
+        Optional :class:`repro.resilience.faults.RetryPolicy`; when
+        given, message faults marked transient are retransmitted with
+        capped exponential backoff instead of raising, and only retry
+        exhaustion escalates to a :class:`MessageFailure`.
     """
 
     def __init__(
@@ -104,12 +129,14 @@ class EmulatedMachine:
         bc: Optional[BoundaryHandler] = None,
         assignment: Optional[Assignment] = None,
         fault_plan=None,
+        retry_policy=None,
     ) -> None:
         self.topology = forest  # replicated metadata (structure only)
         self.scheme = scheme
         self.bc = bc
         self.n_ranks = n_ranks
         self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
         self.alive: List[bool] = [True] * n_ranks
         self.step_index = 0
         self._msg_index = 0
@@ -224,40 +251,83 @@ class EmulatedMachine:
         if step_index is not None:
             self.step_index = step_index
 
+    def adopt_block(self, bid: BlockID, rank: int, interior: np.ndarray) -> None:
+        """Recreate one block on ``rank`` from a redundant interior copy.
+
+        The receiving half of *localized* recovery: only the lost block
+        is rebuilt (ghosts are garbage until the next exchange refills
+        them from live neighbors) and the assignment is updated in
+        place — no other rank's data moves.
+        """
+        if not self.alive[rank]:
+            raise ValueError(f"cannot adopt block onto dead rank {rank}")
+        tmpl = self.topology.blocks[bid]
+        clone = Block(
+            id=tmpl.id,
+            box=tmpl.box,
+            m=tmpl.m,
+            n_ghost=tmpl.n_ghost,
+            nvar=tmpl.nvar,
+            data=np.zeros_like(tmpl.data),
+        )
+        clone.face_neighbors = tmpl.face_neighbors
+        clone.interior[...] = interior
+        old = self.assignment.get(bid)
+        if old is not None and old != rank:
+            self.rank_blocks[old].pop(bid, None)
+        self.rank_blocks[rank][bid] = clone
+        self.assignment[bid] = rank
+
     def _send(self, payload: np.ndarray, src_rank: int, dst_rank: int,
               t: Transfer, *, extra_values: int = 0) -> np.ndarray:
         """Move one payload between ranks, injecting planned faults.
 
         Remote payloads are counted in the wire stats and checked
-        against the fault plan: a "drop" fault never arrives (raises
-        immediately — the timeout analogue), a "corrupt" fault flips the
-        payload and is caught by the receiver's content checksum.
+        against the fault plan: a "drop" fault never arrives (the
+        timeout analogue), a "corrupt" fault flips the payload and is
+        caught by the receiver's content checksum.  Faults marked
+        transient are retransmitted under the machine's
+        :class:`~repro.resilience.faults.RetryPolicy` — each attempt
+        re-charges the wire stats plus the backoff wait — and only
+        retry exhaustion (or a fatal fault) raises
+        :class:`~repro.resilience.faults.MessageFailure`.
         """
         if src_rank == dst_rank:
             self.stats.n_local += 1
             return payload
         index = self._msg_index
         self._msg_index += 1
-        self.stats.add(payload.size + extra_values)
-        if self.fault_plan is not None:
-            mode = self.fault_plan.message_fault(self.step_index, index)
-            if mode is not None:
-                from repro.resilience.faults import MessageFailure
+        attempt = 0
+        while True:
+            self.stats.add(payload.size + extra_values)
+            fault = None
+            if self.fault_plan is not None:
+                fault = self.fault_plan.take_message_fault(
+                    self.step_index, index
+                )
+            if fault is None:
+                return payload
+            # The receiver notices the failure: a dropped payload times
+            # out, a corrupted one fails the CRC32 content check (any
+            # tampering breaks the checksum computed independently on
+            # both sides of the wire — a flipped-in NaN always does).
+            if (
+                fault.transient
+                and self.retry_policy is not None
+                and attempt < self.retry_policy.max_retries
+            ):
+                wait = self.retry_policy.backoff(
+                    attempt, step=self.step_index, index=index
+                )
+                self.stats.add_retry(wait)
+                attempt += 1
+                continue
+            from repro.resilience.faults import MessageFailure
 
-                if mode == "drop":
-                    raise MessageFailure(
-                        self.step_index, index, "drop", t.dst_id, t.src_id
-                    )
-                sent_crc = zlib.crc32(np.ascontiguousarray(payload).tobytes())
-                tampered = payload.copy()
-                tampered.flat[0] = np.nan
-                got_crc = zlib.crc32(np.ascontiguousarray(tampered).tobytes())
-                if got_crc != sent_crc:
-                    raise MessageFailure(
-                        self.step_index, index, "corrupt", t.dst_id, t.src_id
-                    )
-                return tampered  # unreachable: NaN always breaks the CRC
-        return payload
+            raise MessageFailure(
+                self.step_index, index, fault.mode, t.dst_id, t.src_id,
+                retries=attempt,
+            )
 
     # ------------------------------------------------------------------
 
@@ -357,13 +427,18 @@ class EmulatedMachine:
                 if 0 <= r < self.n_ranks and self.alive[r]
             ]
             if killed:
-                from repro.resilience.faults import RankFailure
-
                 for rank in killed:
                     self.kill_rank(rank)
-                raise RankFailure(
-                    self.step_index, tuple(killed), tuple(self.lost_blocks())
-                )
+                lost = self.lost_blocks()
+                # Killing a rank that owned no blocks (possible when
+                # n_ranks > n_blocks) loses no data, so the step simply
+                # proceeds over the survivors instead of raising.
+                if lost:
+                    from repro.resilience.faults import RankFailure
+
+                    raise RankFailure(
+                        self.step_index, tuple(killed), tuple(lost)
+                    )
         self._msg_index = 0
         scheme = self.scheme
         g = self.topology.n_ghost

@@ -5,7 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
-__all__ = ["StepTimeReport", "scaled_efficiency", "fixed_size_speedup", "gflops"]
+__all__ = [
+    "StepTimeReport",
+    "scaled_efficiency",
+    "fixed_size_speedup",
+    "gflops",
+    "redundancy_overhead",
+]
 
 
 @dataclass
@@ -66,3 +72,15 @@ def fixed_size_speedup(times: Dict[int, float], base: int = 64) -> Dict[int, flo
 def gflops(total_flops: float, wall_time: float) -> float:
     """Sustained GFLOPS (the paper's headline 16–17 GFLOPS claim)."""
     return total_flops / wall_time / 1e9 if wall_time > 0 else 0.0
+
+
+def redundancy_overhead(stats) -> float:
+    """Fraction of all wire bytes spent on partner-snapshot redundancy.
+
+    ``stats`` is an :class:`~repro.parallel.emulator.ExchangeStats`;
+    the answer is ``partner_bytes / (ghost_bytes + partner_bytes)`` —
+    the measurable cost of the localized-recovery tier relative to the
+    productive exchange traffic (0.0 for a run without redundancy).
+    """
+    total = stats.n_bytes + stats.n_partner_bytes
+    return stats.n_partner_bytes / total if total > 0 else 0.0

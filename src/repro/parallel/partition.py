@@ -50,7 +50,10 @@ def sfc_partition(
 
     ``weights`` (default: 1 per block — all blocks hold the same number
     of cells, the paper's uniform-work case) lets callers weight by cell
-    count or measured per-block cost.
+    count or measured per-block cost.  Degenerate inputs are handled
+    explicitly: an empty forest raises :class:`ValueError` (there is
+    nothing to cut), and all-zero (or negative-total) weights fall back
+    to uniform weights instead of dividing by zero.
     """
     if n_ranks < 1:
         raise ValueError("n_ranks must be >= 1")
@@ -58,11 +61,16 @@ def sfc_partition(
         ids = forest.sorted_ids()
     else:
         ids = sorted(forest.blocks, key=lambda b: (b.morton_key(curve=curve), b.level))
+    if not ids:
+        raise ValueError("cannot partition an empty forest (it has no blocks)")
     if weights is None:
         w = np.ones(len(ids))
     else:
         w = np.array([weights[b] for b in ids], dtype=float)
     total = w.sum()
+    if total <= 0.0:
+        w = np.ones(len(ids))
+        total = float(len(ids))
     assignment: Assignment = {}
     cum = np.concatenate([[0.0], np.cumsum(w)])
     for i, bid in enumerate(ids):

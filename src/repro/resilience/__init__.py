@@ -5,13 +5,19 @@ subsystem; this package supplies that layer for the reproduction:
 
 * :mod:`repro.resilience.faults` — deterministic, seeded
   :class:`FaultPlan` killing emulated ranks and dropping/corrupting
-  wire messages, plus the detection exceptions;
+  wire messages (transient or fatal), the detection exceptions, and the
+  :class:`RetryPolicy` retrying transient faults with capped
+  exponential backoff;
 * :mod:`repro.resilience.checkpoint` — rotating :class:`Checkpointer`
   over the atomic, checksummed checkpoint format of
   :mod:`repro.amr.io`;
-* :mod:`repro.resilience.recovery` — global rollback-and-replay
-  (:func:`run_with_recovery`) restoring a faulted emulated run
-  bit-for-bit;
+* :mod:`repro.resilience.partner` — in-memory :class:`PartnerStore`
+  redundancy (each rank's blocks mirrored on its SFC buddy), the data
+  source for localized recovery;
+* :mod:`repro.resilience.recovery` — :func:`run_with_recovery` with
+  selectable strategy: localized partner-copy recovery (only the lost
+  blocks move, zero disk reads) degrading gracefully to the global
+  rollback-and-replay on double faults, both bit-for-bit;
 * :mod:`repro.resilience.validate` — :func:`validate_forest` invariant
   checks (coverage, level jumps, neighbor symmetry, ghost consistency);
 * :mod:`repro.resilience.safestep` — post-step health scanning and the
@@ -26,8 +32,11 @@ from repro.resilience.faults import (
     MessageFault,
     RankFailure,
     RankKill,
+    RetryPolicy,
 )
+from repro.resilience.partner import PartnerStore
 from repro.resilience.recovery import (
+    RECOVERY_STRATEGIES,
     RecoveryEvent,
     ResilienceReport,
     run_with_recovery,
@@ -54,6 +63,9 @@ __all__ = [
     "MessageFault",
     "RankFailure",
     "RankKill",
+    "RetryPolicy",
+    "PartnerStore",
+    "RECOVERY_STRATEGIES",
     "RecoveryEvent",
     "ResilienceReport",
     "run_with_recovery",

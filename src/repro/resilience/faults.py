@@ -11,15 +11,23 @@ Faults are *one-shot*: once a fault has fired it is consumed and will
 not fire again when the recovery machinery replays the same steps from
 a checkpoint (the emulated analogue of a transient hardware failure).
 
+Message faults are classified **transient** or **fatal**.  A transient
+fault models a recoverable wire hiccup: when the machine carries a
+:class:`RetryPolicy`, the sender retransmits with capped exponential
+backoff instead of surfacing a failure, and only retry exhaustion
+escalates.  A fatal fault (the default, matching the original fault
+model) is detected immediately.
+
 The machine raises the exceptions defined here at the moment it
 *detects* the failure — lost blocks after a rank death, a missing or
 checksum-mismatched payload — and the recovery driver
 (:func:`repro.resilience.recovery.run_with_recovery`) catches them and
-rolls the machine back to the last checkpoint.
+recovers, locally from a partner copy or globally from a checkpoint.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Set, Tuple
 
@@ -32,6 +40,7 @@ __all__ = [
     "RankKill",
     "MessageFault",
     "FaultPlan",
+    "RetryPolicy",
 ]
 
 
@@ -55,15 +64,19 @@ class RankFailure(FaultDetected):
 class MessageFailure(FaultDetected):
     """A wire message was dropped or failed its content checksum."""
 
-    def __init__(self, step: int, index: int, mode: str, dst_id, src_id) -> None:
+    def __init__(self, step: int, index: int, mode: str, dst_id, src_id,
+                 *, retries: int = 0) -> None:
         self.step = step
         self.index = index
         self.mode = mode
         self.dst_id = dst_id
         self.src_id = src_id
+        self.retries = retries
         what = "lost in transit" if mode == "drop" else "failed checksum"
+        suffix = f" after {retries} retransmission(s)" if retries else ""
         super().__init__(
-            f"message {index} of step {step} ({src_id} -> {dst_id}) {what}"
+            f"message {index} of step {step} ({src_id} -> {dst_id}) "
+            f"{what}{suffix}"
         )
 
 
@@ -87,17 +100,69 @@ class MessageFault:
     Message indices count remote payloads from the start of the step's
     :meth:`~repro.parallel.emulator.EmulatedMachine.advance`, in the
     machine's deterministic exchange order.
+
+    ``transient`` classifies the fault: a transient fault is retried by
+    the sender (when the machine has a :class:`RetryPolicy`) and each
+    retry attempt consumes one more matching fault record, so a plan
+    with ``k`` transient faults on the same ``(step, index)`` makes the
+    message fail ``k`` times before a retransmission finally succeeds.
+    A fatal fault (the default) is detected and raised immediately.
     """
 
     step: int
     index: int
     mode: str = "corrupt"
+    transient: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in _MESSAGE_MODES:
             raise ValueError(
                 f"mode must be one of {_MESSAGE_MODES}, got {self.mode!r}"
             )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for transient message faults.
+
+    The backoff before retransmission ``attempt`` (0-based) is::
+
+        min(backoff_base * backoff_factor**attempt, backoff_cap)
+          * (1 + jitter * h)
+
+    where ``h`` in [0, 1) is a deterministic hash of
+    ``(seed, step, index, attempt)`` — seeded jitter that decorrelates
+    retry storms yet replays identically after a rollback.  Backoff
+    time and retransmitted bytes are charged to the machine's
+    :class:`~repro.parallel.emulator.ExchangeStats` so the cost of
+    transient-fault supervision is measurable.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 1e-4  #: simulated seconds before the first resend
+    backoff_factor: float = 2.0
+    backoff_cap: float = 0.1
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base <= 0 or self.backoff_cap <= 0:
+            raise ValueError("backoff_base and backoff_cap must be > 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+    def backoff(self, attempt: int, *, step: int = 0, index: int = 0) -> float:
+        """Deterministic backoff (simulated seconds) for one retry."""
+        raw = min(
+            self.backoff_base * self.backoff_factor ** attempt,
+            self.backoff_cap,
+        )
+        h = zlib.crc32(f"{self.seed}:{step}:{index}:{attempt}".encode())
+        return raw * (1.0 + self.jitter * (h / 2 ** 32))
 
 
 class FaultPlan:
@@ -121,10 +186,12 @@ class FaultPlan:
         n_ranks: int,
         n_kills: int = 1,
         n_message_faults: int = 0,
+        transient: bool = False,
     ) -> "FaultPlan":
         """Seeded random plan: ``n_kills`` distinct rank deaths (always
         leaving at least one survivor) and ``n_message_faults`` message
-        faults spread over steps ``1..n_steps-1``."""
+        faults spread over steps ``1..n_steps-1``; ``transient`` marks
+        the message faults retryable."""
         if n_kills >= n_ranks:
             raise ValueError("must leave at least one surviving rank")
         rng = np.random.default_rng(seed)
@@ -138,6 +205,7 @@ class FaultPlan:
                 int(rng.integers(1, hi)),
                 int(rng.integers(0, 8)),
                 _MESSAGE_MODES[int(rng.integers(0, 2))],
+                transient,
             )
             for _ in range(n_message_faults)
         ]
@@ -148,20 +216,34 @@ class FaultPlan:
     def kills_at(self, step: int) -> List[int]:
         """Ranks to kill before executing ``step`` (consumed, one-shot)."""
         out: List[int] = []
-        for k in self.kills:
-            if k.step == step and k not in self._fired:
-                self._fired.add(k)
+        for i, k in enumerate(self.kills):
+            if k.step == step and ("kill", i) not in self._fired:
+                self._fired.add(("kill", i))
                 out.append(k.rank)
         return out
+
+    def take_message_fault(self, step: int, index: int) -> Optional[MessageFault]:
+        """The next unfired fault record for this step's ``index``-th
+        wire message, if any (consumed, one-shot).  Records are
+        consumed by position, so a plan listing the same ``(step,
+        index)`` fault ``k`` times makes that message fail ``k``
+        consecutive delivery attempts — the way to script retry
+        exhaustion against a :class:`RetryPolicy`."""
+        for i, mf in enumerate(self.message_faults):
+            if (
+                mf.step == step
+                and mf.index == index
+                and ("msg", i) not in self._fired
+            ):
+                self._fired.add(("msg", i))
+                return mf
+        return None
 
     def message_fault(self, step: int, index: int) -> Optional[str]:
         """Fault mode for this step's ``index``-th wire message, if any
         (consumed, one-shot)."""
-        for mf in self.message_faults:
-            if mf.step == step and mf.index == index and mf not in self._fired:
-                self._fired.add(mf)
-                return mf.mode
-        return None
+        mf = self.take_message_fault(step, index)
+        return mf.mode if mf is not None else None
 
     @property
     def pending(self) -> int:

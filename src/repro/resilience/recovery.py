@@ -1,48 +1,78 @@
-"""Checkpoint/restart recovery for the emulated distributed machine.
+"""Fault recovery for the emulated distributed machine.
 
 :func:`run_with_recovery` drives an
 :class:`~repro.parallel.emulator.EmulatedMachine` through ``n_steps``
 fixed-``dt`` steps under a (possibly faulty) execution, with periodic
-checkpoints.  When the machine detects an injected failure — a dead
-rank, a dropped or corrupted message — the driver performs the classic
-global rollback protocol the paper-era production codes used:
+checkpoints, and now supports two recovery tiers selected by
+``strategy``:
 
-1. the machine reports the failure (raises
-   :class:`~repro.resilience.faults.FaultDetected`);
-2. the surviving ranks agree on the last durable checkpoint;
-3. the block-to-rank assignment is rebuilt over the survivors (SFC
-   repartition — the dead rank simply drops out of the curve cut);
-4. every block's data is restored from the checkpoint and the run
-   replays forward from the checkpoint step.
+* ``"global"`` — the paper-era protocol: on any detected fault, every
+  rank rolls back to the last durable on-disk checkpoint, the
+  block-to-rank assignment is rebuilt over the survivors (SFC
+  repartition — the dead rank simply drops out of the curve cut), and
+  the run replays forward.
+* ``"local"`` / ``"auto"`` — localized recovery backed by an in-memory
+  :class:`~repro.resilience.partner.PartnerStore`: a rank failure
+  reconstructs **only the dead rank's blocks** from the partner copy
+  (re-cut over the survivors), re-fills their ghosts from live
+  neighbors at the next exchange, and replays only the bounded window
+  since the last partner refresh — zero disk reads.  A mid-step message
+  failure rewinds the survivors from the same in-memory snapshots.  A
+  **double fault** (a rank dies and its partner copy is lost or stale)
+  degrades gracefully: the driver escalates to the global checkpoint
+  rollback automatically and records the escalation.
 
 Because the emulated arithmetic is deterministic and independent of the
-assignment, the recovered run is **bit-for-bit identical** to a
-fault-free run — the property the equivalence tests pin down.
+assignment, recovered runs are **bit-for-bit identical** to a
+fault-free run under either tier — the property the equivalence tests
+pin down.
 """
 
 from __future__ import annotations
 
 import copy
+import time as _time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.amr.driver import StepRecord
 from repro.amr.io import CheckpointError
 from repro.core.forest import BlockForest
 from repro.resilience.checkpoint import Checkpointer
 from repro.resilience.faults import FaultDetected, MessageFailure, RankFailure
+from repro.resilience.partner import PartnerStore
 
-__all__ = ["RecoveryEvent", "ResilienceReport", "run_with_recovery", "snapshot_forest"]
+__all__ = [
+    "RecoveryEvent",
+    "ResilienceReport",
+    "run_with_recovery",
+    "snapshot_forest",
+    "RECOVERY_STRATEGIES",
+]
+
+#: Valid ``strategy`` arguments of :func:`run_with_recovery`.
+RECOVERY_STRATEGIES = ("local", "global", "auto")
 
 
 @dataclass(frozen=True)
 class RecoveryEvent:
-    """One detected fault and the rollback that handled it."""
+    """One detected fault and the recovery that handled it."""
 
     step: int  #: step being executed when the fault was detected
     kind: str  #: "rank-failure" | "message-drop" | "message-corrupt"
     detail: str  #: human-readable description from the detection
-    restored_from_step: int  #: checkpoint step rolled back to
+    restored_from_step: int  #: step whose state was restored
     replayed_steps: int  #: steps re-executed because of the rollback
+    #: "local" (partner copies, in-memory) or "global" (disk checkpoint)
+    strategy: str = "global"
+    #: blocks whose data was rewritten during the recovery
+    blocks_restored: int = 0
+    #: bytes of block data moved to restore them
+    bytes_restored: int = 0
+    #: True when a localized attempt had to degrade to global rollback
+    escalated: bool = False
+    #: wall-clock seconds the recovery itself took
+    duration: float = 0.0
 
 
 @dataclass
@@ -55,10 +85,34 @@ class ResilienceReport:
     steps_replayed: int = 0
     checkpoints_written: int = 0
     events: List[RecoveryEvent] = field(default_factory=list)
+    #: per-completed-step records (recovery cost lands on the step that
+    #: finally succeeded); feed to :func:`repro.amr.io.history_to_csv`
+    history: List[StepRecord] = field(default_factory=list)
 
     @property
     def n_recoveries(self) -> int:
         return len(self.events)
+
+    @property
+    def n_local_recoveries(self) -> int:
+        return sum(1 for e in self.events if e.strategy == "local")
+
+    @property
+    def n_escalations(self) -> int:
+        return sum(1 for e in self.events if e.escalated)
+
+    @property
+    def blocks_restored(self) -> int:
+        return sum(e.blocks_restored for e in self.events)
+
+    @property
+    def bytes_restored(self) -> int:
+        return sum(e.bytes_restored for e in self.events)
+
+    @property
+    def recovery_time(self) -> float:
+        """Total wall-clock seconds spent inside recoveries."""
+        return sum(e.duration for e in self.events)
 
 
 def snapshot_forest(machine) -> BlockForest:
@@ -83,6 +137,49 @@ def _event_kind(exc: FaultDetected) -> str:
     return "fault"
 
 
+def _attempt_local_recovery(
+    machine, partner: PartnerStore, exc: FaultDetected, step: int
+):
+    """Localized recovery from the partner store.
+
+    Returns ``(restored_from_step, blocks_restored, bytes_restored)``
+    on success, or None when the partner copies cannot cover the fault
+    (double fault / stale snapshot) and the caller must escalate.
+    All preconditions are checked before any state is mutated.
+    """
+    if isinstance(exc, RankFailure):
+        dead = list(exc.ranks)
+        if not partner.can_restore(dead):
+            return None
+        blocks = 0
+        nbytes = 0
+        restored_from = machine.step_index
+        if not partner.is_current:
+            # Mid-window death: survivors rewind to the snapshot from
+            # their partner buffers, then the window replays.
+            b, n = partner.rewind_alive()
+            blocks += b
+            nbytes += n
+            restored_from = partner.snapshot_step
+            machine.step_index = partner.snapshot_step
+            machine.time = partner.snapshot_time
+        b, n = partner.restore_lost(dead)
+        blocks += b
+        nbytes += n
+        return restored_from, blocks, nbytes
+    if isinstance(exc, MessageFailure):
+        # The failed step mutated ghosts (and, for two-stage schemes,
+        # possibly interiors), so every survivor rewinds to the
+        # snapshot — still pure in-memory movement, zero disk reads.
+        if not partner.can_rewind():
+            return None
+        blocks, nbytes = partner.rewind_alive()
+        machine.step_index = partner.snapshot_step
+        machine.time = partner.snapshot_time
+        return partner.snapshot_step, blocks, nbytes
+    return None
+
+
 def run_with_recovery(
     machine,
     *,
@@ -91,52 +188,119 @@ def run_with_recovery(
     checkpointer: Checkpointer,
     checkpoint_every: int = 1,
     max_recoveries: int = 8,
+    strategy: str = "global",
+    partner_refresh_every: int = 1,
 ) -> ResilienceReport:
     """Advance ``machine`` ``n_steps`` times, surviving injected faults.
 
     A checkpoint of the initial state is always written (there must be
-    something to roll back to), then every ``checkpoint_every`` steps.
+    something to fall back to even under localized recovery — it is the
+    double-fault escape hatch), then every ``checkpoint_every`` steps.
+    With ``strategy`` ``"local"`` or ``"auto"`` a
+    :class:`~repro.resilience.partner.PartnerStore` is refreshed every
+    ``partner_refresh_every`` completed steps and faults recover from
+    it when possible, escalating to the global checkpoint rollback when
+    not ("auto" and "local" currently share this policy; "global" never
+    builds the partner tier).
+
     Raises the underlying :class:`FaultDetected` if recovery is needed
     more than ``max_recoveries`` times (a fault plan that keeps firing
     forever would otherwise hang the run), or :class:`CheckpointError`
-    if no usable checkpoint exists at rollback time.
+    if no usable checkpoint exists at global rollback time.
     """
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
+    if partner_refresh_every < 1:
+        raise ValueError("partner_refresh_every must be >= 1")
+    if strategy not in RECOVERY_STRATEGIES:
+        raise ValueError(
+            f"strategy must be one of {RECOVERY_STRATEGIES}, got {strategy!r}"
+        )
     report = ResilienceReport()
+    partner: Optional[PartnerStore] = None
+    if strategy in ("local", "auto"):
+        partner = PartnerStore(machine)
+        partner.refresh()
     checkpointer.save(snapshot_forest(machine), step=machine.step_index, time=machine.time)
     report.checkpoints_written += 1
     start = machine.step_index
     end = start + n_steps
     recoveries = 0
+    pending_recovery_time = 0.0
     while machine.step_index < end:
         step = machine.step_index
+        wall_start = _time.perf_counter()
         try:
             machine.advance(dt)
         except FaultDetected as exc:
             recoveries += 1
             if recoveries > max_recoveries:
                 raise
-            info = checkpointer.latest()
-            if info is None:
-                raise CheckpointError(
-                    "fault detected but no usable checkpoint exists to "
-                    "roll back to"
-                ) from exc
-            forest, info = checkpointer.load_latest()
-            machine.restore(forest, time=info.time, step_index=info.step)
-            report.events.append(
-                RecoveryEvent(
+            rec_start = _time.perf_counter()
+            local = None
+            if partner is not None:
+                local = _attempt_local_recovery(machine, partner, exc, step)
+            if local is not None:
+                restored_from, blocks, nbytes = local
+                # New owners / rewound state: re-seed the redundancy
+                # tier at the restored consistency point.
+                partner.refresh()
+                event = RecoveryEvent(
+                    step=step,
+                    kind=_event_kind(exc),
+                    detail=str(exc),
+                    restored_from_step=restored_from,
+                    replayed_steps=step - restored_from,
+                    strategy="local",
+                    blocks_restored=blocks,
+                    bytes_restored=nbytes,
+                    duration=_time.perf_counter() - rec_start,
+                )
+            else:
+                info = checkpointer.latest()
+                if info is None:
+                    raise CheckpointError(
+                        "fault detected but no usable checkpoint exists to "
+                        "roll back to"
+                    ) from exc
+                forest, info = checkpointer.load_latest()
+                machine.restore(forest, time=info.time, step_index=info.step)
+                if partner is not None:
+                    partner.refresh()
+                event = RecoveryEvent(
                     step=step,
                     kind=_event_kind(exc),
                     detail=str(exc),
                     restored_from_step=info.step,
                     replayed_steps=step - info.step,
+                    strategy="global",
+                    blocks_restored=machine.topology.n_blocks,
+                    bytes_restored=sum(
+                        b.interior.nbytes
+                        for b in machine.topology.blocks.values()
+                    ),
+                    escalated=partner is not None,
+                    duration=_time.perf_counter() - rec_start,
                 )
-            )
-            report.steps_replayed += step - info.step
+            report.events.append(event)
+            report.steps_replayed += event.replayed_steps
+            pending_recovery_time += event.duration
             continue
         done = machine.step_index - start
+        report.history.append(
+            StepRecord(
+                step=machine.step_index,
+                time=machine.time,
+                dt=dt,
+                n_blocks=machine.topology.n_blocks,
+                n_cells=machine.topology.n_cells,
+                wall_time=_time.perf_counter() - wall_start,
+                recovery_time=pending_recovery_time or None,
+            )
+        )
+        pending_recovery_time = 0.0
+        if partner is not None and done % partner_refresh_every == 0:
+            partner.refresh()
         if done % checkpoint_every == 0 and machine.step_index < end:
             checkpointer.save(
                 snapshot_forest(machine),

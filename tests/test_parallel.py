@@ -115,6 +115,28 @@ class TestPartition:
         a = sfc_partition(f, 3)
         assert partition_imbalance(f, a, 3) < 2.0
 
+    def test_empty_forest_rejected_with_clear_error(self):
+        f = forest2d()
+        f.blocks.clear()
+        with pytest.raises(ValueError, match="empty forest"):
+            sfc_partition(f, 4)
+
+    def test_all_zero_weights_fall_back_to_uniform(self):
+        f = forest2d()
+        zero = {b: 0.0 for b in f.blocks}
+        a = sfc_partition(f, 4, weights=zero)
+        assert a == sfc_partition(f, 4)
+
+    def test_more_ranks_than_blocks(self):
+        f = forest2d((2, 1))
+        a = sfc_partition(f, 4)
+        assert set(a) == set(f.blocks)
+        # Some ranks own nothing; the metrics must still be finite.
+        assert len(set(a.values())) == 2
+        imb = partition_imbalance(f, a, 4)
+        assert np.isfinite(imb) and imb == pytest.approx(2.0)
+        assert partition_cut_fraction(f, a) <= 1.0
+
 
 class TestSchedule:
     def test_single_rank_all_local(self):

@@ -25,8 +25,10 @@ from repro.resilience import (
     HealthIssue,
     MessageFailure,
     MessageFault,
+    PartnerStore,
     RankFailure,
     RankKill,
+    RetryPolicy,
     UnrecoverableStep,
     assert_valid_forest,
     run_with_recovery,
@@ -243,6 +245,354 @@ class TestRecovery:
                 checkpointer=Checkpointer(tmp_path),
                 max_recoveries=0,
             )
+
+
+# ---------------------------------------------------------------------------
+# localized recovery: the partner-redundancy tier
+# ---------------------------------------------------------------------------
+
+
+class _CountingCheckpointer(Checkpointer):
+    """Counts disk restores so tests can pin zero-disk local recovery."""
+
+    def __init__(self, root, **kw):
+        super().__init__(root, **kw)
+        self.loads = 0
+
+    def load_latest(self):
+        self.loads += 1
+        return super().load_latest()
+
+
+class TestLocalizedRecovery:
+    N_STEPS = 6
+    DT = 1e-3
+
+    def _run(self, plan, tmp_path, *, strategy="local", refresh_every=1,
+             n_ranks=4, retry_policy=None):
+        scheme = AdvectionScheme((1.0, 0.5), order=2)
+        forest = make_amr_forest()
+        init_pulse(forest)
+        emu = EmulatedMachine(forest, n_ranks, scheme, fault_plan=plan,
+                              retry_policy=retry_policy)
+        ckpt = _CountingCheckpointer(tmp_path)
+        report = run_with_recovery(
+            emu, n_steps=self.N_STEPS, dt=self.DT, checkpointer=ckpt,
+            checkpoint_every=2, strategy=strategy,
+            partner_refresh_every=refresh_every,
+        )
+        reference = serial_reference(scheme, self.N_STEPS, self.DT)
+        gathered = emu.gather()
+        worst = 0.0
+        for bid, blk in reference.blocks.items():
+            worst = max(worst, float(np.abs(gathered[bid] - blk.interior).max()))
+        return emu, report, ckpt, worst
+
+    def test_rank_kill_recovers_locally_bit_for_bit(self, tmp_path):
+        plan = FaultPlan(kills=[RankKill(step=3, rank=1)])
+        emu, report, ckpt, worst = self._run(plan, tmp_path)
+        assert worst == 0.0
+        assert ckpt.loads == 0  # acceptance: zero disk reads
+        (event,) = report.events
+        assert event.strategy == "local"
+        assert not event.escalated
+        # Only the dead rank's blocks moved, not the whole forest.
+        assert 0 < event.blocks_restored < emu.topology.n_blocks
+        assert event.bytes_restored > 0
+        # Snapshot cadence 1 + kill-before-step => nothing to replay.
+        assert event.replayed_steps == 0
+        assert report.n_local_recoveries == 1
+        assert report.steps_completed == self.N_STEPS
+
+    def test_stale_snapshot_rewinds_and_replays_window(self, tmp_path):
+        plan = FaultPlan(kills=[RankKill(step=4, rank=2)])
+        emu, report, ckpt, worst = self._run(plan, tmp_path,
+                                             refresh_every=3)
+        assert worst == 0.0
+        assert ckpt.loads == 0
+        (event,) = report.events
+        assert event.strategy == "local"
+        # Snapshot is from step 3; the kill hit before step 4.
+        assert event.restored_from_step == 3
+        assert event.replayed_steps == 1
+        assert report.steps_replayed == 1
+
+    def test_message_fault_recovers_locally(self, tmp_path):
+        plan = FaultPlan(
+            message_faults=[MessageFault(step=2, index=7, mode="corrupt")]
+        )
+        emu, report, ckpt, worst = self._run(plan, tmp_path)
+        assert worst == 0.0
+        assert ckpt.loads == 0
+        (event,) = report.events
+        assert event.kind == "message-corrupt"
+        assert event.strategy == "local"
+
+    def test_double_fault_escalates_to_global(self, tmp_path):
+        # Ranks 1 and 2 die together; rank 1's partner copy lives on
+        # rank 2, so localized recovery is impossible by construction.
+        plan = FaultPlan(
+            kills=[RankKill(step=3, rank=1), RankKill(step=3, rank=2)]
+        )
+        emu, report, ckpt, worst = self._run(plan, tmp_path,
+                                             strategy="auto")
+        assert worst == 0.0
+        (event,) = report.events
+        assert event.strategy == "global"
+        assert event.escalated
+        assert ckpt.loads == 1
+        assert report.n_escalations == 1
+        assert emu.alive_ranks == [0, 3]
+
+    def test_lost_partner_copy_escalates(self, tmp_path):
+        scheme = AdvectionScheme((1.0, 0.5), order=2)
+        forest = make_amr_forest()
+        init_pulse(forest)
+        emu = EmulatedMachine(forest, 4, scheme)
+        partner = PartnerStore(emu)
+        partner.refresh()
+        partner.invalidate(1)  # the holder lost its redundancy buffer
+        emu.kill_rank(1)
+        assert not partner.can_restore([1])
+
+    def test_global_strategy_never_builds_partner_tier(self, tmp_path):
+        plan = FaultPlan(kills=[RankKill(step=3, rank=1)])
+        emu, report, ckpt, worst = self._run(plan, tmp_path,
+                                             strategy="global")
+        assert worst == 0.0
+        (event,) = report.events
+        assert event.strategy == "global"
+        assert not event.escalated  # no partner tier, not an escalation
+        assert ckpt.loads == 1
+        assert emu.stats.n_partner_messages == 0
+
+    def test_bad_strategy_rejected(self, tmp_path):
+        scheme = AdvectionScheme((1.0, 0.5), order=2)
+        forest = make_amr_forest()
+        init_pulse(forest)
+        emu = EmulatedMachine(forest, 4, scheme)
+        with pytest.raises(ValueError, match="strategy"):
+            run_with_recovery(
+                emu, n_steps=1, dt=self.DT,
+                checkpointer=Checkpointer(tmp_path), strategy="psychic",
+            )
+
+    def test_recovery_events_carry_wall_time(self, tmp_path):
+        plan = FaultPlan(kills=[RankKill(step=3, rank=1)])
+        emu, report, ckpt, worst = self._run(plan, tmp_path)
+        (event,) = report.events
+        assert event.duration > 0.0
+        assert report.recovery_time == event.duration
+        # The recovery cost lands on the step that finally succeeded.
+        charged = [r for r in report.history if r.recovery_time]
+        assert len(charged) == 1
+        assert charged[0].recovery_time >= event.duration
+
+
+class TestPartnerStore:
+    def _machine(self, n_ranks=4):
+        scheme = AdvectionScheme((1.0, 0.5), order=2)
+        forest = make_amr_forest()
+        init_pulse(forest)
+        return EmulatedMachine(forest, n_ranks, scheme)
+
+    def test_pairing_is_a_buddy_ring(self):
+        emu = self._machine()
+        partner = PartnerStore(emu)
+        pairing = partner.pairing
+        assert sorted(pairing) == [0, 1, 2, 3]
+        assert sorted(pairing.values()) == [0, 1, 2, 3]
+        assert all(pairing[r] != r for r in pairing)
+
+    def test_refresh_is_incremental(self):
+        emu = self._machine()
+        partner = PartnerStore(emu)
+        assert partner.refresh() == emu.topology.n_blocks
+        # Nothing changed: the content tags skip every block.
+        assert partner.refresh() == 0
+        traffic = emu.stats.n_partner_bytes
+        emu.advance(1e-3)
+        assert partner.refresh() > 0
+        assert emu.stats.n_partner_bytes > traffic
+
+    def test_has_copy_requires_alive_holder(self):
+        emu = self._machine()
+        partner = PartnerStore(emu)
+        partner.refresh()
+        assert partner.has_copy(1)
+        holder = partner.holder_of(1)
+        emu.kill_rank(holder)
+        assert not partner.has_copy(1)
+
+    def test_refresh_rebuilds_after_membership_change(self):
+        emu = self._machine()
+        partner = PartnerStore(emu)
+        partner.refresh()
+        victim = 1
+        emu.kill_rank(victim)
+        partner.refresh()  # ring over [0, 2, 3] now
+        assert victim not in partner.pairing
+        assert sorted(partner.pairing) == [0, 2, 3]
+
+    def test_single_rank_has_no_partner(self):
+        emu = self._machine(n_ranks=1)
+        partner = PartnerStore(emu)
+        partner.refresh()
+        assert partner.pairing == {}
+        assert not partner.has_copy(0)
+        assert not partner.can_rewind()
+
+
+# ---------------------------------------------------------------------------
+# transient message faults and retry supervision
+# ---------------------------------------------------------------------------
+
+
+class TestTransientRetry:
+    def _machine(self, plan, policy):
+        scheme = AdvectionScheme((1.0, 0.5), order=2)
+        forest = make_amr_forest()
+        init_pulse(forest)
+        return EmulatedMachine(forest, 4, scheme, fault_plan=plan,
+                               retry_policy=policy)
+
+    def test_transient_within_budget_is_invisible(self, tmp_path):
+        plan = FaultPlan(
+            message_faults=[
+                MessageFault(step=2, index=4, mode="drop", transient=True)
+            ]
+        )
+        emu = self._machine(plan, RetryPolicy(max_retries=3))
+        report = run_with_recovery(
+            emu, n_steps=4, dt=1e-3,
+            checkpointer=Checkpointer(tmp_path), strategy="local",
+        )
+        # Acceptance: no rollback events at all, just a charged retry.
+        assert report.events == []
+        assert emu.stats.n_retries == 1
+        assert emu.stats.retry_wait > 0.0
+        reference = serial_reference(AdvectionScheme((1.0, 0.5), order=2),
+                                     4, 1e-3)
+        gathered = emu.gather()
+        for bid, blk in reference.blocks.items():
+            np.testing.assert_array_equal(gathered[bid], blk.interior)
+
+    def test_retry_exhaustion_escalates_to_failure(self):
+        # Three identical records: the message fails on the first send
+        # and on both retransmissions allowed by the policy.
+        fault = MessageFault(step=1, index=2, mode="drop", transient=True)
+        plan = FaultPlan(message_faults=[fault, fault, fault])
+        emu = self._machine(plan, RetryPolicy(max_retries=2))
+        emu.advance(1e-3)
+        with pytest.raises(MessageFailure) as exc:
+            emu.advance(1e-3)
+        assert exc.value.retries == 2
+        assert "retransmission" in str(exc.value)
+        assert emu.stats.n_retries == 2
+
+    def test_transient_without_policy_is_fatal(self):
+        plan = FaultPlan(
+            message_faults=[
+                MessageFault(step=0, index=0, mode="drop", transient=True)
+            ]
+        )
+        emu = self._machine(plan, None)
+        with pytest.raises(MessageFailure):
+            emu.advance(1e-3)
+
+    def test_backoff_is_deterministic_capped_and_growing(self):
+        policy = RetryPolicy(max_retries=5, backoff_base=1e-3,
+                             backoff_factor=2.0, backoff_cap=4e-3)
+        a = [policy.backoff(k, step=3, index=1) for k in range(5)]
+        b = [policy.backoff(k, step=3, index=1) for k in range(5)]
+        assert a == b  # replays identically
+        assert a[1] > a[0]
+        assert max(a) <= 4e-3 * (1.0 + policy.jitter)
+        # Different fault coordinates decorrelate the jitter.
+        assert policy.backoff(0, step=3, index=1) != policy.backoff(
+            0, step=4, index=1)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# empty ranks (more ranks than blocks)
+# ---------------------------------------------------------------------------
+
+
+def make_tiny_forest():
+    """Two root blocks — fewer blocks than ranks in these tests."""
+    f = BlockForest(
+        Box((0.0, 0.0), (1.0, 0.5)), (2, 1), (8, 8), nvar=1,
+        n_ghost=2, periodic=(True, True), max_level=2,
+    )
+    init_pulse(f)
+    return f
+
+
+class TestEmptyRanks:
+    def test_partition_leaves_some_ranks_empty(self):
+        emu = EmulatedMachine(make_tiny_forest(), 4,
+                              AdvectionScheme((1.0, 0.5), order=2))
+        empty = [r for r in range(4) if not emu.rank_blocks[r]]
+        assert empty  # 2 blocks over 4 ranks
+        assert len(emu.rank_cells()) == 4
+        assert min(emu.rank_cells()) == 0
+
+    def test_killing_an_empty_rank_is_uneventful(self, tmp_path):
+        emu = EmulatedMachine(make_tiny_forest(), 4,
+                              AdvectionScheme((1.0, 0.5), order=2))
+        empty = [r for r in range(4) if not emu.rank_blocks[r]]
+        plan = FaultPlan(kills=[RankKill(step=1, rank=empty[0])])
+        emu2 = EmulatedMachine(make_tiny_forest(), 4,
+                               AdvectionScheme((1.0, 0.5), order=2),
+                               fault_plan=plan)
+        report = run_with_recovery(
+            emu2, n_steps=3, dt=1e-3,
+            checkpointer=Checkpointer(tmp_path), strategy="local",
+        )
+        # Nothing was lost, so nothing needed recovering.
+        assert report.events == []
+        assert empty[0] not in emu2.alive_ranks
+        assert report.steps_completed == 3
+
+    def test_partner_store_skips_empty_ranks_payloads(self):
+        emu = EmulatedMachine(make_tiny_forest(), 4,
+                              AdvectionScheme((1.0, 0.5), order=2))
+        partner = PartnerStore(emu)
+        copied = partner.refresh()
+        assert copied == emu.topology.n_blocks
+        assert partner.can_rewind()
+
+    def test_local_recovery_with_empty_ranks(self, tmp_path):
+        loaded = [r for r in range(4)
+                  if EmulatedMachine(make_tiny_forest(), 4,
+                                     AdvectionScheme((1.0, 0.5), order=2)
+                                     ).rank_blocks[r]]
+        plan = FaultPlan(kills=[RankKill(step=2, rank=loaded[0])])
+        emu = EmulatedMachine(make_tiny_forest(), 4,
+                              AdvectionScheme((1.0, 0.5), order=2),
+                              fault_plan=plan)
+        report = run_with_recovery(
+            emu, n_steps=4, dt=1e-3,
+            checkpointer=Checkpointer(tmp_path), strategy="auto",
+        )
+        assert len(report.events) == 1
+        reference = make_tiny_forest()
+        sim = Simulation(reference, AdvectionScheme((1.0, 0.5), order=2))
+        for _ in range(4):
+            sim.advance(1e-3)
+        gathered = emu.gather()
+        for bid, blk in reference.blocks.items():
+            np.testing.assert_array_equal(gathered[bid], blk.interior)
 
 
 # ---------------------------------------------------------------------------
