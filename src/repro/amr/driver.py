@@ -84,6 +84,16 @@ class Simulation:
         structured :class:`~repro.resilience.safestep.StepFailure`.
     max_step_retries:
         Bounded dt-halving retries per step in safe mode.
+    sanitize:
+        When True, run under the ghost-poison sanitizer
+        (:class:`repro.analysis.poison.GhostSanitizer`): every ghost
+        layer is poisoned at construction, after every adapt, and
+        before every exchange; after each exchange the stencil read
+        slabs are verified poison-free, and after each step the
+        interiors are verified finite.  A violation raises
+        :class:`repro.analysis.poison.PoisonError`.  On a correct code
+        path this is behavior-neutral (the exchange overwrites every
+        poisoned cell the kernels consume) — only slower.
     """
 
     def __init__(
@@ -100,6 +110,7 @@ class Simulation:
         threads: Optional[int] = None,
         safe_mode: bool = False,
         max_step_retries: int = 4,
+        sanitize: bool = False,
     ) -> None:
         if forest.n_ghost < scheme.required_ghost:
             raise ValueError(
@@ -131,6 +142,12 @@ class Simulation:
             raise ValueError("max_step_retries must be >= 0")
         self.safe_mode = safe_mode
         self.max_step_retries = max_step_retries
+        self.sanitizer = None
+        if sanitize:
+            from repro.analysis.poison import GhostSanitizer, poison_forest
+
+            self.sanitizer = GhostSanitizer(depth=scheme.required_ghost)
+            poison_forest(forest)
         self.time = 0.0
         self.step_count = 0
         self.timer = PhaseTimer()
@@ -156,9 +173,17 @@ class Simulation:
     # ------------------------------------------------------------------
 
     def fill_ghosts(self) -> None:
-        """Exchange ghost cells and apply physical BCs."""
+        """Exchange ghost cells and apply physical BCs.
+
+        Under the sanitizer every ghost cell is re-poisoned first, so
+        each exchange must prove afresh that it fills everything the
+        stencil kernels will read."""
+        if self.sanitizer is not None:
+            self.sanitizer.before_exchange(self.forest)
         with self.timer.phase("ghost_exchange"):
             fill_ghosts(self.forest, self.bc)
+        if self.sanitizer is not None:
+            self.sanitizer.after_exchange(self.forest)
 
     def stable_dt(self) -> float:
         with self.timer.phase("cfl"):
@@ -218,6 +243,8 @@ class Simulation:
         if register is not None:
             with self.timer.phase("reflux"):
                 register.apply(dt)
+        if self.sanitizer is not None:
+            self.sanitizer.after_stage(self.forest)
         self.time += dt
 
     def maybe_adapt(self) -> Optional[AdaptSummary]:
@@ -233,6 +260,12 @@ class Simulation:
             )
         with self.timer.phase("adapt"):
             summary = self.forest.adapt(refine, coarsen)
+        if self.sanitizer is not None:
+            # Adaptation allocates blocks with unexchanged ghosts:
+            # poison them so a kernel cannot consume them unnoticed.
+            from repro.analysis.poison import poison_forest
+
+            poison_forest(self.forest)
         return summary
 
     def _advance_safely(self, dt: float) -> float:

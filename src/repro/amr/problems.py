@@ -89,9 +89,19 @@ class Problem:
             w = self.init_primitive(*block.meshgrid())
             block.interior[...] = self.scheme.prim_to_cons(w)
 
-    def build(self, *, adaptive: bool = True, initial_adapt_rounds: int = 3) -> Simulation:
+    def build(
+        self,
+        *,
+        adaptive: bool = True,
+        initial_adapt_rounds: int = 3,
+        sanitize: bool = False,
+    ) -> Simulation:
         """Construct the simulation, optionally pre-adapting the initial
-        grid so the starting resolution already tracks the features."""
+        grid so the starting resolution already tracks the features.
+
+        ``sanitize`` enables the ghost-poison sanitizer on the built
+        simulation (see :class:`repro.amr.driver.Simulation`).
+        """
         forest = self.config.make_forest(self.scheme.nvar)
         self.init_forest(forest)
         criterion = self.make_criterion() if adaptive else None
@@ -103,6 +113,7 @@ class Problem:
             adapt_interval=self.config.adapt_interval,
             buffer_band=self.config.buffer_band,
             hook=self.hook,
+            sanitize=sanitize,
         )
         if adaptive:
             for _ in range(initial_adapt_rounds):

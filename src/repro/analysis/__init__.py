@@ -1,0 +1,69 @@
+"""Static and dynamic correctness tooling for the adaptive-block code.
+
+Three independent layers, all opt-in and zero-cost when disabled:
+
+* :mod:`repro.analysis.poison` — a runtime **ghost-poison sanitizer**:
+  ghost layers are filled with a signaling-NaN bit pattern before every
+  exchange and the exact region each stencil kernel reads is verified
+  clean afterwards, so a stale or never-filled ghost read is reported
+  (block, face, cell count) instead of silently corrupting fluxes.
+* :mod:`repro.analysis.races` — an **exchange race detector** for the
+  emulated distributed machine: per-block version counters and
+  per-epoch publish/receive/consume tracking detect write-after-publish
+  and read-before-receive orderings in the message schedule.
+* :mod:`repro.analysis.lint` — a custom **AST lint** (``repro lint``)
+  encoding project invariants (no ``Block.data`` mutation outside
+  kernel modules, no unseeded RNG, no bare ``except`` in recovery
+  paths, no wall-clock reads in deterministic-replay code) with
+  per-rule codes and ``# repro: noqa[RULE]`` suppression.
+
+See ``docs/static-analysis.md`` for the rule catalog and semantics.
+"""
+
+from repro.analysis.lint import (
+    LintViolation,
+    Rule,
+    RULES,
+    lint_paths,
+    lint_source,
+    rule_codes,
+)
+from repro.analysis.poison import (
+    GhostSanitizer,
+    PoisonError,
+    PoisonSite,
+    POISON_BITS,
+    check_interior_clean,
+    check_stencil_ghosts,
+    poison_value,
+    poisoned_mask,
+    poison_ghosts,
+    poison_forest,
+)
+from repro.analysis.races import (
+    ExchangeRaceError,
+    RaceDetector,
+    RaceViolation,
+)
+
+__all__ = [
+    "GhostSanitizer",
+    "PoisonError",
+    "PoisonSite",
+    "POISON_BITS",
+    "check_interior_clean",
+    "check_stencil_ghosts",
+    "poison_value",
+    "poisoned_mask",
+    "poison_ghosts",
+    "poison_forest",
+    "ExchangeRaceError",
+    "RaceDetector",
+    "RaceViolation",
+    "LintViolation",
+    "Rule",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "rule_codes",
+]

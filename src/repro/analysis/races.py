@@ -1,0 +1,247 @@
+"""Exchange race detector for the emulated distributed machine.
+
+The emulator executes the parallel ghost exchange as an explicit,
+deterministic message schedule.  That schedule has a correctness
+contract — the same one a real bulk-synchronous AMR exchange has:
+
+* a block's interior must not be mutated between the moment a message
+  carrying its data is *published* (sent) and the end of that exchange
+  epoch — otherwise receivers hold data that never existed on the
+  owner (**write-after-publish**);
+* a kernel may consume a block's ghost layers only after *every*
+  message targeting that block in the **current step's** exchange
+  epoch has been received (**read-before-receive** — this also catches
+  running the kernel before the exchange, i.e. consuming the previous
+  step's halos);
+* a stage-2 prolongation may read its *source* block's own ghost cells
+  (slope borders) only once the source's stage-1 messages — same-level
+  copies and restrictions — have arrived in the open epoch.
+
+:class:`RaceDetector` checks all three orderings from event callbacks
+the machine emits (publish / receive / interior-write / consume),
+using per-block version counters and per-epoch receive ledgers.  It is
+a *logical* race detector: the emulation is single-threaded, but a
+schedule that violates these orderings is exactly a data race in the
+distributed machine the emulation stands in for.
+
+Violations report the rank, block id, ghost-region offset (face), and
+epoch, and raise :class:`ExchangeRaceError` immediately by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+__all__ = ["RaceDetector", "RaceViolation", "ExchangeRaceError"]
+
+#: (source block, ghost-region offset) — one expected inbound message.
+InboundKey = Tuple[object, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class RaceViolation:
+    """One detected ordering violation in the exchange schedule."""
+
+    kind: str  #: "write-after-publish" | "read-before-receive"
+    rank: int  #: rank on which the violating access ran
+    block: object  #: BlockID whose data the violation concerns
+    offset: Optional[Tuple[int, ...]]  #: ghost-region direction, if any
+    epoch: int  #: exchange epoch the violation occurred in
+    detail: str
+
+    def __str__(self) -> str:
+        at = f" region {self.offset}" if self.offset is not None else ""
+        return (
+            f"[{self.kind}] rank {self.rank}, block {self.block}{at}, "
+            f"epoch {self.epoch}: {self.detail}"
+        )
+
+
+class ExchangeRaceError(RuntimeError):
+    """The emulated exchange schedule violated its ordering contract."""
+
+    def __init__(self, violations: List[RaceViolation]) -> None:
+        self.violations = list(violations)
+        lines = "\n".join(f"  - {v}" for v in self.violations)
+        super().__init__(
+            f"exchange race detector: {len(self.violations)} violation(s)\n"
+            f"{lines}"
+        )
+
+
+@dataclass(frozen=True)
+class _Receipt:
+    """Ledger entry: one message received into a ghost region."""
+
+    epoch: int  #: epoch the payload arrived in
+    step: int  #: step that epoch belonged to
+    src_version: int  #: source interior version the payload carried
+
+
+class RaceDetector:
+    """Tracks exchange ordering events and flags logical data races.
+
+    Parameters
+    ----------
+    expected_inbound:
+        For every destination block, the set of ``(src_id, offset)``
+        messages one full exchange delivers to it, split by stage:
+        ``{dst: (stage1_keys, stage2_keys)}``.  Built by the machine
+        from its transfer plan (see
+        :meth:`repro.parallel.emulator.EmulatedMachine.attach_race_detector`).
+    raise_immediately:
+        Raise :class:`ExchangeRaceError` at the first violation
+        (default).  Otherwise violations accumulate in
+        :attr:`violations` for inspection via :meth:`check`.
+    """
+
+    def __init__(
+        self,
+        expected_inbound: Optional[
+            Mapping[object, Tuple[Set[InboundKey], Set[InboundKey]]]
+        ] = None,
+        *,
+        raise_immediately: bool = True,
+    ) -> None:
+        self.expected_inbound: Dict[
+            object, Tuple[Set[InboundKey], Set[InboundKey]]
+        ] = dict(expected_inbound or {})
+        self.raise_immediately = raise_immediately
+        self.violations: List[RaceViolation] = []
+        self.epoch = 0  #: completed + current epoch counter
+        self.step = 0  #: step counter (begin_step)
+        self._epoch_open = False
+        #: interior version per block (bumped by every interior write)
+        self._version: Dict[object, int] = {}
+        #: blocks whose data was sent in the currently open epoch
+        self._published: Dict[object, List[Tuple[object, Tuple[int, ...]]]] = {}
+        #: receive ledger: dst -> {(src, offset): _Receipt}
+        self._received: Dict[object, Dict[InboundKey, _Receipt]] = {}
+
+    # -- plumbing -----------------------------------------------------------
+
+    def set_expected_inbound(
+        self,
+        expected: Mapping[object, Tuple[Set[InboundKey], Set[InboundKey]]],
+    ) -> None:
+        """Replace the expected-message sets (after a plan rebuild)."""
+        self.expected_inbound = dict(expected)
+
+    def _flag(
+        self,
+        kind: str,
+        rank: int,
+        block: object,
+        offset: Optional[Tuple[int, ...]],
+        detail: str,
+    ) -> None:
+        v = RaceViolation(kind, rank, block, offset, self.epoch, detail)
+        self.violations.append(v)
+        if self.raise_immediately:
+            raise ExchangeRaceError([v])
+
+    def check(self) -> None:
+        """Raise if any violation has accumulated (deferred mode)."""
+        if self.violations:
+            raise ExchangeRaceError(self.violations)
+
+    def version(self, bid: object) -> int:
+        return self._version.get(bid, 0)
+
+    # -- events emitted by the machine --------------------------------------
+
+    def begin_step(self) -> None:
+        """A new bulk-synchronous step starts: kernels of this step may
+        only consume ghosts exchanged *within* it."""
+        self.step += 1
+
+    def begin_epoch(self) -> None:
+        """One full ghost exchange starts."""
+        self.epoch += 1
+        self._epoch_open = True
+        self._published = {}
+
+    def end_epoch(self) -> None:
+        """The exchange finished; subsequent interior writes are legal."""
+        self._epoch_open = False
+
+    def on_publish(
+        self, src: object, dst: object, offset: Tuple[int, ...], rank: int
+    ) -> None:
+        """``src``'s data (interior or restricted sums) was sent toward
+        the ghost region ``offset`` of ``dst``."""
+        self._published.setdefault(src, []).append((dst, offset))
+
+    def on_receive(
+        self, dst: object, src: object, offset: Tuple[int, ...], rank: int
+    ) -> None:
+        """A payload from ``src`` landed in ``dst``'s ghost region."""
+        self._received.setdefault(dst, {})[(src, offset)] = _Receipt(
+            epoch=self.epoch, step=self.step, src_version=self.version(src)
+        )
+
+    def on_interior_write(self, bid: object, rank: int) -> None:
+        """``bid``'s interior was mutated (kernel stage, restore, ...)."""
+        self._version[bid] = self.version(bid) + 1
+        if self._epoch_open and bid in self._published:
+            dst, offset = self._published[bid][0]
+            self._flag(
+                "write-after-publish",
+                rank,
+                bid,
+                offset,
+                f"interior mutated after {len(self._published[bid])} "
+                f"message(s) from it were already sent this epoch "
+                f"(first toward {dst}); receivers hold data that never "
+                f"existed on the owner",
+            )
+
+    def on_ghost_read(self, src: object, rank: int) -> None:
+        """``src``'s own ghost cells are being read mid-exchange (stage-2
+        prolongation slope borders): its stage-1 inbound messages must
+        all have arrived in the currently open epoch."""
+        stage1, _ = self.expected_inbound.get(src, (set(), set()))
+        ledger = self._received.get(src, {})
+        for key in sorted(stage1, key=repr):
+            rec = ledger.get(key)
+            if rec is None or rec.epoch != self.epoch:
+                self._flag(
+                    "read-before-receive",
+                    rank,
+                    src,
+                    key[1],
+                    f"stage-2 prolongation reads ghost cells of {src} "
+                    f"before its stage-1 payload from {key[0]} arrived "
+                    f"in epoch {self.epoch}",
+                )
+                return
+
+    def on_consume(self, bid: object, rank: int) -> None:
+        """A kernel is about to read ``bid``'s ghost layers."""
+        stage1, stage2 = self.expected_inbound.get(bid, (set(), set()))
+        ledger = self._received.get(bid, {})
+        for key in sorted(stage1 | stage2, key=repr):
+            src, offset = key
+            rec = ledger.get(key)
+            if rec is None:
+                self._flag(
+                    "read-before-receive",
+                    rank,
+                    bid,
+                    offset,
+                    f"kernel consumes ghosts of {bid} but the payload "
+                    f"from {src} was never received",
+                )
+                return
+            if rec.step != self.step:
+                self._flag(
+                    "read-before-receive",
+                    rank,
+                    bid,
+                    offset,
+                    f"kernel consumes ghosts of {bid} filled in step "
+                    f"{rec.step}, but the current step is {self.step} "
+                    f"(kernel ran before this step's exchange)",
+                )
+                return

@@ -16,6 +16,14 @@ Commands
 ``emulate``
     Run a problem on the emulated distributed machine and verify the
     result against the serial driver (bit-exact check).
+``sanitize``
+    Debug run of a problem under the correctness tooling: the
+    ghost-poison sanitizer on the serial driver, plus the sanitizer and
+    the exchange race detector on the emulated machine (see
+    :mod:`repro.analysis`).
+``lint``
+    Run the repo's AMR-specific AST lint (rules REPRO101-104) over
+    source paths.
 """
 
 from __future__ import annotations
@@ -60,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--safe-mode", action="store_true",
                      help="health-check each step; roll back and halve "
                           "dt on NaN/Inf or negative density/pressure")
+    run.add_argument("--sanitize", action="store_true",
+                     help="run under the ghost-poison sanitizer (debug; "
+                          "raises on any consumed unfilled ghost cell)")
 
     info = sub.add_parser("info", help="summarize a checkpoint")
     info.add_argument("checkpoint")
@@ -120,6 +131,31 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="base backoff before the first "
                               "retransmission (doubles per retry, capped)")
+    emulate.add_argument("--sanitize", action="store_true",
+                         help="run the emulation under the ghost-poison "
+                              "sanitizer and the exchange race detector")
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="debug-run a problem under the full correctness tooling",
+    )
+    sanitize.add_argument("problem", choices=PROBLEMS)
+    sanitize.add_argument("--ndim", type=int, default=2, choices=(1, 2, 3))
+    sanitize.add_argument("--steps", type=int, default=5)
+    sanitize.add_argument("--ranks", type=int, default=4)
+    sanitize.add_argument("--no-adapt", action="store_true",
+                          help="static grid for the serial phase")
+
+    lint = sub.add_parser(
+        "lint", help="run the AMR-specific AST lint (REPRO101-104)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories (default: src/repro)")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma-separated rule codes to enable "
+                           "(default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
     return parser
 
 
@@ -178,6 +214,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             buffer_band=problem.config.buffer_band,
             hook=problem.hook,
             safe_mode=args.safe_mode,
+            sanitize=args.sanitize,
         )
         sim.time = float(meta.get("time", 0.0))
         sim.step_count = int(meta.get("step", 0))
@@ -186,7 +223,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"t={sim.time:.5f}"
         )
     else:
-        sim = problem.build(adaptive=not args.no_adapt)
+        sim = problem.build(adaptive=not args.no_adapt, sanitize=args.sanitize)
         sim.safe_mode = args.safe_mode
     sim.reflux = args.reflux
     checkpointer = None
@@ -238,6 +275,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(grid_report(sim.forest))
     print("\nphase timings:")
     print(sim.timer.report())
+    if sim.sanitizer is not None:
+        print(
+            f"\nghost sanitizer: {sim.sanitizer.n_exchanges_checked} "
+            f"exchanges verified, {sim.sanitizer.n_cells_poisoned} "
+            f"ghost values poisoned, 0 violations"
+        )
     if args.save:
         save_forest(sim.forest, args.save, time=sim.time, step=sim.step_count)
         print(f"\ncheckpoint written to {args.save}")
@@ -393,7 +436,10 @@ def cmd_emulate(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         retry_policy=RetryPolicy(max_retries=args.retry_max,
                                  backoff_base=args.retry_backoff),
+        sanitize=args.sanitize,
     )
+    if args.sanitize:
+        emu.attach_race_detector()
     dt = 0.5 * sim.stable_dt()
     print(
         f"== emulating {problem.name} on {args.ranks} ranks, "
@@ -474,6 +520,12 @@ def cmd_emulate(args: argparse.Namespace) -> int:
             f"snapshot copies ({emu.stats.n_partner_bytes / 1024:.0f} KB, "
             f"{100 * redundancy_overhead(emu.stats):.1f}% of traffic)"
         )
+    if emu.sanitizer is not None:
+        print(
+            f"ghost sanitizer: {emu.sanitizer.n_exchanges_checked} "
+            f"exchanges verified; race detector: "
+            f"{emu.race_detector.epoch} epochs, 0 violations"
+        )
     hook_note = " (driver hook runs serial-side only)" if problem.hook else ""
     print(f"max |emulated - serial| = {worst:.3e}{hook_note}")
     if problem.hook is None and worst != 0.0:
@@ -481,6 +533,81 @@ def cmd_emulate(args: argparse.Namespace) -> int:
         return 1
     print("OK: distributed emulation matches the serial driver" if worst == 0.0
           else "note: differences stem from the serial-only driver hook")
+    return 0
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    """Debug-run one problem under the full correctness tooling."""
+    from repro.analysis import ExchangeRaceError, PoisonError
+    from repro.parallel import EmulatedMachine
+
+    problem = _make_problem(args.problem, args.ndim)
+    print(f"== sanitizing {problem.name} ==")
+
+    # Phase 1: serial driver under the ghost-poison sanitizer.
+    sim = problem.build(adaptive=not args.no_adapt, sanitize=True)
+    dt = 0.5 * sim.stable_dt()
+    try:
+        for _ in range(args.steps):
+            sim.step(dt)
+    except PoisonError as exc:
+        print(f"FAIL (serial): {exc}", file=sys.stderr)
+        return 1
+    assert sim.sanitizer is not None
+    print(
+        f"serial: {args.steps} steps, "
+        f"{sim.sanitizer.n_exchanges_checked} exchanges verified, "
+        f"{sim.sanitizer.n_cells_poisoned} ghost values poisoned: clean"
+    )
+
+    # Phase 2: emulated machine under the sanitizer + race detector.
+    forest = problem.config.make_forest(problem.scheme.nvar)
+    problem.init_forest(forest)
+    emu = EmulatedMachine(
+        forest, args.ranks, problem.scheme, bc=problem.bc, sanitize=True
+    )
+    detector = emu.attach_race_detector()
+    try:
+        for _ in range(args.steps):
+            emu.advance(dt)
+    except (PoisonError, ExchangeRaceError) as exc:
+        print(f"FAIL (emulated): {exc}", file=sys.stderr)
+        return 1
+    assert emu.sanitizer is not None
+    print(
+        f"emulated ({args.ranks} ranks): {args.steps} steps, "
+        f"{emu.sanitizer.n_exchanges_checked} exchanges verified, "
+        f"{detector.epoch} epochs race-checked: clean"
+    )
+    print("OK: no unfilled ghost reads, no exchange ordering violations")
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import RULES, lint_paths
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+    select = None
+    if args.select is not None:
+        select = frozenset(
+            c.strip().upper() for c in args.select.split(",") if c.strip()
+        )
+        unknown = select - {r.code for r in RULES}
+        if unknown:
+            print(
+                f"error: unknown rule code(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+    violations = lint_paths(args.paths, select=select)
+    for v in violations:
+        print(f"{v.path}:{v.line}:{v.col}: {v.code} {v.message}")
+    if violations:
+        print(f"{len(violations)} violation(s)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -492,6 +619,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scaling": cmd_scaling,
         "fig5": cmd_fig5,
         "emulate": cmd_emulate,
+        "sanitize": cmd_sanitize,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

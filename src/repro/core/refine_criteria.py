@@ -246,7 +246,7 @@ def buffer_flags(
 
 def compute_flags(
     forest: BlockForest,
-    criterion,
+    criterion: RefinementCriterion,
     *,
     buffer_band: int = 1,
 ) -> Tuple[List[BlockID], List[BlockID]]:

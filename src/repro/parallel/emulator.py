@@ -35,7 +35,7 @@ replays — bit-for-bit identical to a fault-free run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -57,6 +57,11 @@ from repro.core.ghost import (
 )
 from repro.parallel.partition import Assignment, sfc_partition
 from repro.solvers.scheme import FVScheme
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.poison import GhostSanitizer
+    from repro.analysis.races import InboundKey, RaceDetector
+    from repro.resilience.faults import FaultPlan, RetryPolicy
 
 __all__ = ["EmulatedMachine", "ExchangeStats"]
 
@@ -118,6 +123,19 @@ class EmulatedMachine:
         given, message faults marked transient are retransmitted with
         capped exponential backoff instead of raising, and only retry
         exhaustion escalates to a :class:`MessageFailure`.
+    sanitize:
+        When True, run under the ghost-poison sanitizer: every rank's
+        ghost layers are poisoned at construction and before each
+        exchange, and verified filled afterwards (see
+        :class:`repro.analysis.poison.GhostSanitizer`).  Because ghost
+        data moves only through explicit messages here, a sanitizer trip
+        pinpoints a missing message in the derived schedule.
+
+    A :class:`repro.analysis.races.RaceDetector` can additionally be
+    attached with :meth:`attach_race_detector`; the machine then emits
+    publish / receive / ghost-read / consume / interior-write events so
+    ordering violations in the bulk-synchronous schedule (write-after-
+    publish, read-before-receive) surface immediately.
     """
 
     def __init__(
@@ -128,8 +146,9 @@ class EmulatedMachine:
         *,
         bc: Optional[BoundaryHandler] = None,
         assignment: Optional[Assignment] = None,
-        fault_plan=None,
-        retry_policy=None,
+        fault_plan: Optional["FaultPlan"] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
+        sanitize: bool = False,
     ) -> None:
         self.topology = forest  # replicated metadata (structure only)
         self.scheme = scheme
@@ -151,6 +170,13 @@ class EmulatedMachine:
         self.stats = ExchangeStats()
         self.time = 0.0
         self._plan = self._build_plan()
+        self.race_detector: Optional["RaceDetector"] = None
+        self.sanitizer: Optional["GhostSanitizer"] = None
+        if sanitize:
+            from repro.analysis.poison import GhostSanitizer, poison_forest
+
+            self.sanitizer = GhostSanitizer(depth=scheme.required_ghost)
+            poison_forest(self._all_blocks())
 
     def _populate(self, forest: BlockForest, assignment: Assignment) -> None:
         """Fill per-rank storage with private copies of the block data."""
@@ -172,7 +198,9 @@ class EmulatedMachine:
 
     # ------------------------------------------------------------------
 
-    def _build_plan(self):
+    def _build_plan(
+        self,
+    ) -> List[Tuple[BlockID, Tuple[int, ...], List[Transfer]]]:
         """All transfers of one exchange, from the replicated topology."""
         plan: List[Tuple[BlockID, Tuple[int, ...], List[Transfer]]] = []
         offsets = all_offsets(self.topology.ndim)
@@ -189,6 +217,36 @@ class EmulatedMachine:
 
     def local_block(self, bid: BlockID) -> Block:
         return self.rank_blocks[self.assignment[bid]][bid]
+
+    def _all_blocks(self) -> Iterator[Block]:
+        """Every block on every alive rank (sanitizer traversal)."""
+        for rank in range(self.n_ranks):
+            if self.alive[rank]:
+                yield from self.rank_blocks[rank].values()
+
+    def attach_race_detector(
+        self, detector: Optional["RaceDetector"] = None
+    ) -> "RaceDetector":
+        """Attach (and return) an exchange race detector.
+
+        The expected-inbound message sets are derived from the machine's
+        own transfer plan — the same source of truth the exchange
+        executes — keyed ``(src block, ghost-region offset)`` and split
+        into stage 1 (same-level copies + restrictions, ``delta >= 0``)
+        and stage 2 (prolongations, ``delta < 0``).
+        """
+        from repro.analysis.races import RaceDetector
+
+        if detector is None:
+            detector = RaceDetector()
+        expected: Dict[object, Tuple[Set["InboundKey"], Set["InboundKey"]]] = {}
+        for bid, offset, transfers in self._plan:
+            stage1, stage2 = expected.setdefault(bid, (set(), set()))
+            for t in transfers:
+                (stage1 if t.delta >= 0 else stage2).add((t.src_id, offset))
+        detector.set_expected_inbound(expected)
+        self.race_detector = detector
+        return detector
 
     # ------------------------------------------------------------------
     # failure handling
@@ -247,6 +305,13 @@ class EmulatedMachine:
         self.assignment = assignment
         self.rank_blocks = [{} for _ in range(self.n_ranks)]
         self._populate(forest, assignment)
+        if self.race_detector is not None:
+            # A restore is the rollback after a failure that may have
+            # aborted an exchange mid-epoch; close that dead epoch so
+            # the checkpoint repopulation is not a write-after-publish.
+            self.race_detector.end_epoch()
+            for bid, rank in assignment.items():
+                self.race_detector.on_interior_write(bid, rank)
         self.time = time
         if step_index is not None:
             self.step_index = step_index
@@ -277,6 +342,8 @@ class EmulatedMachine:
             self.rank_blocks[old].pop(bid, None)
         self.rank_blocks[rank][bid] = clone
         self.assignment[bid] = rank
+        if self.race_detector is not None:
+            self.race_detector.on_interior_write(bid, rank)
 
     def _send(self, payload: np.ndarray, src_rank: int, dst_rank: int,
               t: Transfer, *, extra_values: int = 0) -> np.ndarray:
@@ -349,9 +416,14 @@ class EmulatedMachine:
                     f"cannot exchange: {len(lost)} block(s) lost to failed "
                     "ranks; restore from a checkpoint first"
                 )
+        det = self.race_detector
+        if self.sanitizer is not None:
+            self.sanitizer.before_exchange(self._all_blocks())
+        if det is not None:
+            det.begin_epoch()
 
         # ---- stage 1: same + restriction --------------------------------
-        for bid, _offset, transfers in self._plan:
+        for bid, offset, transfers in self._plan:
             dst_rank = self.owner_rank(bid)
             dst = self.rank_blocks[dst_rank][bid]
             restrict_items = []
@@ -359,10 +431,16 @@ class EmulatedMachine:
                 src_rank = self.owner_rank(t.src_id)
                 src = self.rank_blocks[src_rank][t.src_id]
                 if t.delta == 0:
+                    if det is not None:
+                        det.on_publish(t.src_id, bid, offset, src_rank)
                     payload = src.view(t.src_box).copy()  # the message
                     payload = self._send(payload, src_rank, dst_rank, t)
                     dst.view(t.dst_box)[...] = payload
+                    if det is not None:
+                        det.on_receive(bid, t.src_id, offset, dst_rank)
                 elif t.delta > 0:
+                    if det is not None:
+                        det.on_publish(t.src_id, bid, offset, src_rank)
                     coarse_box, csum, wsum = restriction_contribution(
                         src, t, ndim
                     )
@@ -370,12 +448,14 @@ class EmulatedMachine:
                         csum, src_rank, dst_rank, t, extra_values=wsum.size
                     )
                     restrict_items.append((t.dst_box, coarse_box, csum, wsum))
+                    if det is not None:
+                        det.on_receive(bid, t.src_id, offset, dst_rank)
             if restrict_items:
                 apply_restrictions(dst, restrict_items)
         self._apply_bc()
 
         # ---- stage 2: prolongation ---------------------------------------
-        for bid, _offset, transfers in self._plan:
+        for bid, offset, transfers in self._plan:
             dst_rank = self.owner_rank(bid)
             dst = self.rank_blocks[dst_rank][bid]
             for t in transfers:
@@ -385,13 +465,25 @@ class EmulatedMachine:
                 src = self.rank_blocks[src_rank][t.src_id]
                 up = -t.delta
                 border = prolongation_border(up, order)
+                if det is not None:
+                    # The bordered gather may read the source's own
+                    # ghost cells — legal only once its stage-1 inbound
+                    # messages have all arrived in this epoch.
+                    det.on_ghost_read(t.src_id, src_rank)
+                    det.on_publish(t.src_id, bid, offset, src_rank)
                 payload = gather_bordered(src, t.src_box, border)
                 payload = self._send(payload, src_rank, dst_rank, t)
                 fine = prolong_bordered(payload, t.src_box, up, order, ndim)
                 cover = t.src_box.refined(up).shift(_neg(t.shift))
                 sub = t.dst_box.slices(cover.lo)
                 dst.view(t.dst_box)[...] = fine[(slice(None),) + sub]
+                if det is not None:
+                    det.on_receive(bid, t.src_id, offset, dst_rank)
         self._apply_bc()
+        if det is not None:
+            det.end_epoch()
+        if self.sanitizer is not None:
+            self.sanitizer.after_exchange(self._all_blocks())
 
     def _apply_bc(self) -> None:
         if self.bc is None:
@@ -442,22 +534,39 @@ class EmulatedMachine:
         self._msg_index = 0
         scheme = self.scheme
         g = self.topology.n_ghost
+        det = self.race_detector
+        if det is not None:
+            det.begin_step()
         self.exchange()
         if scheme.n_stages == 1:
             for rank in self.alive_ranks:
                 for block in self.rank_blocks[rank].values():
+                    if det is not None:
+                        det.on_consume(block.id, rank)
                     scheme.step(block.data, block.dx, dt, g)
+                    if det is not None:
+                        det.on_interior_write(block.id, rank)
         else:
             saved: Dict[BlockID, np.ndarray] = {}
             for rank in self.alive_ranks:
                 for block in self.rank_blocks[rank].values():
+                    if det is not None:
+                        det.on_consume(block.id, rank)
                     saved[block.id] = block.interior.copy()
                     scheme.step(block.data, block.dx, 0.5 * dt, g)
+                    if det is not None:
+                        det.on_interior_write(block.id, rank)
             self.exchange()
             for rank in self.alive_ranks:
                 for block in self.rank_blocks[rank].values():
+                    if det is not None:
+                        det.on_consume(block.id, rank)
                     rate = scheme.flux_divergence(block.data, block.dx, g)
                     block.interior[...] = saved[block.id] + dt * rate
+                    if det is not None:
+                        det.on_interior_write(block.id, rank)
+        if self.sanitizer is not None:
+            self.sanitizer.after_stage(self._all_blocks())
         self.time += dt
         self.step_index += 1
 

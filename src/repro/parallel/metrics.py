@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import TYPE_CHECKING, Dict, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.emulator import ExchangeStats
 
 __all__ = [
     "StepTimeReport",
@@ -74,7 +77,7 @@ def gflops(total_flops: float, wall_time: float) -> float:
     return total_flops / wall_time / 1e9 if wall_time > 0 else 0.0
 
 
-def redundancy_overhead(stats) -> float:
+def redundancy_overhead(stats: "ExchangeStats") -> float:
     """Fraction of all wire bytes spent on partner-snapshot redundancy.
 
     ``stats`` is an :class:`~repro.parallel.emulator.ExchangeStats`;

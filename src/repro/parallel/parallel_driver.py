@@ -19,7 +19,7 @@ model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -95,7 +95,7 @@ class ParallelSimulation:
         return self.machine.n_ranks
 
     @property
-    def alive_ranks(self):
+    def alive_ranks(self) -> List[int]:
         """PEs that have not been failed via :meth:`simulate_rank_failure`."""
         return [r for r in range(self.n_ranks) if r not in self.dead_ranks]
 

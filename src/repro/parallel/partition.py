@@ -11,7 +11,7 @@ the locality comparison benchmark.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +30,9 @@ __all__ = [
 Assignment = Dict[BlockID, int]
 
 
-def _weights(forest: BlockForest, weights: Optional[Dict[BlockID, float]]):
+def _weights(
+    forest: BlockForest, weights: Optional[Dict[BlockID, float]]
+) -> "Tuple[List[BlockID], np.ndarray]":
     ids = forest.sorted_ids()
     if weights is None:
         w = np.ones(len(ids))

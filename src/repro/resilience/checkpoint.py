@@ -62,6 +62,10 @@ class Checkpointer:
         self.keep = keep
         self.prefix = prefix
         self._pattern = re.compile(re.escape(prefix) + r"-(\d+)\.npz$")
+        #: checkpoints skipped as unreadable by :meth:`latest`, newest
+        #: last — surfaced so a recovery that silently fell back to an
+        #: older restart point remains observable and debuggable.
+        self.quarantined: List[Path] = []
 
     # ------------------------------------------------------------------
 
@@ -111,12 +115,16 @@ class Checkpointer:
 
         A corrupt newest file (failed checksum, truncated) is skipped so
         recovery can fall back to the previous one — the reason more
-        than one checkpoint is kept.
+        than one checkpoint is kept.  Skipped files are recorded in
+        :attr:`quarantined` rather than silently discarded, so callers
+        can report that the restart point is older than expected.
         """
         for step, path in reversed(self._scan()):
             try:
                 meta = checkpoint_metadata(path)
             except CheckpointError:
+                if path not in self.quarantined:
+                    self.quarantined.append(path)
                 continue
             return CheckpointInfo(
                 path=path,

@@ -29,9 +29,12 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.block_id import BlockID
 
 __all__ = [
     "FaultDetected",
@@ -64,8 +67,8 @@ class RankFailure(FaultDetected):
 class MessageFailure(FaultDetected):
     """A wire message was dropped or failed its content checksum."""
 
-    def __init__(self, step: int, index: int, mode: str, dst_id, src_id,
-                 *, retries: int = 0) -> None:
+    def __init__(self, step: int, index: int, mode: str, dst_id: "BlockID",
+                 src_id: "BlockID", *, retries: int = 0) -> None:
         self.step = step
         self.index = index
         self.mode = mode

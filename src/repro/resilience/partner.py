@@ -38,11 +38,14 @@ and the recovery driver escalates to the global checkpoint rollback.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.block_id import BlockID
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.emulator import EmulatedMachine
 
 __all__ = ["PartnerStore"]
 
@@ -62,7 +65,7 @@ class PartnerStore:
     distributed in-memory checkpoint at :attr:`snapshot_step`.
     """
 
-    def __init__(self, machine) -> None:
+    def __init__(self, machine: "EmulatedMachine") -> None:
         self.machine = machine
         self._pairing: Dict[int, int] = {}
         self._copies: Dict[int, Dict[BlockID, np.ndarray]] = {}

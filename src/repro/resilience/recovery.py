@@ -31,9 +31,11 @@ pin down.
 from __future__ import annotations
 
 import copy
-import time as _time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.emulator import EmulatedMachine
 
 from repro.amr.driver import StepRecord
 from repro.amr.io import CheckpointError
@@ -41,6 +43,7 @@ from repro.core.forest import BlockForest
 from repro.resilience.checkpoint import Checkpointer
 from repro.resilience.faults import FaultDetected, MessageFailure, RankFailure
 from repro.resilience.partner import PartnerStore
+from repro.util.timing import wall_clock
 
 __all__ = [
     "RecoveryEvent",
@@ -115,7 +118,7 @@ class ResilienceReport:
         return sum(e.duration for e in self.events)
 
 
-def snapshot_forest(machine) -> BlockForest:
+def snapshot_forest(machine: "EmulatedMachine") -> BlockForest:
     """A standalone forest holding the machine's current global state.
 
     The replicated topology is deep-copied and every alive rank's block
@@ -138,8 +141,11 @@ def _event_kind(exc: FaultDetected) -> str:
 
 
 def _attempt_local_recovery(
-    machine, partner: PartnerStore, exc: FaultDetected, step: int
-):
+    machine: "EmulatedMachine",
+    partner: PartnerStore,
+    exc: FaultDetected,
+    step: int,
+) -> Optional[Tuple[int, int, int]]:
     """Localized recovery from the partner store.
 
     Returns ``(restored_from_step, blocks_restored, bytes_restored)``
@@ -181,7 +187,7 @@ def _attempt_local_recovery(
 
 
 def run_with_recovery(
-    machine,
+    machine: "EmulatedMachine",
     *,
     n_steps: int,
     dt: float,
@@ -229,14 +235,14 @@ def run_with_recovery(
     pending_recovery_time = 0.0
     while machine.step_index < end:
         step = machine.step_index
-        wall_start = _time.perf_counter()
+        wall_start = wall_clock()
         try:
             machine.advance(dt)
         except FaultDetected as exc:
             recoveries += 1
             if recoveries > max_recoveries:
                 raise
-            rec_start = _time.perf_counter()
+            rec_start = wall_clock()
             local = None
             if partner is not None:
                 local = _attempt_local_recovery(machine, partner, exc, step)
@@ -254,7 +260,7 @@ def run_with_recovery(
                     strategy="local",
                     blocks_restored=blocks,
                     bytes_restored=nbytes,
-                    duration=_time.perf_counter() - rec_start,
+                    duration=wall_clock() - rec_start,
                 )
             else:
                 info = checkpointer.latest()
@@ -280,7 +286,7 @@ def run_with_recovery(
                         for b in machine.topology.blocks.values()
                     ),
                     escalated=partner is not None,
-                    duration=_time.perf_counter() - rec_start,
+                    duration=wall_clock() - rec_start,
                 )
             report.events.append(event)
             report.steps_replayed += event.replayed_steps
@@ -294,7 +300,7 @@ def run_with_recovery(
                 dt=dt,
                 n_blocks=machine.topology.n_blocks,
                 n_cells=machine.topology.n_cells,
-                wall_time=_time.perf_counter() - wall_start,
+                wall_time=wall_clock() - wall_start,
                 recovery_time=pending_recovery_time or None,
             )
         )

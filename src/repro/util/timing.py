@@ -14,7 +14,19 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List
 
-__all__ = ["PhaseTimer", "measure", "TimingResult"]
+__all__ = ["PhaseTimer", "measure", "TimingResult", "wall_clock"]
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock seconds — the *only* sanctioned time source
+    for deterministic-replay code (``resilience/``, the rank emulator).
+
+    Those modules must not call ``time.perf_counter()`` directly (lint
+    rule REPRO104): routing every read through this indirection keeps
+    replayed recoveries bit-for-bit testable, because a test or replay
+    harness can monkeypatch one function to freeze or script time.
+    """
+    return time.perf_counter()
 
 
 @dataclass

@@ -1,0 +1,535 @@
+"""Tests for the correctness tooling (repro.analysis).
+
+Every layer is tested from both sides: each detector must *fire* on a
+seeded violation, and must be *silent* on the clean code paths — a
+sanitized/race-checked run reproduces the plain run bit-for-bit, and
+the AMR lint reports zero violations over ``src/repro``.
+"""
+
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.amr import Simulation, advecting_pulse, sedov_blast
+from repro.analysis import (
+    POISON_BITS,
+    ExchangeRaceError,
+    GhostSanitizer,
+    PoisonError,
+    RaceDetector,
+    check_interior_clean,
+    check_stencil_ghosts,
+    lint_paths,
+    lint_source,
+    poison_forest,
+    poison_ghosts,
+    poison_value,
+    poisoned_mask,
+    rule_codes,
+)
+from repro.core import BlockForest, BlockID
+from repro.core.ghost import fill_ghosts
+from repro.parallel.emulator import EmulatedMachine
+from repro.util.geometry import Box
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def make_amr_forest(nvar=1):
+    f = BlockForest(
+        Box((0.0, 0.0), (1.0, 1.0)), (2, 2), (8, 8), nvar=nvar,
+        n_ghost=2, periodic=(True, True), max_level=3,
+    )
+    f.adapt([BlockID(0, (0, 0)), BlockID(0, (1, 1))])
+    f.adapt([BlockID(1, (1, 1))])
+    return f
+
+
+# ---------------------------------------------------------------------------
+# poison primitives
+# ---------------------------------------------------------------------------
+
+class TestPoisonPrimitives:
+    def test_poison_value_is_nan_with_exact_bits(self):
+        v = poison_value()
+        assert np.isnan(v)
+        assert np.float64(v).view(np.uint64) == POISON_BITS
+
+    def test_mask_is_bit_exact_not_any_nan(self):
+        arr = np.zeros(4)
+        arr[1] = poison_value()
+        arr[2] = np.nan  # ordinary quiet NaN must NOT match
+        mask = poisoned_mask(arr)
+        assert mask.tolist() == [False, True, False, False]
+
+    def test_mask_survives_noncontiguous_views(self):
+        arr = np.zeros((4, 4))
+        arr[:, 3] = poison_value()
+        assert poisoned_mask(arr[:, 1:])[:, 2].all()
+
+    def test_arithmetic_on_poison_loses_the_pattern(self):
+        # The whole attribution story rests on this IEEE fact: any
+        # arithmetic involving an sNaN yields a (different) quiet NaN.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            out = np.float64(poison_value()) + 1.0
+        assert np.isnan(out) and not poisoned_mask(np.array([out]))[0]
+
+    def test_poison_ghosts_fills_ghosts_only(self):
+        f = make_amr_forest()
+        for b in f:
+            b.data[...] = 7.0
+        n = poison_forest(f)
+        assert n > 0
+        for b in f:
+            assert (b.interior == 7.0).all()
+            assert poisoned_mask(b.data).sum() * b.nvar == poison_ghosts(b)
+
+
+class TestPoisonChecks:
+    def test_clean_after_full_exchange(self):
+        f = make_amr_forest()
+        for b in f:
+            b.data[...] = 1.0
+        poison_forest(f)
+        fill_ghosts(f, None)
+        assert check_stencil_ghosts(f) == []
+        # The exchange fills even corner ghosts on this forest.
+        assert all(not poisoned_mask(b.data).any() for b in f)
+
+    def test_unfilled_face_slab_is_reported_with_face_and_block(self):
+        f = make_amr_forest()
+        for b in f:
+            b.data[...] = 1.0
+        poison_forest(f)
+        fill_ghosts(f, None)
+        victim = next(iter(f))
+        g = victim.n_ghost
+        victim.data[0, :g, :] = poison_value()  # re-stale face 0 slab
+        sites = check_stencil_ghosts(f)
+        assert len(sites) == 1
+        site = sites[0]
+        assert site.block == victim.id and site.face == 0
+        assert site.where == "ghost" and site.variables == (0,)
+
+    def test_depth_limits_the_checked_slab(self):
+        f = make_amr_forest()
+        for b in f:
+            b.data[...] = 1.0
+        victim = next(iter(f))
+        victim.data[0, 0, :] = poison_value()  # outermost layer only
+        assert check_stencil_ghosts(f, depth=1) == []
+        assert check_stencil_ghosts(f, depth=2) != []
+
+    def test_interior_check_reports_nonfinite(self):
+        f = make_amr_forest()
+        for b in f:
+            b.data[...] = 1.0
+        victim = next(iter(f))
+        victim.interior[0, 2, 2] = np.inf
+        sites = check_interior_clean(f)
+        assert [s.block for s in sites] == [victim.id]
+        assert sites[0].where == "interior"
+
+
+# ---------------------------------------------------------------------------
+# sanitizer end-to-end (serial driver)
+# ---------------------------------------------------------------------------
+
+class TestGhostSanitizerSerial:
+    def test_sanitized_run_matches_plain_run_bit_for_bit(self):
+        plain = advecting_pulse().build(adaptive=True)
+        sane = advecting_pulse().build(adaptive=True, sanitize=True)
+        for _ in range(5):
+            dt = plain.stable_dt()
+            plain.step(dt)
+            sane.step(dt)
+        assert set(plain.forest.blocks) == set(sane.forest.blocks)
+        for bid, blk in plain.forest.blocks.items():
+            np.testing.assert_array_equal(
+                blk.interior, sane.forest.blocks[bid].interior
+            )
+        assert sane.sanitizer.n_exchanges_checked > 0
+        assert sane.sanitizer.n_cells_poisoned > 0
+
+    def test_sanitized_adaptive_sedov_is_clean(self):
+        sim = sedov_blast().build(adaptive=True, sanitize=True)
+        for _ in range(3):
+            sim.step(0.25 * sim.stable_dt())
+        assert sim.sanitizer.n_exchanges_checked >= 3
+
+    def test_skipped_exchange_trips_the_sanitizer(self):
+        sim = advecting_pulse().build(adaptive=False, sanitize=True)
+        sim.fill_ghosts = lambda: None  # seeded bug: exchange forgotten
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(PoisonError) as err:
+                sim.advance(1e-4)
+        assert err.value.sites
+
+    def test_partial_exchange_trips_the_face_check(self):
+        sim = advecting_pulse().build(adaptive=False, sanitize=True)
+        orig = sim.forest
+        real_fill = fill_ghosts
+
+        def leaky_fill():
+            # Seeded bug: the exchange runs, then one block's face slab
+            # is re-staled — as if one message went missing.
+            sim.sanitizer.before_exchange(orig)
+            real_fill(orig, sim.bc)
+            victim = next(iter(orig))
+            victim.data[:, :victim.n_ghost, :] = poison_value()
+            sim.sanitizer.after_exchange(orig)
+
+        sim.fill_ghosts = leaky_fill
+        with pytest.raises(PoisonError) as err:
+            sim.advance(1e-4)
+        assert any(s.where == "ghost" for s in err.value.sites)
+
+
+# ---------------------------------------------------------------------------
+# sanitizer + race detector on the emulated machine
+# ---------------------------------------------------------------------------
+
+class TestEmulatedMachineTooling:
+    def _serial_and_machine(self, n_ranks=3, sanitize=True):
+        prob = advecting_pulse()
+        serial = prob.build(adaptive=False)
+        forest = prob.config.make_forest(prob.scheme.nvar)
+        prob.init_forest(forest)
+        machine = EmulatedMachine(
+            forest, n_ranks, prob.scheme, bc=prob.bc, sanitize=sanitize
+        )
+        return serial, machine
+
+    def test_clean_run_is_silent_and_bit_exact(self):
+        serial, machine = self._serial_and_machine()
+        detector = machine.attach_race_detector()
+        dt = 0.5 * serial.stable_dt()
+        for _ in range(4):
+            serial.advance(dt)
+            machine.advance(dt)
+        detector.check()
+        assert detector.violations == []
+        for bid, arr in machine.gather().items():
+            np.testing.assert_array_equal(
+                arr, serial.forest.blocks[bid].interior
+            )
+
+    def test_sanitizer_catches_dropped_plan_entry(self):
+        _, machine = self._serial_and_machine()
+        # Seeded bug: the derived schedule silently loses one message.
+        machine._plan = machine._plan[1:]
+        with pytest.raises(PoisonError) as err:
+            machine.exchange()
+        assert any(s.where == "ghost" for s in err.value.sites)
+
+    def test_race_kernel_before_exchange(self):
+        _, machine = self._serial_and_machine(sanitize=False)
+        detector = machine.attach_race_detector()
+        machine.advance(1e-4)  # clean step primes the receive ledger
+        detector.begin_step()  # a new step begins...
+        bid = next(iter(machine.topology.blocks))
+        with pytest.raises(ExchangeRaceError) as err:
+            detector.on_consume(bid, machine.owner_rank(bid))
+        v = err.value.violations[0]
+        assert v.kind == "read-before-receive"
+        assert v.block == bid
+
+    def test_race_write_after_publish(self):
+        _, machine = self._serial_and_machine(sanitize=False)
+        detector = machine.attach_race_detector()
+        machine.advance(1e-4)
+        # Seeded bug: mutate an interior mid-epoch after its data was
+        # already sent (receivers now hold data that never existed).
+        detector.begin_step()
+        detector.begin_epoch()
+        bid, offset, transfers = machine._plan[0]
+        src = transfers[0].src_id
+        detector.on_publish(src, bid, offset, machine.owner_rank(src))
+        with pytest.raises(ExchangeRaceError) as err:
+            detector.on_interior_write(src, machine.owner_rank(src))
+        assert err.value.violations[0].kind == "write-after-publish"
+
+    def test_race_report_carries_rank_block_face_epoch(self):
+        _, machine = self._serial_and_machine(sanitize=False)
+        detector = machine.attach_race_detector()
+        machine.advance(1e-4)
+        detector.begin_step()
+        bid = next(iter(machine.topology.blocks))
+        with pytest.raises(ExchangeRaceError) as err:
+            detector.on_consume(bid, machine.owner_rank(bid))
+        v = err.value.violations[0]
+        assert v.rank == machine.owner_rank(bid)
+        assert v.epoch == detector.epoch
+        assert v.offset is not None
+        text = str(err.value)
+        assert str(bid) in text and "epoch" in text
+
+    def test_deferred_mode_accumulates(self):
+        _, machine = self._serial_and_machine(sanitize=False)
+        detector = RaceDetector(raise_immediately=False)
+        machine.attach_race_detector(detector)
+        machine.advance(1e-4)
+        detector.begin_step()
+        bid = next(iter(machine.topology.blocks))
+        detector.on_consume(bid, 0)  # does not raise
+        assert detector.violations
+        with pytest.raises(ExchangeRaceError):
+            detector.check()
+
+    def test_recovery_restore_is_not_flagged(self):
+        # A checkpoint restore rewrites every interior; with a detector
+        # attached this must not read as a race.
+        from repro.resilience import Checkpointer, FaultPlan, RankKill
+        from repro.resilience.recovery import run_with_recovery
+
+        prob = advecting_pulse()
+        forest = prob.config.make_forest(prob.scheme.nvar)
+        prob.init_forest(forest)
+        machine = EmulatedMachine(
+            forest, 3, prob.scheme, bc=prob.bc,
+            fault_plan=FaultPlan(kills=[RankKill(step=2, rank=1)]),
+            sanitize=True,
+        )
+        detector = machine.attach_race_detector()
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as d:
+            run_with_recovery(
+                machine, n_steps=4, dt=1e-3,
+                checkpointer=Checkpointer(d), checkpoint_every=1,
+            )
+        detector.check()
+        assert detector.violations == []
+
+
+# ---------------------------------------------------------------------------
+# AMR lint
+# ---------------------------------------------------------------------------
+
+class TestLintRules:
+    def test_repro101_direct_data_mutation(self):
+        src = "def f(block):\n    block.data[0] += 1.0\n"
+        v = lint_source(src, "repro/amr/driver2.py")
+        assert [x.code for x in v] == ["REPRO101"]
+
+    def test_repro101_allowed_in_kernel_modules(self):
+        src = "def f(block):\n    block.data[0] += 1.0\n"
+        assert lint_source(src, "repro/core/ghost.py") == []
+        assert lint_source(src, "repro/solvers/scheme.py") == []
+
+    def test_repro101_plain_assign_and_subscript(self):
+        for stmt in ("b.data = x", "b.data[...] = x", "b.data[0][1] = x"):
+            v = lint_source(f"{stmt}\n", "repro/parallel/emulator2.py")
+            assert [x.code for x in v] == ["REPRO101"], stmt
+
+    def test_repro102_unseeded_rng(self):
+        bad = [
+            "import numpy as np\nr = np.random.default_rng()\n",
+            "import numpy as np\nx = np.random.random(3)\n",
+            "import random\nx = random.random()\n",
+            "from random import Random\nr = Random()\n",
+        ]
+        for src in bad:
+            v = lint_source(src, "repro/util/anything.py")
+            assert any(x.code == "REPRO102" for x in v), src
+
+    def test_repro102_seeded_rng_is_fine(self):
+        good = [
+            "import numpy as np\nr = np.random.default_rng(0)\n",
+            "import numpy as np\nr = np.random.default_rng(seed=7)\n",
+            "from random import Random\nr = Random(3)\n",
+        ]
+        for src in good:
+            assert lint_source(src, "repro/util/anything.py") == [], src
+
+    def test_repro103_bare_except_everywhere(self):
+        src = "try:\n    f()\nexcept:\n    handle()\n"
+        v = lint_source(src, "repro/amr/driver2.py")
+        assert [x.code for x in v] == ["REPRO103"]
+
+    def test_repro103_swallow_only_in_recovery_paths(self):
+        src = "try:\n    f()\nexcept ValueError:\n    pass\n"
+        assert lint_source(src, "repro/resilience/recovery2.py") != []
+        # Outside recovery paths a typed swallow is (only) questionable.
+        assert lint_source(src, "repro/amr/driver2.py") == []
+
+    def test_repro104_wall_clock_in_replay_code(self):
+        bad = [
+            "import time\nt = time.perf_counter()\n",
+            "import time as _t\nt = _t.time()\n",
+            "from time import monotonic\nt = monotonic()\n",
+            "import datetime\nd = datetime.datetime.now()\n",
+        ]
+        for src in bad:
+            v = lint_source(src, "repro/resilience/recovery2.py")
+            assert any(x.code == "REPRO104" for x in v), src
+
+    def test_repro104_scoped_to_replay_modules(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source(src, "repro/util/timing2.py") == []
+
+    def test_noqa_suppression(self):
+        src = "b.data = x  # repro: noqa[REPRO101]\n"
+        assert lint_source(src, "repro/amr/driver2.py") == []
+        # Bare noqa suppresses every rule on the line.
+        src = "b.data = x  # repro: noqa\n"
+        assert lint_source(src, "repro/amr/driver2.py") == []
+        # A noqa for a different rule does not suppress.
+        src = "b.data = x  # repro: noqa[REPRO102]\n"
+        assert lint_source(src, "repro/amr/driver2.py") != []
+
+    def test_select_restricts_rules(self):
+        src = "b.data = x\nimport random\ny = random.random()\n"
+        v = lint_source(src, "repro/amr/driver2.py", select={"REPRO102"})
+        assert [x.code for x in v] == ["REPRO102"]
+
+    def test_violation_carries_position(self):
+        src = "x = 1\nb.data = x\n"
+        v = lint_source(src, "repro/amr/driver2.py")[0]
+        assert v.line == 2 and v.col >= 0
+
+    def test_syntax_error_is_reported_not_raised(self):
+        v = lint_source("def f(:\n", "repro/amr/driver2.py")
+        assert v and v[0].code == "REPRO000"
+
+
+class TestLintOnRepo:
+    def test_src_tree_is_clean(self):
+        violations = lint_paths([str(REPO / "src" / "repro")])
+        assert violations == [], "\n".join(map(str, violations))
+
+    def test_cli_lint_clean_and_list_rules(self):
+        from repro.cli import main
+
+        assert main(["lint", str(REPO / "src" / "repro")]) == 0
+        assert main(["lint", "--list-rules"]) == 0
+
+    def test_cli_lint_fails_on_seeded_violation(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "amr" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nx = random.random()\n")
+        from repro.cli import main
+
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO102" in out
+
+    def test_cli_lint_rejects_unknown_code(self):
+        from repro.cli import main
+
+        assert main(["lint", "--select", "REPRO999", "."]) == 2
+
+
+# ---------------------------------------------------------------------------
+# CLI: sanitize subcommand and --sanitize flags
+# ---------------------------------------------------------------------------
+
+class TestSanitizeCLI:
+    def test_sanitize_subcommand_clean(self, capsys):
+        from repro.cli import main
+
+        assert main(["sanitize", "pulse", "--steps", "2", "--ranks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "race-checked: clean" in out
+
+    def test_emulate_with_sanitize_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["emulate", "pulse", "--steps", "2", "--ranks", "2", "--sanitize"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ghost sanitizer" in out and "0 violations" in out
+
+
+# ---------------------------------------------------------------------------
+# typing gate
+# ---------------------------------------------------------------------------
+
+def _unannotated_defs(tree):
+    import ast
+
+    missing = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            names = []
+            for a in args.posonlyargs + args.args + args.kwonlyargs:
+                if a.arg not in ("self", "cls") and a.annotation is None:
+                    names.append(a.arg)
+            for va in (args.vararg, args.kwarg):
+                if va is not None and va.annotation is None:
+                    names.append(va.arg)
+            if node.returns is None and node.name != "__init__":
+                names.append("return")
+            if names:
+                missing.append((node.lineno, node.name, names))
+    return missing
+
+
+class TestTypingGate:
+    STRICT_PACKAGES = ("core", "parallel", "resilience", "analysis")
+
+    def test_strict_packages_are_fully_annotated(self):
+        # mypy --strict equivalent of disallow_untyped_defs /
+        # disallow_incomplete_defs, enforced without mypy installed:
+        # every definition in the strict packages carries complete
+        # annotations (nested physics closures included).
+        import ast
+
+        problems = []
+        for pkg in self.STRICT_PACKAGES:
+            for path in sorted((REPO / "src" / "repro" / pkg).rglob("*.py")):
+                tree = ast.parse(path.read_text(encoding="utf-8"))
+                for lineno, name, names in _unannotated_defs(tree):
+                    problems.append(f"{path}:{lineno} {name}: {names}")
+        assert problems == [], "\n".join(problems)
+
+    def test_pyproject_pins_the_toolchain(self):
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - py3.10
+            pytest.skip("tomllib unavailable")
+        cfg = tomllib.loads((REPO / "pyproject.toml").read_text())
+        dev = cfg["project"]["optional-dependencies"]["dev"]
+        assert any(d.startswith("mypy==") for d in dev)
+        assert any(d.startswith("ruff==") for d in dev)
+        overrides = cfg["tool"]["mypy"]["overrides"]
+        strict = [o for o in overrides if o.get("disallow_untyped_defs")]
+        assert strict, "strict mypy override missing"
+        mods = strict[0]["module"]
+        for pkg in ("repro.core.*", "repro.parallel.*", "repro.resilience.*"):
+            assert pkg in mods
+
+    @pytest.mark.skipif(
+        subprocess.run(
+            [sys.executable, "-c", "import mypy"], capture_output=True
+        ).returncode != 0,
+        reason="mypy not installed (dev extra)",
+    )
+    def test_mypy_gate_passes(self):  # pragma: no cover - needs dev extra
+        res = subprocess.run(
+            [sys.executable, "-m", "mypy", "--config-file",
+             str(REPO / "pyproject.toml")],
+            capture_output=True, text=True, cwd=REPO,
+        )
+        assert res.returncode == 0, res.stdout + res.stderr
+
+    @pytest.mark.skipif(
+        subprocess.run(
+            [sys.executable, "-c", "import ruff"], capture_output=True
+        ).returncode != 0,
+        reason="ruff not installed (dev extra)",
+    )
+    def test_ruff_gate_passes(self):  # pragma: no cover - needs dev extra
+        res = subprocess.run(
+            [sys.executable, "-m", "ruff", "check", "src", "tests"],
+            capture_output=True, text=True, cwd=REPO,
+        )
+        assert res.returncode == 0, res.stdout + res.stderr
