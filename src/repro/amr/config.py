@@ -46,9 +46,17 @@ class SimulationConfig:
     coarsen_threshold: float = 0.02
     buffer_band: int = 1             #: rings of neighbors pulled into refinement
 
+    # execution engine: "blocked" (per-block kernels) or "batched"
+    # (vectorized-over-blocks kernels on the arena pool)
+    engine: str = "blocked"
+
     def __post_init__(self) -> None:
         if self.adapt_interval < 1:
             raise ValueError("adapt_interval must be >= 1")
+        if self.engine not in ("blocked", "batched"):
+            raise ValueError(
+                f"engine must be 'blocked' or 'batched', got {self.engine!r}"
+            )
         if self.n_ghost < self.order:
             raise ValueError(
                 f"order {self.order} needs at least {self.order} ghost layers, "

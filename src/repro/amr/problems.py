@@ -95,12 +95,15 @@ class Problem:
         adaptive: bool = True,
         initial_adapt_rounds: int = 3,
         sanitize: bool = False,
+        engine: Optional[str] = None,
     ) -> Simulation:
         """Construct the simulation, optionally pre-adapting the initial
         grid so the starting resolution already tracks the features.
 
         ``sanitize`` enables the ghost-poison sanitizer on the built
-        simulation (see :class:`repro.amr.driver.Simulation`).
+        simulation (see :class:`repro.amr.driver.Simulation`);
+        ``engine`` overrides the configured execution engine
+        (``"blocked"`` / ``"batched"``).
         """
         forest = self.config.make_forest(self.scheme.nvar)
         self.init_forest(forest)
@@ -114,6 +117,7 @@ class Problem:
             buffer_band=self.config.buffer_band,
             hook=self.hook,
             sanitize=sanitize,
+            engine=engine if engine is not None else self.config.engine,
         )
         if adaptive:
             for _ in range(initial_adapt_rounds):

@@ -1,0 +1,163 @@
+"""Batched-vs-blocked engine benchmark (the Fig-5-style workload).
+
+The paper's Figure 5 plots MHD time-per-cell against block size: small
+blocks pay fixed per-block overhead per cell (loop startup on the T3D,
+numpy dispatch here), large blocks fall off cache.  This module measures
+the same time-per-cell metric for both execution engines on uniform
+periodic 3-D/2-D MHD forests across block sizes, giving the speedup
+curve of the batched engine — large in the dispatch-bound small-block
+regime, shrinking as blocks grow compute-bound.
+
+Shared by the ``repro bench`` CLI subcommand, the
+``benchmarks/test_batched_speedup.py`` benchmark, and CI's perf-smoke
+job, so they all agree on what the workload is.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.amr.config import SimulationConfig
+from repro.amr.driver import Simulation
+from repro.solvers.mhd import MHDScheme
+from repro.util.geometry import Box
+
+__all__ = [
+    "BenchCase",
+    "DEFAULT_CASES",
+    "QUICK_CASES",
+    "build_uniform_mhd",
+    "run_case",
+    "run_cases",
+    "check_equivalence",
+]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One operating point of the speedup benchmark."""
+
+    ndim: int
+    m: int          #: cells per block edge
+    n_root: int     #: root blocks per axis (B = n_root ** ndim)
+    steps: int      #: timed steps (after warmup)
+
+    @property
+    def label(self) -> str:
+        return f"{self.ndim}D {self.m}^{self.ndim} B={self.n_root ** self.ndim}"
+
+
+#: Fig-5-style sweep: fixed total cells per dimension, block size varying
+#: from the dispatch-bound regime (4^d) to the paper's production sizes
+#: (16x16 in 2-D, 8^3 in 3-D).
+DEFAULT_CASES: Tuple[BenchCase, ...] = (
+    BenchCase(2, 4, 32, 6),
+    BenchCase(2, 8, 16, 6),
+    BenchCase(2, 16, 8, 6),
+    BenchCase(3, 4, 8, 4),
+    BenchCase(3, 8, 4, 4),
+)
+
+#: Reduced sweep for CI smoke runs.
+QUICK_CASES: Tuple[BenchCase, ...] = (
+    BenchCase(2, 4, 16, 4),
+    BenchCase(2, 16, 4, 4),
+)
+
+
+def build_uniform_mhd(
+    ndim: int,
+    m: int,
+    n_root: int,
+    engine: str,
+    *,
+    seed: int = 42,
+    batch_tile: Optional[int] = None,
+) -> Simulation:
+    """Uniform periodic MHD forest with smooth random-ish initial data."""
+    cfg = SimulationConfig(
+        domain=Box((0.0,) * ndim, (1.0,) * ndim),
+        n_root=(n_root,) * ndim,
+        m=(m,) * ndim,
+        periodic=(True,) * ndim,
+        max_level=0,
+    )
+    forest = cfg.make_forest(8)
+    scheme = MHDScheme(ndim)
+    rng = np.random.default_rng(seed)
+    for block in forest:
+        w = np.empty((8,) + block.m)
+        w[0] = 1.0 + 0.1 * rng.random(block.m)
+        w[1:4] = 0.1
+        w[4] = 1.0
+        w[5:8] = 0.2
+        block.interior[...] = scheme.prim_to_cons(w)
+    return Simulation(forest, scheme, engine=engine, batch_tile=batch_tile)
+
+
+def _time_engine(case: BenchCase, engine: str, warmup: int) -> Dict[str, Any]:
+    with build_uniform_mhd(case.ndim, case.m, case.n_root, engine) as sim:
+        for _ in range(warmup):
+            sim.step()
+        sim.timer = type(sim.timer)()  # drop warmup from phase totals
+        n_cells = sim.forest.n_cells
+        t0 = time.perf_counter()
+        for _ in range(case.steps):
+            sim.step()
+        elapsed = time.perf_counter() - t0
+        cell_steps = n_cells * case.steps
+        return {
+            "cells_per_s": cell_steps / elapsed,
+            "us_per_cell": elapsed / cell_steps * 1e6,
+            "wall_s": elapsed,
+            "phases_s": {k: round(v, 6) for k, v in sim.timer.totals.items()},
+        }
+
+
+def run_case(case: BenchCase, *, warmup: int = 2) -> Dict[str, Any]:
+    """Measure both engines on one case; returns a result record."""
+    blocked = _time_engine(case, "blocked", warmup)
+    batched = _time_engine(case, "batched", warmup)
+    return {
+        "label": case.label,
+        "ndim": case.ndim,
+        "m": case.m,
+        "n_blocks": case.n_root ** case.ndim,
+        "steps": case.steps,
+        "blocked": blocked,
+        "batched": batched,
+        "speedup": batched["cells_per_s"] / blocked["cells_per_s"],
+    }
+
+
+def run_cases(
+    cases: Sequence[BenchCase] = DEFAULT_CASES, *, warmup: int = 2
+) -> List[Dict[str, Any]]:
+    """Measure every case (see :func:`run_case`)."""
+    return [run_case(c, warmup=warmup) for c in cases]
+
+
+def check_equivalence(
+    case: BenchCase, *, steps: Optional[int] = None
+) -> bool:
+    """True iff both engines produce bit-identical state on ``case``."""
+    n_steps = case.steps if steps is None else steps
+    sims = {}
+    for engine in ("blocked", "batched"):
+        with build_uniform_mhd(case.ndim, case.m, case.n_root, engine) as sim:
+            for _ in range(n_steps):
+                sim.step()
+            sims[engine] = sim
+    a, b = sims["blocked"], sims["batched"]
+    if sorted(a.forest.blocks) != sorted(b.forest.blocks):
+        return False
+    if [r.dt for r in a.history] != [r.dt for r in b.history]:
+        return False
+    return all(
+        np.array_equal(a.forest.blocks[bid].interior, b.forest.blocks[bid].interior)
+        for bid in a.forest.blocks
+    )

@@ -71,6 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sanitize", action="store_true",
                      help="run under the ghost-poison sanitizer (debug; "
                           "raises on any consumed unfilled ghost cell)")
+    run.add_argument("--engine", choices=("blocked", "batched"),
+                     default="blocked",
+                     help="execution engine: per-block kernels (blocked) "
+                          "or vectorized-over-blocks arena kernels "
+                          "(batched); results are bit-for-bit identical")
+
+    bench = sub.add_parser(
+        "bench",
+        help="batched-vs-blocked engine speedup (Fig-5-style workload)",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced sweep for smoke runs")
+    bench.add_argument("--steps", type=int, default=None,
+                       help="override timed steps per case")
+    bench.add_argument("--no-json", action="store_true",
+                       help="skip writing BENCH_batched_engine.json")
 
     info = sub.add_parser("info", help="summarize a checkpoint")
     info.add_argument("checkpoint")
@@ -215,6 +231,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             hook=problem.hook,
             safe_mode=args.safe_mode,
             sanitize=args.sanitize,
+            engine=args.engine,
         )
         sim.time = float(meta.get("time", 0.0))
         sim.step_count = int(meta.get("step", 0))
@@ -223,9 +240,22 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"t={sim.time:.5f}"
         )
     else:
-        sim = problem.build(adaptive=not args.no_adapt, sanitize=args.sanitize)
+        sim = problem.build(
+            adaptive=not args.no_adapt,
+            sanitize=args.sanitize,
+            engine=args.engine,
+        )
         sim.safe_mode = args.safe_mode
     sim.reflux = args.reflux
+    with sim:
+        return _drive_run(args, problem, sim)
+
+
+def _drive_run(args: argparse.Namespace, problem, sim) -> int:
+    """The run loop of :func:`cmd_run` (sim closed by the caller)."""
+    from repro.amr import grid_report, save_forest
+    from repro.resilience import UnrecoverableStep
+
     checkpointer = None
     if args.checkpoint_every is not None:
         from repro.resilience import Checkpointer
@@ -285,6 +315,51 @@ def cmd_run(args: argparse.Namespace) -> int:
         save_forest(sim.forest, args.save, time=sim.time, step=sim.step_count)
         print(f"\ncheckpoint written to {args.save}")
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.analysis.engine_bench import (
+        DEFAULT_CASES,
+        QUICK_CASES,
+        check_equivalence,
+        run_cases,
+    )
+    from repro.util.benchio import make_bench_record, write_bench_json
+
+    cases = list(QUICK_CASES if args.quick else DEFAULT_CASES)
+    if args.steps is not None:
+        if args.steps < 1:
+            print("error: --steps must be >= 1", file=sys.stderr)
+            return 2
+        cases = [replace(c, steps=args.steps) for c in cases]
+
+    print("batched-vs-blocked engine speedup (uniform MHD, time per cell)")
+    print(
+        f"{'case':>16} {'blocked us/cell':>16} {'batched us/cell':>16} "
+        f"{'speedup':>8}"
+    )
+    results = []
+    for case in cases:
+        res = run_cases([case])[0]
+        results.append(res)
+        print(
+            f"{res['label']:>16} {res['blocked']['us_per_cell']:16.3f} "
+            f"{res['batched']['us_per_cell']:16.3f} {res['speedup']:8.2f}"
+        )
+    ok = check_equivalence(cases[-1], steps=3)
+    print(f"bitwise equivalence (spot check): {'ok' if ok else 'VIOLATED'}")
+    if not args.no_json:
+        record = make_bench_record(
+            "batched_engine",
+            workload="uniform periodic MHD, Fig-5-style time per cell",
+            cases=results,
+            equivalence_ok=ok,
+        )
+        path = write_bench_json(record)
+        print(f"wrote {path}")
+    return 0 if ok else 1
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -615,6 +690,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": cmd_run,
+        "bench": cmd_bench,
         "info": cmd_info,
         "scaling": cmd_scaling,
         "fig5": cmd_fig5,

@@ -91,6 +91,9 @@ class Block:
     nvar: int
     data: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
     face_neighbors: Dict[int, FaceNeighbors] = field(default_factory=dict, repr=False)
+    #: pool row when ``data`` is a view into a :class:`~repro.core.arena.
+    #: BlockArena` (None for standalone blocks, e.g. emulator rank clones).
+    arena_row: Optional[int] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.m) != self.id.ndim:

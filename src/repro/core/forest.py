@@ -21,11 +21,13 @@ curve, and all adaptation decisions are order-independent.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.arena import BlockArena
 from repro.core.block import Block, FaceNeighbors, NeighborKind
 from repro.core.block_id import BlockID, IndexBox
 from repro.core.prolong import prolong_inject, prolong_linear
@@ -136,6 +138,14 @@ class BlockForest:
         #: (ghost-exchange plans, partitions) key their caches on it.
         self.revision = 0
         self._sorted_cache: Optional[List[BlockID]] = None
+        #: pooled storage: every block's padded array is a row of one
+        #: contiguous pool; all allocation/release routes through it.
+        n_roots = 1
+        for n in self.n_root:
+            n_roots *= n
+        self.arena = BlockArena(
+            self.m, self.n_ghost, self.nvar, initial_capacity=n_roots
+        )
 
         for coords in IndexBox((0,) * self.ndim, self.n_root).iter_cells():
             bid = BlockID(0, coords)
@@ -147,14 +157,40 @@ class BlockForest:
     # ------------------------------------------------------------------
 
     def _make_block(self, bid: BlockID, data: Optional[np.ndarray] = None) -> Block:
-        return Block(
+        row = self.arena.acquire()
+        blk = Block(
             id=bid,
             box=self.block_box(bid),
             m=self.m,
             n_ghost=self.n_ghost,
             nvar=self.nvar,
-            data=data,
+            data=self.arena.view(row),
         )
+        self.arena.bind(row, blk)
+        if data is not None:
+            blk.data[...] = data
+        return blk
+
+    def __deepcopy__(self, memo: Dict[int, Any]) -> "BlockForest":
+        """Deep copy with arena views kept consistent.
+
+        ``copy.deepcopy`` of an ndarray *view* yields an independent
+        array, which would detach every block's ``data`` from the copied
+        pool.  Re-bind them to their rows (the pool itself is copied with
+        identical contents) and drop cached ghost plans, which hold raw
+        views into the original pool.
+        """
+        cls = self.__class__
+        clone = cls.__new__(cls)
+        memo[id(self)] = clone
+        state = dict(self.__dict__)
+        state.pop("_ghost_plan", None)
+        state.pop("_ghost_plan_key", None)
+        clone.__dict__.update(copy.deepcopy(state, memo))
+        for blk in clone.blocks.values():
+            if blk.arena_row is not None:
+                blk.data = clone.arena.pool[blk.arena_row]
+        return clone
 
     def block_box(self, bid: BlockID) -> Box:
         """Physical bounding box of a block's computational region."""
@@ -396,6 +432,9 @@ class BlockForest:
         else:
             inner = (slice(None),) + tuple(slice(1, -1) for _ in self.m)
             fine = prolong_inject(bordered[inner], self.ndim)
+        # ``fine`` is a fresh array, so the parent's pool row can be
+        # recycled before the children are allocated into it.
+        self.arena.release(parent)
 
         for child, off in zip(children, child_offsets(self.ndim)):
             blk = self._make_block(child)
@@ -427,6 +466,7 @@ class BlockForest:
             blk.interior[(slice(None),) + dst] = restrict_mean(
                 child_blk.interior, self.ndim
             )
+            self.arena.release(child_blk)
         self._invalidate()
         self.blocks[parent_id] = blk
         self.n_coarsenings += 1

@@ -355,14 +355,18 @@ def _region_transfers(
 class CompiledPlan:
     """A ghost exchange compiled down to array views and slice tuples.
 
-    Built once per forest topology revision (owner searches and box
-    intersections are the expensive part) and executed many times —
-    mirroring how the paper's code rebuilds its neighbor pointers only
-    on refinement/coarsening.
+    Built once per forest topology revision and arena layout epoch
+    (owner searches and box intersections are the expensive part) and
+    executed many times — mirroring how the paper's code rebuilds its
+    neighbor pointers only on refinement/coarsening.
     """
 
     #: same-level transfers: (dst_view, src_view) array-view pairs
     copies: List[Tuple[np.ndarray, np.ndarray]]
+    #: same-level transfer geometry: (dst_block, dst_box, src_block,
+    #: src_box) per copy — the batched executor compiles these into flat
+    #: pool indices.
+    copy_meta: List[Tuple[Block, IndexBox, Block, IndexBox]]
     #: restrictions grouped per (destination block, region)
     restrict_groups: List[Tuple[Block, List[Transfer]]]
     #: prolongations: one entry per transfer
@@ -370,11 +374,16 @@ class CompiledPlan:
     #: physical-boundary slabs: (block, face, region)
     bc_faces: List[Tuple[Block, int, IndexBox]]
     n_transfers: int
+    #: flat gather/scatter index arrays into the arena pool for the
+    #: same-level copies, built lazily by :func:`_batched_copy_indices`.
+    flat_dst: Optional[np.ndarray] = None
+    flat_src: Optional[np.ndarray] = None
 
 
 def _compile_plan(forest: BlockForest, fill_corners: bool) -> CompiledPlan:
     offsets = all_offsets(forest.ndim, faces_only=not fill_corners)
     copies: List[Tuple[np.ndarray, np.ndarray]] = []
+    copy_meta: List[Tuple[Block, IndexBox, Block, IndexBox]] = []
     restrict_groups: List[Tuple[Block, List[Transfer]]] = []
     prolongs: List[Tuple[Block, Block, Transfer]] = []
     n = 0
@@ -387,6 +396,7 @@ def _compile_plan(forest: BlockForest, fill_corners: bool) -> CompiledPlan:
                 if t.delta == 0:
                     src = forest.blocks[t.src_id]
                     copies.append((block.view(t.dst_box), src.view(t.src_box)))
+                    copy_meta.append((block, t.dst_box, src, t.src_box))
                 elif t.delta > 0:
                     fine.append(t)
                 else:
@@ -394,6 +404,13 @@ def _compile_plan(forest: BlockForest, fill_corners: bool) -> CompiledPlan:
             if fine:
                 restrict_groups.append((block, fine))
     bc_faces: List[Tuple[Block, int, IndexBox]] = []
+    _bc_scan_faces(forest, bc_faces)
+    return CompiledPlan(copies, copy_meta, restrict_groups, prolongs, bc_faces, n)
+
+
+def _bc_scan_faces(
+    forest: BlockForest, bc_faces: List[Tuple[Block, int, IndexBox]]
+) -> None:
     for axis in range(forest.ndim):
         other_axes = tuple(a for a in range(forest.ndim) if a != axis)
         for bid in forest.sorted_ids():
@@ -405,16 +422,60 @@ def _compile_plan(forest: BlockForest, fill_corners: bool) -> CompiledPlan:
                     bc_faces.append(
                         (block, face, block.ghost_region(face, other_axes))
                     )
-    return CompiledPlan(copies, restrict_groups, prolongs, bc_faces, n)
 
 
 def _get_plan(forest: BlockForest, fill_corners: bool) -> CompiledPlan:
-    """The compiled exchange plan, cached on the topology revision."""
-    key = (forest.revision, fill_corners)
+    """The compiled exchange plan, cached on the topology revision and
+    the arena layout epoch (the plan holds raw views into pool rows, so
+    it is stale whenever rows move — growth or compaction)."""
+    key = (forest.revision, forest.arena.layout_epoch, fill_corners)
     if getattr(forest, "_ghost_plan_key", None) != key:
         forest._ghost_plan = _compile_plan(forest, fill_corners)  # type: ignore[attr-defined]
         forest._ghost_plan_key = key  # type: ignore[attr-defined]
     return forest._ghost_plan  # type: ignore[attr-defined]
+
+
+def _batched_copy_indices(
+    forest: BlockForest, plan: CompiledPlan
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat pool indices executing every same-level copy at once.
+
+    Element ``k`` of the pool's flat view at index ``flat_dst[k]`` takes
+    the value at ``flat_src[k]``.  Valid because stage-1 copies read
+    interiors only and write disjoint ghost regions only, so the single
+    gather/scatter is order-independent and equals the sequential loop
+    bit for bit.  Cached on the plan (which is itself keyed on revision
+    + layout epoch, so the indices can never outlive the row layout).
+    """
+    if plan.flat_dst is not None and plan.flat_src is not None:
+        return plan.flat_dst, plan.flat_src
+    arena = forest.arena
+    row_size = arena.row_size
+    # int32 indices halve the gather/scatter's index traffic; the pool
+    # would need > 2**31 elements (17 GB of float64) to overflow them.
+    idx_dtype = np.intp if arena.pool.size > np.iinfo(np.int32).max else np.int32
+    template = np.arange(row_size, dtype=idx_dtype).reshape(
+        (arena.nvar,) + arena.padded
+    )
+    dst_parts: List[np.ndarray] = []
+    src_parts: List[np.ndarray] = []
+    for dst_blk, dst_box, src_blk, src_box in plan.copy_meta:
+        if dst_blk.arena_row is None or src_blk.arena_row is None:
+            raise ForestError(
+                "batched ghost copies need arena-bound blocks"
+            )
+        dst_sl = (slice(None),) + dst_box.slices(dst_blk.index_origin)
+        src_sl = (slice(None),) + src_box.slices(src_blk.index_origin)
+        dst_parts.append(
+            template[dst_sl].ravel() + dst_blk.arena_row * row_size
+        )
+        src_parts.append(
+            template[src_sl].ravel() + src_blk.arena_row * row_size
+        )
+    empty = np.empty(0, dtype=np.intp)
+    plan.flat_dst = np.concatenate(dst_parts) if dst_parts else empty
+    plan.flat_src = np.concatenate(src_parts) if src_parts else empty
+    return plan.flat_dst, plan.flat_src
 
 
 def restriction_contribution(
@@ -516,6 +577,7 @@ def fill_ghosts(
     bc: Optional[BoundaryHandler] = None,
     *,
     fill_corners: bool = True,
+    batched_copies: bool = False,
 ) -> int:
     """Fill every block's ghost cells from its neighbors.
 
@@ -528,11 +590,21 @@ def fill_ghosts(
     connectivity; ``False`` restricts the exchange to face slabs — all a
     first-order dimension-split scheme needs, and the paper's minimal
     configuration.
+
+    With ``batched_copies=True`` the stage-1 same-level copies run as a
+    single flat gather/scatter on the arena pool instead of one small
+    slab assignment per transfer (the batched engine's path) — same
+    cells, same values, just one numpy call.
     """
     plan = _get_plan(forest, fill_corners)
     # Stage 1: same-level copies + restrictions (read interiors only).
-    for dst_view, src_view in plan.copies:
-        dst_view[...] = src_view
+    if batched_copies:
+        flat_dst, flat_src = _batched_copy_indices(forest, plan)
+        flat = forest.arena.pool.reshape(-1)
+        flat[flat_dst] = flat[flat_src]
+    else:
+        for dst_view, src_view in plan.copies:
+            dst_view[...] = src_view
     for block, transfers in plan.restrict_groups:
         _fill_restrictions(forest, block, transfers)
     if bc is not None:

@@ -60,10 +60,10 @@ class EulerScheme(FVScheme):
         self.nvar = self.layout.nvar
 
     def source(self, u_interior, w, dx, g):
+        # Elementwise in the conserved interior (var axis first, any
+        # trailing layout — per-block or var-major batched stack).
         if self.gravity is None:
             return None
-        interior = tuple(slice(g, s - g) for s in w.shape[1:])
-        wi = w[(slice(None),) + interior]
         src = np.zeros_like(u_interior)
         rho = u_interior[0]
         for a, grav in enumerate(self.gravity):

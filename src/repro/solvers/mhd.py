@@ -120,17 +120,22 @@ class MHDScheme(FVScheme):
         """
         if not self.powell_source:
             return None
-        ndim = w.ndim - 1
-        shape = w.shape[1:]
+        # Spatial axes are the last ``self.ndim`` of ``w`` (the leading
+        # axes are the variable axis plus, when batched, the block axis),
+        # so per-block arrays and var-major stacks share this code.
+        ndim = self.ndim
+        lead = w.ndim - ndim  # 1 per-block, 2 batched
+        shape = w.shape[lead:]
         interior = tuple(slice(g, s - g) for s in shape)
-        div = np.zeros(tuple(s - 2 * g for s in shape))
+        batch = (slice(None),) * (lead - 1)
+        div = np.zeros(w.shape[1:lead] + tuple(s - 2 * g for s in shape))
         for a in range(ndim):
-            plus = list(interior)
-            minus = list(interior)
-            plus[a] = slice(g + 1, shape[a] - g + 1)
-            minus[a] = slice(g - 1, shape[a] - g - 1)
+            plus = list(batch + interior)
+            minus = list(batch + interior)
+            plus[lead - 1 + a] = slice(g + 1, shape[a] - g + 1)
+            minus[lead - 1 + a] = slice(g - 1, shape[a] - g - 1)
             div += (w[5 + a][tuple(plus)] - w[5 + a][tuple(minus)]) / (2.0 * dx[a])
-        wi = w[(slice(None),) + interior]
+        wi = w[(slice(None),) + batch + interior]
         src = np.zeros_like(wi)
         udotb = wi[1] * wi[5] + wi[2] * wi[6] + wi[3] * wi[7]
         for c in range(3):

@@ -15,6 +15,30 @@ Fortran arrays that motivated adaptive blocks, and what the Figure-5
 benchmark measures.  Concrete schemes (advection, Euler, MHD) supply the
 physics via a handful of hooks; the reconstruction/update machinery here
 is shared.
+
+Batched (vectorized-over-blocks) arrays
+---------------------------------------
+
+The machinery methods (:meth:`FVScheme.face_states`,
+:meth:`FVScheme.flux_divergence`, :meth:`FVScheme.step`) index spatial
+axes *from the right*, so the same code serves two layouts:
+
+* per-block ``(nvar, *spatial)`` padded arrays (``ndim`` defaults to
+  ``u.ndim - 1``), and
+* ``(B, nvar, *spatial)`` stacks of ``B`` same-shape blocks — pass the
+  grid ``ndim`` explicitly and the leading axis is treated as a batch.
+
+Internally a batched stack is normalized to a *var-major*
+``(nvar, B, *spatial)`` view (``np.moveaxis`` — no copy), so the physics
+hooks, which index the variable axis first (``u[0]`` is density
+everywhere), operate on all blocks at once with the batch axis riding
+along.  Every kernel is an elementwise IEEE ufunc expression, so batched
+and per-block execution are bit-for-bit identical.
+
+``dx`` entries may be Python floats (per-block path) or
+``(B, 1, ..., 1)`` arrays broadcasting one width per block (batched
+path); both divide each block's flux differences by the same float64
+value, hence identical results.
 """
 
 from __future__ import annotations
@@ -133,6 +157,22 @@ class FVScheme(ABC):
             best = max(best, float(np.max(self.max_char_speed(w, a))))
         return best
 
+    def max_signal_speed_batched(self, u: np.ndarray, ndim: int) -> np.ndarray:
+        """Per-block largest |u_n| + c over a var-major ``(nvar, B, *sp)``
+        stack — one ``(B,)`` reduction instead of a Python loop.
+
+        Mirrors :meth:`max_signal_speed` exactly, including its
+        comparison semantics (``np.where(m > best, ...)`` matches Python
+        ``max``, which keeps the current best on a non-greater — e.g.
+        NaN — candidate)."""
+        w = self.cons_to_prim(u)
+        best = np.zeros(u.shape[1])
+        for a in range(ndim):
+            speed = self.max_char_speed(w, a)
+            m = speed.reshape(speed.shape[0], -1).max(axis=1)
+            best = np.where(m > best, m, best)
+        return best
+
     def stable_dt(self, u: np.ndarray, dx: Sequence[float], ndim: int) -> float:
         """CFL-limited time step for one block array."""
         s = self.max_signal_speed(u, ndim)
@@ -141,20 +181,27 @@ class FVScheme(ABC):
         return self.cfl / sum(s / d for d in dx)
 
     def face_states(
-        self, w: np.ndarray, axis: int, g: int
+        self, w: np.ndarray, axis: int, g: int, ndim: Optional[int] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Left/right primitive states at the m+1 interior faces of an axis.
 
         Face ``f`` (0-based) sits between cells ``g-1+f`` and ``g+f`` of
         the padded array.  Order 1 uses the adjacent cell values; order 2
         adds limited half-slopes (requires g >= 2).
+
+        Spatial axes occupy the last ``ndim`` positions of ``w``
+        (default ``w.ndim - 1``), so per-block arrays and batched stacks
+        share this code — only spatial slicing and elementwise limiter
+        algebra happen here, never variable-axis indexing.
         """
-        n = w.shape[1 + axis]
+        nd = w.ndim - 1 if ndim is None else ndim
+        ax = w.ndim - nd + axis
+        n = w.shape[ax]
         m = n - 2 * g
 
         def ax_slice(lo: int, hi: int) -> Tuple[slice, ...]:
             sl = [slice(None)] * w.ndim
-            sl[1 + axis] = slice(lo, hi)
+            sl[ax] = slice(lo, hi)
             return tuple(sl)
 
         if self.order == 1:
@@ -170,8 +217,8 @@ class FVScheme(ABC):
         sl_all = [slice(None)] * w.ndim
         sl_lo = list(sl_all)
         sl_hi = list(sl_all)
-        sl_lo[1 + axis] = slice(0, m + 1)
-        sl_hi[1 + axis] = slice(1, m + 2)
+        sl_lo[ax] = slice(0, m + 1)
+        sl_hi[ax] = slice(1, m + 2)
         wl = center[tuple(sl_lo)] + 0.5 * slope[tuple(sl_lo)]
         wr = center[tuple(sl_hi)] - 0.5 * slope[tuple(sl_hi)]
         return wl, wr
@@ -179,11 +226,12 @@ class FVScheme(ABC):
     def flux_divergence(
         self,
         u: np.ndarray,
-        dx: Sequence[float],
+        dx: Sequence,
         g: int,
         *,
         face_flux_out: Optional[dict] = None,
         faces: Optional[Sequence[int]] = None,
+        ndim: Optional[int] = None,
     ) -> np.ndarray:
         """-div F over the interior cells (the conservative update rate).
 
@@ -192,42 +240,55 @@ class FVScheme(ABC):
         ``(nvar, *transverse_interior)`` — for the flux-correction
         (refluxing) machinery.  ``faces`` limits capture to the listed
         faces (the coarse–fine interfaces the register needs).
+
+        With an explicit ``ndim`` and a ``(B, nvar, *spatial)`` stack
+        (``u.ndim == ndim + 2``) every block is processed in one sweep;
+        the result has shape ``(B, nvar, *interior)``.  ``dx`` then
+        holds per-axis ``(B, 1, ..., 1)`` cell-width arrays.
         """
-        ndim = u.ndim - 1
-        w = self.cons_to_prim(u)
-        interior_shape = tuple(s - 2 * g for s in u.shape[1:])
-        dudt = np.zeros((self.nvar,) + interior_shape)
-        for axis in range(ndim):
-            wl, wr = self.face_states(w, axis, g)
-            # Restrict face arrays to interior extent on transverse axes.
-            trans = [slice(g, s - g) for s in u.shape[1:]]
+        nd = u.ndim - 1 if ndim is None else ndim
+        batched = u.ndim == nd + 2
+        uv = np.moveaxis(u, 0, 1) if batched else u  # var-major view
+        lead = uv.ndim - nd
+        spatial = uv.shape[lead:]
+        w = self.cons_to_prim(uv)
+        interior_shape = tuple(s - 2 * g for s in spatial)
+        dudt = np.zeros(uv.shape[:lead] + interior_shape)
+        for axis in range(nd):
+            # Crop to interior extent on transverse axes *before*
+            # reconstruction: face_states only slices along ``axis``, so
+            # feeding it the cropped view yields bitwise-identical face
+            # states while skipping the limiter algebra on transverse
+            # ghost cells it would otherwise compute and discard.
+            trans = [slice(g, s - g) for s in spatial]
             trans[axis] = slice(None)
-            wl = wl[(slice(None),) + tuple(trans)]
-            wr = wr[(slice(None),) + tuple(trans)]
+            sel = (slice(None),) * lead + tuple(trans)
+            wl, wr = self.face_states(w[sel], axis, g, ndim=nd)
             f = self.riemann(self, wl, wr, axis)
-            sl_hi = [slice(None)] * (ndim + 1)
-            sl_lo = [slice(None)] * (ndim + 1)
-            n_faces = f.shape[1 + axis]
-            sl_hi[1 + axis] = slice(1, n_faces)
-            sl_lo[1 + axis] = slice(0, n_faces - 1)
+            ax = f.ndim - nd + axis
+            sl_hi = [slice(None)] * f.ndim
+            sl_lo = [slice(None)] * f.ndim
+            n_faces = f.shape[ax]
+            sl_hi[ax] = slice(1, n_faces)
+            sl_lo[ax] = slice(0, n_faces - 1)
             dudt -= (f[tuple(sl_hi)] - f[tuple(sl_lo)]) / dx[axis]
             if face_flux_out is not None:
                 for side, idx in ((0, 0), (1, n_faces - 1)):
                     face = 2 * axis + side
                     if faces is not None and face not in faces:
                         continue
-                    take = [slice(None)] * (ndim + 1)
-                    take[1 + axis] = idx
+                    take: list = [slice(None)] * f.ndim
+                    take[ax] = idx
                     face_flux_out[face] = f[tuple(take)].copy()
         src = self.source(
-            u[(slice(None),) + tuple(slice(g, s - g) for s in u.shape[1:])],
+            uv[(slice(None),) * lead + tuple(slice(g, s - g) for s in spatial)],
             w,
             dx,
             g,
         )
         if src is not None:
             dudt += src
-        return dudt
+        return np.moveaxis(dudt, 0, 1) if batched else dudt
 
     @property
     def n_stages(self) -> int:
@@ -238,10 +299,23 @@ class FVScheme(ABC):
         """Post-stage fix-up hook (density/pressure floors).
 
         Base schemes have none; systems prone to vacuum states (MHD)
-        override this.  Drivers call it after every stage update."""
+        override this.  Drivers call it after every stage update.
+
+        ``u`` must have the variable axis first; implementations are
+        elementwise over whatever trails it, so a per-block interior
+        ``(nvar, *m)`` and a var-major batched stack ``(nvar, B, *m)``
+        both work — the batched engine hands it a transposed view of the
+        whole ``(B, nvar, *m)`` interior stack."""
         return None
 
-    def step(self, u: np.ndarray, dx: Sequence[float], dt: float, g: int) -> None:
+    def step(
+        self,
+        u: np.ndarray,
+        dx: Sequence,
+        dt: float,
+        g: int,
+        ndim: Optional[int] = None,
+    ) -> None:
         """Advance the interior of a padded block array by one forward-
         Euler *stage* of length ``dt``, in place.
 
@@ -252,10 +326,19 @@ class FVScheme(ABC):
         accuracy at block boundaries.  See
         :func:`repro.amr.driver.advance` and
         :func:`repro.solvers.scheme.FVScheme.step_midpoint`.
+
+        With an explicit ``ndim`` and a ``(B, nvar, *spatial)`` stack
+        the whole batch advances in one sweep.
         """
-        interior = (slice(None),) + tuple(slice(g, s - g) for s in u.shape[1:])
-        u[interior] += dt * self.flux_divergence(u, dx, g)
-        self.apply_floors(u[interior])
+        nd = u.ndim - 1 if ndim is None else ndim
+        lead = u.ndim - nd
+        interior = (slice(None),) * lead + tuple(
+            slice(g, s - g) for s in u.shape[lead:]
+        )
+        u[interior] += dt * self.flux_divergence(u, dx, g, ndim=ndim)
+        ui = u[interior]
+        # the floors hook wants the variable axis first
+        self.apply_floors(np.moveaxis(ui, 0, 1) if lead == 2 else ui)
 
     def step_midpoint(
         self,

@@ -1,0 +1,78 @@
+"""Machine-readable benchmark records.
+
+Every performance benchmark can persist its headline numbers as a
+``BENCH_<name>.json`` file at the repository root — a canonical,
+diff-able record (timestamp, git revision, cells/s, phase timings,
+speedups) that seeds the repo's performance trajectory: successive PRs
+append comparable records instead of burying numbers in prose.
+
+The schema is deliberately loose: a record is the standard envelope from
+:func:`make_bench_record` plus whatever payload the benchmark measured.
+Consumers (CI's perf-smoke job, EXPERIMENTS.md tables) read only the
+keys they know.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["repo_root", "git_revision", "make_bench_record", "write_bench_json"]
+
+#: schema version of the record envelope
+BENCH_SCHEMA = 1
+
+
+def repo_root() -> Path:
+    """The repository root (three levels above ``src/repro/util``)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def git_revision(cwd: Optional[Path] = None) -> str:
+    """The current git commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or repo_root(),
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def make_bench_record(name: str, **payload: Any) -> Dict[str, Any]:
+    """Standard benchmark-record envelope plus benchmark payload.
+
+    The envelope carries ``name``, ``schema``, an ISO-8601 UTC
+    ``timestamp``, and the ``git_rev`` of the working tree.
+    """
+    record: Dict[str, Any] = {
+        "name": name,
+        "schema": BENCH_SCHEMA,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_rev": git_revision(),
+    }
+    record.update(payload)
+    return record
+
+
+def write_bench_json(
+    record: Dict[str, Any], directory: Optional[Path] = None
+) -> Path:
+    """Write ``record`` to ``BENCH_<name>.json`` (repo root by default).
+
+    Returns the path written.  The record must come from
+    :func:`make_bench_record` (or at least carry a ``name`` key).
+    """
+    name = record["name"]
+    out = (directory or repo_root()) / f"BENCH_{name}.json"
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return out

@@ -1,0 +1,339 @@
+"""Batched execution engine: arena storage + bit-for-bit equivalence.
+
+The batched engine (``Simulation(engine="batched")``) must be *exactly*
+the per-block engine with a different loop structure: same IEEE
+elementwise kernels swept over arena tiles instead of per-block arrays.
+These tests enforce that contract across physics, orders, limiters,
+mid-run adaptation, refluxing, tile sizes, the ghost sanitizer, the
+exchange race detector, and rank-kill recovery — plus unit tests of the
+block arena the engine is built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.amr import Simulation, advecting_pulse
+from repro.amr.problems import mhd_blast, sedov_blast
+from repro.core import BlockForest, BlockID
+from repro.core.arena import BlockArena
+from repro.solvers import AdvectionScheme
+from repro.util.geometry import Box
+
+
+def assert_forests_identical(a, b):
+    assert sorted(a.blocks) == sorted(b.blocks)
+    for bid in a.blocks:
+        assert np.array_equal(a.blocks[bid].interior, b.blocks[bid].interior), bid
+
+
+def run_pair(problem, steps, **sim_kwargs):
+    """Run both engines on a problem; returns (blocked, batched) sims."""
+    sims = {}
+    for engine in ("blocked", "batched"):
+        sim = problem.build(engine=engine, **sim_kwargs)
+        with sim:
+            for _ in range(steps):
+                sim.step()
+        sims[engine] = sim
+    return sims["blocked"], sims["batched"]
+
+
+# ---------------------------------------------------------------------------
+# arena unit tests
+# ---------------------------------------------------------------------------
+
+
+class TestBlockArena:
+    def test_acquire_release_reuse(self):
+        arena = BlockArena((4, 4), 2, 3, initial_capacity=2)
+        r0 = arena.acquire()
+        r1 = arena.acquire()
+        assert r0 != r1
+        assert arena.n_active == 2
+        view = arena.view(r0)
+        assert view.shape == (3, 8, 8)
+        assert np.all(view == 0.0)
+
+    def test_growth_rebinds_views(self):
+        forest = BlockForest(
+            Box((0.0, 0.0), (1.0, 1.0)), (2, 2), (4, 4), nvar=2,
+            n_ghost=2, periodic=(True, True), max_level=3,
+        )
+        for blk in forest:
+            blk.interior[...] = float(sum(blk.id.coords))
+        before = {bid: blk.interior.copy() for bid, blk in forest.blocks.items()}
+        grows = forest.arena.n_grows
+        # Refining every block quadruples the count, forcing growth.
+        forest.adapt(list(forest.blocks))
+        assert forest.arena.n_grows >= grows
+        for bid, blk in forest.blocks.items():
+            # every block's data must still be a live view of the pool
+            assert blk.arena_row is not None
+            assert blk.data.base is forest.arena.pool
+        # surviving data intact through growth: coarse values prolonged
+        assert len(forest.blocks) == 4 * len(before)
+
+    def test_compaction_morton_prefix(self):
+        forest = BlockForest(
+            Box((0.0, 0.0), (1.0, 1.0)), (2, 2), (4, 4), nvar=1,
+            n_ghost=2, periodic=(True, True), max_level=2,
+        )
+        forest.adapt([BlockID(0, (0, 0))])
+        forest.adapt([], [BlockID(1, (0, 0)), BlockID(1, (1, 0)),
+                          BlockID(1, (0, 1)), BlockID(1, (1, 1))])
+        blocks = [forest.blocks[b] for b in forest.sorted_ids()]
+        for blk in blocks:
+            blk.interior[...] = float(blk.id.level * 100 + sum(blk.id.coords))
+        epoch = forest.arena.layout_epoch
+        pool = forest.arena.ensure_compact(blocks)
+        assert pool.shape[0] == len(blocks)
+        for row, blk in enumerate(blocks):
+            assert blk.arena_row == row
+            assert np.array_equal(forest.arena.pool[row], blk.data)
+        # idempotent: second call is a no-op
+        epoch2 = forest.arena.layout_epoch
+        forest.arena.ensure_compact(blocks)
+        assert forest.arena.layout_epoch == epoch2
+        assert epoch2 >= epoch
+
+    def test_save_pool_lazy_shape(self):
+        arena = BlockArena((4, 6), 2, 3, initial_capacity=2)
+        assert arena._save is None
+        save = arena.save_pool()
+        assert save.shape == (2, 3, 4, 6)
+        assert arena.save_pool() is save
+
+
+# ---------------------------------------------------------------------------
+# bit-for-bit equivalence across physics / orders / limiters
+# ---------------------------------------------------------------------------
+
+
+def _problem(name, **cfg_kwargs):
+    makers = {
+        "advection": advecting_pulse,
+        "euler": sedov_blast,
+        "mhd": mhd_blast,
+    }
+    maker = makers[name]
+    base = maker(ndim=2).config
+    if cfg_kwargs:
+        from dataclasses import replace
+
+        return maker(ndim=2, config=replace(base, **cfg_kwargs))
+    return maker(ndim=2)
+
+
+@pytest.mark.parametrize("name", ["advection", "euler", "mhd"])
+@pytest.mark.parametrize("order", [1, 2])
+def test_equivalence_problems_orders(name, order):
+    problem = _problem(name, order=order)
+    blocked, batched = run_pair(problem, steps=6)
+    assert_forests_identical(blocked.forest, batched.forest)
+    assert [r.dt for r in blocked.history] == [r.dt for r in batched.history]
+
+
+@pytest.mark.parametrize("limiter", ["minmod", "mc", "superbee"])
+def test_equivalence_limiters(limiter):
+    problem = _problem("euler", limiter=limiter)
+    blocked, batched = run_pair(problem, steps=5)
+    assert_forests_identical(blocked.forest, batched.forest)
+
+
+def test_equivalence_through_adaptation():
+    # enough steps to cross several adapt checks (interval 4) so blocks
+    # refine/coarsen mid-run, exercising arena growth + recompaction
+    problem = _problem("mhd")
+    blocked, batched = run_pair(problem, steps=10)
+    assert any(r.adapted is not None and r.adapted.changed
+               for r in batched.history)
+    assert_forests_identical(blocked.forest, batched.forest)
+
+
+def test_equivalence_with_reflux():
+    problem = _problem("euler")
+    blocked, batched = run_pair(problem, steps=6, adaptive=True)
+    # rerun with reflux on
+    sims = {}
+    for engine in ("blocked", "batched"):
+        sim = problem.build(engine=engine)
+        sim.reflux = True
+        with sim:
+            for _ in range(6):
+                sim.step()
+        sims[engine] = sim
+    assert_forests_identical(sims["blocked"].forest, sims["batched"].forest)
+
+
+def test_batch_tile_invariance():
+    problem = _problem("mhd")
+    results = []
+    for tile in (1, 7, 64, None):
+        sim = problem.build(engine="batched")
+        sim.batch_tile = tile
+        with sim:
+            for _ in range(5):
+                sim.step()
+        results.append(sim.forest)
+    for other in results[1:]:
+        assert_forests_identical(results[0], other)
+
+
+def test_equivalence_3d():
+    problem = advecting_pulse(ndim=3)
+    blocked, batched = run_pair(problem, steps=4)
+    assert_forests_identical(blocked.forest, batched.forest)
+
+
+# ---------------------------------------------------------------------------
+# sanitizer / race detector / recovery
+# ---------------------------------------------------------------------------
+
+
+def test_batched_under_ghost_sanitizer():
+    problem = _problem("mhd")
+    plain = problem.build(engine="batched")
+    with plain:
+        for _ in range(5):
+            plain.step()
+    sanitized = problem.build(engine="batched", sanitize=True)
+    with sanitized:
+        for _ in range(5):
+            sanitized.step()  # raises PoisonError on any violation
+    assert sanitized.sanitizer is not None
+    assert sanitized.sanitizer.n_exchanges_checked > 0
+    assert_forests_identical(plain.forest, sanitized.forest)
+
+
+def test_batched_reference_vs_emulator_with_race_detector():
+    """The emulated distributed machine (race-checked) must match a
+    batched-engine serial reference bit-for-bit."""
+    from repro.parallel.emulator import EmulatedMachine
+
+    def make_forest():
+        f = BlockForest(
+            Box((0.0, 0.0), (1.0, 1.0)), (2, 2), (8, 8), nvar=1,
+            n_ghost=2, periodic=(True, True), max_level=3,
+        )
+        f.adapt([BlockID(0, (0, 0)), BlockID(0, (1, 1))])
+        return f
+
+    def init(forest):
+        for b in forest:
+            X, Y = b.meshgrid()
+            b.interior[0] = np.exp(-50 * ((X - 0.5) ** 2 + (Y - 0.5) ** 2))
+
+    scheme = AdvectionScheme((1.0, 0.5), order=2)
+    dt, n_steps = 2e-3, 5
+
+    ref_forest = make_forest()
+    init(ref_forest)
+    with Simulation(ref_forest, scheme, engine="batched") as ref:
+        for _ in range(n_steps):
+            ref.advance(dt)
+
+    emu_forest = make_forest()
+    init(emu_forest)
+    emu = EmulatedMachine(emu_forest, 4, scheme)
+    detector = emu.attach_race_detector()
+    for _ in range(n_steps):
+        emu.advance(dt)
+    detector.check()  # no exchange races
+    gathered = emu.gather()
+    for bid, blk in ref_forest.blocks.items():
+        assert np.array_equal(gathered[bid], blk.interior), bid
+
+
+def test_batched_reference_through_rank_kill_recovery(tmp_path):
+    """Rank-kill + checkpoint recovery must land bit-for-bit on the
+    batched-engine reference (recovery deepcopies the forest, so this
+    also exercises arena re-binding under deepcopy)."""
+    from repro.parallel.emulator import EmulatedMachine
+    from repro.resilience import (
+        Checkpointer,
+        FaultPlan,
+        RankKill,
+        run_with_recovery,
+    )
+
+    def make_forest():
+        f = BlockForest(
+            Box((0.0, 0.0), (1.0, 1.0)), (2, 2), (8, 8), nvar=1,
+            n_ghost=2, periodic=(True, True), max_level=3,
+        )
+        f.adapt([BlockID(0, (0, 0)), BlockID(0, (1, 1))])
+        return f
+
+    def init(forest):
+        for b in forest:
+            X, Y = b.meshgrid()
+            b.interior[0] = np.exp(-50 * ((X - 0.5) ** 2 + (Y - 0.5) ** 2))
+
+    scheme = AdvectionScheme((1.0, 0.5), order=2)
+    dt, n_steps = 2e-3, 6
+
+    ref_forest = make_forest()
+    init(ref_forest)
+    with Simulation(ref_forest, scheme, engine="batched") as ref:
+        for _ in range(n_steps):
+            ref.advance(dt)
+
+    emu_forest = make_forest()
+    init(emu_forest)
+    emu = EmulatedMachine(
+        emu_forest, 4, scheme,
+        fault_plan=FaultPlan(kills=[RankKill(step=3, rank=1)]),
+    )
+    report = run_with_recovery(
+        emu, n_steps=n_steps, dt=dt,
+        checkpointer=Checkpointer(tmp_path), checkpoint_every=2,
+    )
+    assert report.steps_completed == n_steps
+    gathered = emu.gather()
+    for bid, blk in ref_forest.blocks.items():
+        assert np.array_equal(gathered[bid], blk.interior), bid
+
+
+# ---------------------------------------------------------------------------
+# resource management
+# ---------------------------------------------------------------------------
+
+
+def test_close_shuts_down_executor():
+    problem = _problem("advection")
+    sim = problem.build()
+    sim_threads = Simulation(sim.forest, sim.scheme, threads=2)
+    assert sim_threads._executor is not None
+    sim_threads.close()
+    assert sim_threads._executor is None
+    sim_threads.close()  # idempotent
+    sim.close()
+
+
+def test_context_manager_closes():
+    problem = _problem("advection")
+    built = problem.build()
+    with Simulation(built.forest, built.scheme, threads=2) as sim:
+        assert sim._executor is not None
+        sim.step()
+    assert sim._executor is None
+    built.close()
+
+
+def test_invalid_engine_rejected():
+    problem = _problem("advection")
+    with pytest.raises(ValueError, match="engine"):
+        problem.build(engine="warp")
+    cfg = problem.config
+    from dataclasses import replace
+
+    with pytest.raises(ValueError, match="engine"):
+        replace(cfg, engine="warp")
+
+
+def test_cli_engine_flag(capsys):
+    from repro.cli import main
+
+    assert main(["run", "pulse", "--steps", "2", "--engine", "batched"]) == 0
+    out = capsys.readouterr().out
+    assert "final grid" in out
