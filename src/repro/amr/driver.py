@@ -19,17 +19,22 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 import numpy as np
 
 from repro.amr.config import SimulationConfig
+from repro.core.block_id import BlockID
 from repro.core.forest import AdaptSummary, BlockForest
 from repro.core.ghost import BoundaryHandler, fill_ghosts
 from repro.core.refine_criteria import RefinementCriterion, compute_flags
+from repro.obs.metrics import METRICS
 from repro.solvers.scheme import FVScheme
 from repro.solvers.timestep import stable_dt, stable_dt_batched
 from repro.util.timing import PhaseTimer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.recorder import RunRecorder
 
 __all__ = ["Simulation", "StepRecord"]
 
@@ -175,6 +180,12 @@ class Simulation:
         self.step_count = 0
         self.timer = PhaseTimer()
         self.history: list[StepRecord] = []
+        #: optional JSONL event stream (see :mod:`repro.obs.recorder`);
+        #: attach one and every step/adapt is emitted as a structured
+        #: event.  Pure observer — never touches simulation state.
+        self.recorder: Optional["RunRecorder"] = None
+        self._block_times: Optional[Dict[BlockID, float]] = None
+        self._block_steps: Optional[Dict[BlockID, int]] = None
 
     def close(self) -> None:
         """Release owned resources (the worker thread pool).  Idempotent;
@@ -189,8 +200,47 @@ class Simulation:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    def enable_block_profile(self) -> None:
+        """Track per-block cost for the hottest-blocks report.
+
+        In the blocked engine every kernel call is timed per block; in
+        the batched engine (where blocks advance in stacked tiles and
+        per-block time is not separable) per-block residency steps are
+        counted instead.  Observation only — numerics are untouched.
+        """
+        self._block_times = {}
+        self._block_steps = {}
+
+    def block_profile(self) -> list:
+        """Per-block cost entries for the profile event: ``id``,
+        ``level``, ``steps`` present, and (blocked engine) ``time_s``."""
+        if self._block_steps is None:
+            return []
+        times = self._block_times or {}
+        entries = []
+        for bid, steps in self._block_steps.items():
+            entry: Dict[str, object] = {
+                "id": str(bid),
+                "level": bid.level,
+                "steps": steps,
+            }
+            if bid in times:
+                entry["time_s"] = round(times[bid], 6)
+            entries.append(entry)
+        return entries
+
     def _map_blocks(self, fn) -> None:
         """Apply ``fn(block)`` to every block, threaded when enabled."""
+        times = self._block_times
+        if times is not None:
+            inner = fn
+
+            def fn(block):
+                t0 = _time.perf_counter()
+                inner(block)
+                dt = _time.perf_counter() - t0
+                times[block.id] = times.get(block.id, 0.0) + dt
+
         if self._executor is None:
             for block in self.forest:
                 fn(block)
@@ -220,6 +270,8 @@ class Simulation:
             fill_ghosts(
                 self.forest, self.bc, batched_copies=self.engine == "batched"
             )
+        if METRICS.enabled:
+            METRICS.inc("ghost.exchanges")
         if self.sanitizer is not None:
             self.sanitizer.after_exchange(self.forest)
 
@@ -492,6 +544,32 @@ class Simulation:
             wall_time=_time.perf_counter() - wall_start,
         )
         self.history.append(rec)
+        if self._block_steps is not None:
+            for bid in self.forest.blocks:
+                self._block_steps[bid] = self._block_steps.get(bid, 0) + 1
+        if METRICS.enabled:
+            METRICS.inc("step.count")
+            METRICS.observe("step.dt", dt)
+            METRICS.observe("step.wall_time", rec.wall_time or 0.0)
+        if self.recorder is not None:
+            if adapted is not None:
+                self.recorder.emit(
+                    "adapt",
+                    step=self.step_count,
+                    refined=adapted.refined,
+                    coarsened=adapted.coarsened,
+                    n_blocks=rec.n_blocks,
+                )
+            self.recorder.emit(
+                "step",
+                step=rec.step,
+                t_sim=rec.time,
+                dt=rec.dt,
+                n_blocks=rec.n_blocks,
+                n_cells=rec.n_cells,
+                wall_time=rec.wall_time,
+                engine=self.engine,
+            )
         return rec
 
     def run(

@@ -24,6 +24,14 @@ Commands
 ``lint``
     Run the repo's AMR-specific AST lint (rules REPRO101-104) over
     source paths.
+``profile``
+    Run a problem under the observability layer (metrics registry +
+    JSONL event stream) and print the phase breakdown, hottest blocks,
+    and engine comparison (see :mod:`repro.obs`).
+``report``
+    Validate and render a previously recorded ``*.jsonl`` event stream,
+    optionally diffing it against the committed ``BENCH_*.json``
+    performance trajectory.
 """
 
 from __future__ import annotations
@@ -150,6 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
     emulate.add_argument("--sanitize", action="store_true",
                          help="run the emulation under the ghost-poison "
                               "sanitizer and the exchange race detector")
+    emulate.add_argument("--record", metavar="FILE.jsonl", default=None,
+                         help="write a structured JSONL event stream "
+                              "(steps, recoveries, wire traffic; see "
+                              "`repro report`)")
 
     sanitize = sub.add_parser(
         "sanitize",
@@ -161,6 +173,43 @@ def build_parser() -> argparse.ArgumentParser:
     sanitize.add_argument("--ranks", type=int, default=4)
     sanitize.add_argument("--no-adapt", action="store_true",
                           help="static grid for the serial phase")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a problem under the observability layer and report "
+             "phase breakdown, hottest blocks, and engine comparison",
+    )
+    profile.add_argument("problem", choices=PROBLEMS)
+    profile.add_argument("--ndim", type=int, default=2, choices=(1, 2, 3))
+    profile.add_argument("--steps", type=int, default=10)
+    profile.add_argument("--engines", default="blocked,batched",
+                         help="comma-separated engines to profile "
+                              "(default: blocked,batched)")
+    profile.add_argument("--no-adapt", action="store_true",
+                         help="static grid")
+    profile.add_argument("--out", metavar="FILE.jsonl", default=None,
+                         help="event-stream path (default: "
+                              "profile_<problem>.jsonl)")
+    profile.add_argument("--top-k", type=int, default=5,
+                         help="hottest blocks to show (default 5)")
+    profile.add_argument("--compare-bench", action="store_true",
+                         help="diff the profiled numbers against the "
+                              "committed BENCH_batched_engine.json")
+
+    report = sub.add_parser(
+        "report",
+        help="validate and render a recorded run.jsonl event stream",
+    )
+    report.add_argument("run", metavar="RUN.jsonl")
+    report.add_argument("--top-k", type=int, default=5)
+    report.add_argument("--compare-bench", metavar="NAME", nargs="?",
+                        const="batched_engine", default=None,
+                        help="diff profiled numbers against the committed "
+                             "BENCH_<NAME>.json (default name: "
+                             "batched_engine)")
+    report.add_argument("--strict", action="store_true",
+                        help="exit non-zero when --compare-bench flags a "
+                             "regression")
 
     lint = sub.add_parser(
         "lint", help="run the AMR-specific AST lint (REPRO101-104)"
@@ -457,15 +506,6 @@ def _parse_fault_pairs(specs, flag):
 
 
 def cmd_emulate(args: argparse.Namespace) -> int:
-    import tempfile
-
-    from repro.parallel import EmulatedMachine
-
-    problem = _make_problem(args.problem, args.ndim)
-    sim = problem.build(adaptive=False)
-    forest_emu = problem.config.make_forest(problem.scheme.nvar)
-    problem.init_forest(forest_emu)
-
     kills = _parse_fault_pairs(args.kill, "--kill")
     for step, rank in kills:
         if not 0 <= rank < args.ranks:
@@ -489,6 +529,38 @@ def cmd_emulate(args: argparse.Namespace) -> int:
     if args.retry_backoff <= 0:
         print("error: --retry-backoff must be > 0", file=sys.stderr)
         return 2
+
+    problem = _make_problem(args.problem, args.ndim)
+    # The serial reference simulation owns a thread pool via the arena
+    # engines; close it even when the emulation path raises.
+    with problem.build(adaptive=False) as sim:
+        if args.record is not None:
+            from repro.obs import RunRecorder
+
+            with RunRecorder(args.record) as recorder:
+                rc = _drive_emulate(
+                    args, problem, sim, kills, drops, corrupts, transients,
+                    recorder,
+                )
+            print(f"event stream written to {args.record}")
+            return rc
+        return _drive_emulate(
+            args, problem, sim, kills, drops, corrupts, transients, None
+        )
+
+
+def _drive_emulate(
+    args: argparse.Namespace, problem, sim, kills, drops, corrupts,
+    transients, recorder,
+) -> int:
+    """The emulation loop of :func:`cmd_emulate` (sim closed by caller)."""
+    import tempfile
+
+    from repro.parallel import EmulatedMachine
+
+    forest_emu = problem.config.make_forest(problem.scheme.nvar)
+    problem.init_forest(forest_emu)
+
     fault_plan = None
     if kills or drops or corrupts or transients:
         from repro.resilience import FaultPlan, MessageFault, RankKill
@@ -520,6 +592,16 @@ def cmd_emulate(args: argparse.Namespace) -> int:
         f"== emulating {problem.name} on {args.ranks} ranks, "
         f"{args.steps} steps of dt={dt:.3e} =="
     )
+    if recorder is not None:
+        recorder.emit(
+            "meta",
+            source="emulate",
+            problem=args.problem,
+            ndim=args.ndim,
+            ranks=args.ranks,
+            steps=args.steps,
+            strategy=args.recovery_strategy,
+        )
     for _ in range(args.steps):
         sim.advance(dt)
         if sim.hook is not None:
@@ -542,6 +624,7 @@ def cmd_emulate(args: argparse.Namespace) -> int:
                 checkpoint_every=args.checkpoint_every,
                 strategy=args.recovery_strategy,
                 partner_refresh_every=args.partner_refresh_every,
+                recorder=recorder,
             )
         finally:
             if tmpdir is not None:
@@ -571,6 +654,26 @@ def cmd_emulate(args: argparse.Namespace) -> int:
     else:
         for _ in range(args.steps):
             emu.advance(dt)
+            if recorder is not None:
+                recorder.emit(
+                    "step",
+                    step=emu.step_index,
+                    t_sim=emu.time,
+                    dt=dt,
+                    n_blocks=emu.topology.n_blocks,
+                    n_cells=emu.topology.n_cells,
+                )
+    if recorder is not None:
+        recorder.emit(
+            "exchange",
+            n_messages=emu.stats.n_messages,
+            n_bytes=emu.stats.n_bytes,
+            n_local=emu.stats.n_local,
+            n_retries=emu.stats.n_retries,
+            retry_wait=emu.stats.retry_wait,
+            n_partner_messages=emu.stats.n_partner_messages,
+            n_partner_bytes=emu.stats.n_partner_bytes,
+        )
     gathered = emu.gather()
     worst = 0.0
     for bid, block in sim.forest.blocks.items():
@@ -619,21 +722,23 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     problem = _make_problem(args.problem, args.ndim)
     print(f"== sanitizing {problem.name} ==")
 
-    # Phase 1: serial driver under the ghost-poison sanitizer.
-    sim = problem.build(adaptive=not args.no_adapt, sanitize=True)
-    dt = 0.5 * sim.stable_dt()
-    try:
-        for _ in range(args.steps):
-            sim.step(dt)
-    except PoisonError as exc:
-        print(f"FAIL (serial): {exc}", file=sys.stderr)
-        return 1
-    assert sim.sanitizer is not None
-    print(
-        f"serial: {args.steps} steps, "
-        f"{sim.sanitizer.n_exchanges_checked} exchanges verified, "
-        f"{sim.sanitizer.n_cells_poisoned} ghost values poisoned: clean"
-    )
+    # Phase 1: serial driver under the ghost-poison sanitizer.  The
+    # context manager releases the engine thread pool even when the
+    # sanitizer trips (the leak `repro run` already guarded against).
+    with problem.build(adaptive=not args.no_adapt, sanitize=True) as sim:
+        dt = 0.5 * sim.stable_dt()
+        try:
+            for _ in range(args.steps):
+                sim.step(dt)
+        except PoisonError as exc:
+            print(f"FAIL (serial): {exc}", file=sys.stderr)
+            return 1
+        assert sim.sanitizer is not None
+        print(
+            f"serial: {args.steps} steps, "
+            f"{sim.sanitizer.n_exchanges_checked} exchanges verified, "
+            f"{sim.sanitizer.n_cells_poisoned} ghost values poisoned: clean"
+        )
 
     # Phase 2: emulated machine under the sanitizer + race detector.
     forest = problem.config.make_forest(problem.scheme.nvar)
@@ -655,6 +760,142 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
         f"{detector.epoch} epochs race-checked: clean"
     )
     print("OK: no unfilled ghost reads, no exchange ordering violations")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import (
+        METRICS,
+        RunRecorder,
+        compare_to_bench,
+        read_events,
+        render_report,
+    )
+    from repro.solvers.flops import flops_for_scheme
+    from repro.util.timing import wall_clock
+
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    bad = [e for e in engines if e not in ("blocked", "batched")]
+    if bad or not engines:
+        print(
+            f"error: --engines must name blocked and/or batched, got "
+            f"{args.engines!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.steps < 1:
+        print("error: --steps must be >= 1", file=sys.stderr)
+        return 2
+    problem = _make_problem(args.problem, args.ndim)
+    out = Path(args.out) if args.out else Path(f"profile_{args.problem}.jsonl")
+    profiles = []
+    with RunRecorder(out) as recorder:
+        recorder.emit(
+            "meta",
+            source="profile",
+            problem=args.problem,
+            ndim=args.ndim,
+            steps=args.steps,
+            engines=engines,
+            adaptive=not args.no_adapt,
+        )
+        for engine in engines:
+            METRICS.reset()
+            with METRICS.enabled_scope():
+                with problem.build(
+                    adaptive=not args.no_adapt, engine=engine
+                ) as sim:
+                    sim.recorder = recorder
+                    sim.enable_block_profile()
+                    t0 = wall_clock()
+                    for _ in range(args.steps):
+                        sim.step()
+                    elapsed = wall_clock() - t0
+                    cell_steps = sum(r.n_cells for r in sim.history)
+                    kf = flops_for_scheme(problem.scheme)
+                    mflops = None
+                    if kf is not None and elapsed > 0:
+                        mflops = (
+                            kf.per_cell_per_step * cell_steps / elapsed / 1e6
+                        )
+                    blocks = sim.block_profile()
+                    blocks.sort(
+                        key=lambda b: -float(b.get("time_s", b.get("steps", 0)))
+                    )
+                    profiles.append(recorder.emit(
+                        "profile",
+                        engine=engine,
+                        wall_s=elapsed,
+                        us_per_cell=(
+                            elapsed / cell_steps * 1e6 if cell_steps else 0.0
+                        ),
+                        ndim=args.ndim,
+                        phases={
+                            k: round(v, 6) for k, v in sim.timer.totals.items()
+                        },
+                        mflops=mflops,
+                        counters=METRICS.snapshot(),
+                        blocks=blocks[: max(args.top_k, 16)],
+                    ))
+        if len(profiles) > 1:
+            by_engine = {
+                p["engine"]: {
+                    "wall_s": p["wall_s"], "us_per_cell": p["us_per_cell"]
+                }
+                for p in profiles
+            }
+            summary = {"engines": by_engine}
+            if "blocked" in by_engine and "batched" in by_engine:
+                b = by_engine["batched"]["us_per_cell"]
+                if b:
+                    summary["speedup"] = (
+                        by_engine["blocked"]["us_per_cell"] / b
+                    )
+            recorder.emit("summary", **summary)
+    print(render_report(read_events(out), top_k=args.top_k))
+    if args.compare_bench:
+        flags = compare_to_bench(profiles)
+        if flags:
+            for f in flags:
+                print(f"bench regression: {f}")
+        else:
+            print("bench comparison: within the committed trajectory")
+    print(f"\nevent stream written to {out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        compare_to_bench,
+        read_events,
+        render_report,
+        validate_events,
+    )
+
+    try:
+        events = read_events(args.run)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_events(events)
+    if problems:
+        for p in problems:
+            print(f"schema: {p}", file=sys.stderr)
+        print(f"error: {args.run} failed schema validation", file=sys.stderr)
+        return 1
+    print(render_report(events, top_k=args.top_k))
+    if args.compare_bench is not None:
+        profiles = [e for e in events if e.get("kind") == "profile"]
+        flags = compare_to_bench(profiles, name=args.compare_bench)
+        if flags:
+            for f in flags:
+                print(f"bench regression: {f}")
+            if args.strict:
+                return 1
+        else:
+            print("bench comparison: within the committed trajectory")
     return 0
 
 
@@ -697,6 +938,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "emulate": cmd_emulate,
         "sanitize": cmd_sanitize,
         "lint": cmd_lint,
+        "profile": cmd_profile,
+        "report": cmd_report,
     }
     return handlers[args.command](args)
 

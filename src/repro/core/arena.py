@@ -30,6 +30,8 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import METRICS
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.block import Block
 
@@ -101,6 +103,9 @@ class BlockArena:
             self._grow(self.capacity * 2)
         row = self._free.pop()
         self.pool[row] = 0.0
+        if METRICS.enabled:
+            METRICS.inc("arena.acquires")
+            METRICS.gauge("arena.occupancy", self.n_active / self.capacity)
         return row
 
     def view(self, row: int) -> np.ndarray:
@@ -130,6 +135,9 @@ class BlockArena:
         self._blocks[row] = None
         block.arena_row = None
         self._free.append(row)
+        if METRICS.enabled:
+            METRICS.inc("arena.releases")
+            METRICS.gauge("arena.occupancy", self.n_active / self.capacity)
 
     def _grow(self, new_capacity: int) -> None:
         old = self.pool
@@ -146,6 +154,9 @@ class BlockArena:
         self._save = None
         self.layout_epoch += 1
         self.n_grows += 1
+        if METRICS.enabled:
+            METRICS.inc("arena.grows")
+            METRICS.gauge("arena.capacity", new_capacity)
 
     # -- batched access -----------------------------------------------------
 
@@ -177,6 +188,8 @@ class BlockArena:
         self._free = list(range(self.capacity - 1, n - 1, -1))
         self.layout_epoch += 1
         self.n_compactions += 1
+        if METRICS.enabled:
+            METRICS.inc("arena.compactions")
         return self.pool[:n]
 
     # -- scratch (predictor saves) -----------------------------------------

@@ -47,6 +47,7 @@ from repro.core.block_id import BlockID, IndexBox
 from repro.core.forest import BlockForest, ForestError
 from repro.core.prolong import prolong_inject, prolong_linear
 from repro.core.restrict import restrict_mean
+from repro.obs.metrics import METRICS
 
 __all__ = [
     "Transfer",
@@ -430,8 +431,12 @@ def _get_plan(forest: BlockForest, fill_corners: bool) -> CompiledPlan:
     it is stale whenever rows move — growth or compaction)."""
     key = (forest.revision, forest.arena.layout_epoch, fill_corners)
     if getattr(forest, "_ghost_plan_key", None) != key:
+        if METRICS.enabled:
+            METRICS.inc("ghost.plan_misses")
         forest._ghost_plan = _compile_plan(forest, fill_corners)  # type: ignore[attr-defined]
         forest._ghost_plan_key = key  # type: ignore[attr-defined]
+    elif METRICS.enabled:
+        METRICS.inc("ghost.plan_hits")
     return forest._ghost_plan  # type: ignore[attr-defined]
 
 

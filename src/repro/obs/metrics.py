@@ -1,0 +1,155 @@
+"""Named run metrics: counters, gauges, and value summaries.
+
+The hot paths of the whole stack — arena allocation
+(:mod:`repro.core.arena`), the compiled ghost-plan cache
+(:mod:`repro.core.ghost`), the serial driver (:mod:`repro.amr.driver`),
+the emulated wire (:mod:`repro.parallel.emulator`), and fault recovery
+(:mod:`repro.resilience.recovery`) — report into one process-global
+:data:`METRICS` registry.  The registry is **disabled by default**: a
+disabled call is one attribute load plus one branch, so instrumented
+code costs effectively nothing unless a profiler (``repro profile``, a
+test, a benchmark) switches it on.
+
+Three instrument kinds, all keyed by dotted metric names (the catalog
+lives in ``docs/observability.md``):
+
+* **counter** — monotonically increasing count (``inc``): messages
+  sent, arena grows, plan-cache hits;
+* **gauge** — last-written value (``gauge``): arena capacity,
+  occupancy fraction;
+* **summary** — running count/sum/min/max of an observed value
+  (``observe``): per-step dt, step wall time, recovery duration.
+  Deliberately not a bucketed histogram: the four summary stats are
+  what the report renders, and they need no configuration.
+
+Metrics never touch simulation state, so an instrumented run is
+bit-for-bit identical to an uninstrumented one (pinned by
+``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator
+
+__all__ = ["MetricsRegistry", "Summary", "METRICS"]
+
+
+@dataclass
+class Summary:
+    """Running count/sum/min/max of an observed value."""
+
+    count: int = 0
+    total: float = 0.0
+    vmin: float = math.inf
+    vmax: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Registry of named counters, gauges, and value summaries.
+
+    Every mutator checks :attr:`enabled` first and returns immediately
+    when the registry is off, so instrumentation left permanently in hot
+    paths is near-free by default.
+    """
+
+    __slots__ = ("enabled", "counters", "gauges", "summaries")
+
+    def __init__(self, *, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.summaries: Dict[str, Summary] = {}
+
+    # -- mutators (no-ops while disabled) ------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        if not self.enabled:
+            return
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the running summary ``name``."""
+        if not self.enabled:
+            return
+        summary = self.summaries.get(name)
+        if summary is None:
+            summary = self.summaries[name] = Summary()
+        summary.add(float(value))
+
+    # -- lifecycle -----------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every recorded value (the enabled flag is unchanged)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.summaries.clear()
+
+    @contextmanager
+    def enabled_scope(self) -> Iterator["MetricsRegistry"]:
+        """Enable the registry for the duration of a ``with`` block,
+        restoring the previous enabled state afterwards."""
+        prev = self.enabled
+        self.enabled = True
+        try:
+            yield self
+        finally:
+            self.enabled = prev
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready copy of everything recorded so far."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "summaries": {k: s.as_dict() for k, s in self.summaries.items()},
+        }
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"MetricsRegistry({state}, {len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, {len(self.summaries)} summaries)"
+        )
+
+
+#: Process-global registry the built-in instrumentation reports into.
+#: Disabled by default; ``repro profile`` (and tests) enable it.
+METRICS = MetricsRegistry()

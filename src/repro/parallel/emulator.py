@@ -55,6 +55,7 @@ from repro.core.ghost import (
     prolongation_border,
     restriction_contribution,
 )
+from repro.obs.metrics import METRICS
 from repro.parallel.partition import Assignment, sfc_partition
 from repro.solvers.scheme import FVScheme
 
@@ -90,14 +91,22 @@ class ExchangeStats:
     def add(self, payload_values: int) -> None:
         self.n_messages += 1
         self.n_bytes += payload_values * 8
+        if METRICS.enabled:
+            METRICS.inc("exchange.messages")
+            METRICS.inc("exchange.bytes", payload_values * 8)
 
     def add_partner(self, payload_values: int) -> None:
         self.n_partner_messages += 1
         self.n_partner_bytes += payload_values * 8
+        if METRICS.enabled:
+            METRICS.inc("exchange.partner_messages")
+            METRICS.inc("exchange.partner_bytes", payload_values * 8)
 
     def add_retry(self, wait: float) -> None:
         self.n_retries += 1
         self.retry_wait += wait
+        if METRICS.enabled:
+            METRICS.inc("exchange.retries")
 
 
 class EmulatedMachine:
@@ -361,6 +370,8 @@ class EmulatedMachine:
         """
         if src_rank == dst_rank:
             self.stats.n_local += 1
+            if METRICS.enabled:
+                METRICS.inc("exchange.local")
             return payload
         index = self._msg_index
         self._msg_index += 1

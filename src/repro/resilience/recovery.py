@@ -35,11 +35,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.recorder import RunRecorder
     from repro.parallel.emulator import EmulatedMachine
 
 from repro.amr.driver import StepRecord
 from repro.amr.io import CheckpointError
 from repro.core.forest import BlockForest
+from repro.obs.metrics import METRICS
 from repro.resilience.checkpoint import Checkpointer
 from repro.resilience.faults import FaultDetected, MessageFailure, RankFailure
 from repro.resilience.partner import PartnerStore
@@ -196,6 +198,7 @@ def run_with_recovery(
     max_recoveries: int = 8,
     strategy: str = "global",
     partner_refresh_every: int = 1,
+    recorder: Optional["RunRecorder"] = None,
 ) -> ResilienceReport:
     """Advance ``machine`` ``n_steps`` times, surviving injected faults.
 
@@ -208,6 +211,12 @@ def run_with_recovery(
     it when possible, escalating to the global checkpoint rollback when
     not ("auto" and "local" currently share this policy; "global" never
     builds the partner tier).
+
+    With a ``recorder`` (:class:`repro.obs.recorder.RunRecorder`) every
+    completed step and every recovery is emitted to the JSONL event
+    stream; recovery counters additionally report into the global
+    metrics registry when it is enabled.  Both are pure observers: the
+    recovered trajectory stays bit-for-bit identical.
 
     Raises the underlying :class:`FaultDetected` if recovery is needed
     more than ``max_recoveries`` times (a fault plan that keeps firing
@@ -291,19 +300,50 @@ def run_with_recovery(
             report.events.append(event)
             report.steps_replayed += event.replayed_steps
             pending_recovery_time += event.duration
+            if METRICS.enabled:
+                METRICS.inc("recovery.events")
+                METRICS.inc("recovery.blocks_restored", event.blocks_restored)
+                METRICS.inc("recovery.bytes_restored", event.bytes_restored)
+                if event.escalated:
+                    METRICS.inc("recovery.escalations")
+                METRICS.observe("recovery.duration", event.duration)
+            if recorder is not None:
+                recorder.emit(
+                    "recovery",
+                    step=event.step,
+                    fault=event.kind,
+                    strategy=event.strategy,
+                    replayed_steps=event.replayed_steps,
+                    restored_from_step=event.restored_from_step,
+                    blocks_restored=event.blocks_restored,
+                    bytes_restored=event.bytes_restored,
+                    escalated=event.escalated,
+                    duration=event.duration,
+                    detail=event.detail,
+                )
             continue
         done = machine.step_index - start
-        report.history.append(
-            StepRecord(
-                step=machine.step_index,
-                time=machine.time,
-                dt=dt,
-                n_blocks=machine.topology.n_blocks,
-                n_cells=machine.topology.n_cells,
-                wall_time=wall_clock() - wall_start,
-                recovery_time=pending_recovery_time or None,
-            )
+        record = StepRecord(
+            step=machine.step_index,
+            time=machine.time,
+            dt=dt,
+            n_blocks=machine.topology.n_blocks,
+            n_cells=machine.topology.n_cells,
+            wall_time=wall_clock() - wall_start,
+            recovery_time=pending_recovery_time or None,
         )
+        report.history.append(record)
+        if recorder is not None:
+            recorder.emit(
+                "step",
+                step=record.step,
+                t_sim=record.time,
+                dt=record.dt,
+                n_blocks=record.n_blocks,
+                n_cells=record.n_cells,
+                wall_time=record.wall_time,
+                recovery_time=record.recovery_time,
+            )
         pending_recovery_time = 0.0
         if partner is not None and done % partner_refresh_every == 0:
             partner.refresh()

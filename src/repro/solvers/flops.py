@@ -21,7 +21,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["KernelFlops", "mhd_flops_per_cell", "euler_flops_per_cell", "advection_flops_per_cell"]
+__all__ = [
+    "KernelFlops",
+    "mhd_flops_per_cell",
+    "euler_flops_per_cell",
+    "advection_flops_per_cell",
+    "flops_for_scheme",
+]
 
 
 @dataclass(frozen=True)
@@ -103,3 +109,25 @@ def advection_flops_per_cell(ndim: int = 2, order: int = 2) -> KernelFlops:
         source=0,
         stages=2 if order == 2 else 1,
     )
+
+
+def flops_for_scheme(scheme) -> "KernelFlops | None":
+    """The per-cell-per-step FLOP estimate matching a scheme instance,
+    or None for physics without a calibrated count (Burgers, shallow
+    water).  Used by the observability layer to annotate profiled runs
+    with a sustained-MFLOP/s estimate."""
+    from repro.solvers.advection import AdvectionScheme
+    from repro.solvers.euler import EulerScheme
+    from repro.solvers.mhd import MHDScheme
+
+    order = getattr(scheme, "order", 2)
+    if isinstance(scheme, AdvectionScheme):
+        return advection_flops_per_cell(len(scheme.velocity), order)
+    ndim = getattr(scheme, "ndim", None)
+    if ndim is None:
+        return None
+    if isinstance(scheme, MHDScheme):
+        return mhd_flops_per_cell(ndim, order)
+    if isinstance(scheme, EulerScheme):
+        return euler_flops_per_cell(ndim, order)
+    return None

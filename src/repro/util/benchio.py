@@ -15,6 +15,7 @@ keys they know.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import time
 from pathlib import Path
@@ -71,8 +72,19 @@ def write_bench_json(
 
     Returns the path written.  The record must come from
     :func:`make_bench_record` (or at least carry a ``name`` key).
+
+    The write is atomic (temp file + ``os.replace``, like checkpoint
+    v2): these records are the repo's committed performance trajectory,
+    and an interrupted bench run must not replace a good record with a
+    truncated one.
     """
     name = record["name"]
     out = (directory or repo_root()) / f"BENCH_{name}.json"
-    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    tmp = out.with_name(out.name + ".tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, out)
+    finally:
+        tmp.unlink(missing_ok=True)
     return out

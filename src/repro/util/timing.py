@@ -51,6 +51,8 @@ def measure(fn: Callable[[], None], *, repeats: int = 5, warmup: int = 1) -> Tim
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
     for _ in range(warmup):
         fn()
     times = []
@@ -71,19 +73,36 @@ class PhaseTimer:
         with timer.phase("ghost_exchange"):
             forest.fill_ghosts()
         print(timer.totals["ghost_exchange"])
+
+    Nested phases record **self time**: a phase opened inside another
+    (a driver hook that itself calls timed compute, say) is charged to
+    the inner name only, and the enclosing phase's total excludes it.
+    Each second of wall time is therefore attributed to exactly one
+    phase, :attr:`total` never exceeds elapsed wall time, and
+    :meth:`fraction` sums to 1 over the phases — nesting used to
+    double-count the inner span in both totals.
     """
 
     totals: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
     counts: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: per-open-phase accumulator of time spent in nested child phases
+    _child_time: List[float] = field(default_factory=list, repr=False)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         t0 = time.perf_counter()
+        self._child_time.append(0.0)
         try:
             yield
         finally:
-            self.totals[name] += time.perf_counter() - t0
+            elapsed = time.perf_counter() - t0
+            children = self._child_time.pop()
+            self.totals[name] += elapsed - children
             self.counts[name] += 1
+            if self._child_time:
+                # Charge the whole span (self + descendants) to the
+                # parent's child accumulator so the parent subtracts it.
+                self._child_time[-1] += elapsed
 
     @property
     def total(self) -> float:

@@ -183,3 +183,129 @@ class TestEmulate:
     def test_emulate_rejects_malformed_fault_spec(self, capsys):
         with pytest.raises(SystemExit):
             main(["emulate", "pulse", "--kill", "nonsense"])
+
+    def test_emulate_record_writes_valid_stream(self, tmp_path, capsys):
+        from repro.obs import read_events, validate_events
+
+        out = tmp_path / "emulate.jsonl"
+        rc = main([
+            "emulate", "pulse", "--ranks", "2", "--steps", "2",
+            "--record", str(out),
+        ])
+        assert rc == 0
+        assert "event stream written to" in capsys.readouterr().out
+        events = read_events(out)
+        assert validate_events(events) == []
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "meta"
+        assert kinds.count("step") == 2
+        assert kinds[-1] == "exchange"
+        assert events[-1]["n_messages"] > 0
+
+
+class TestProfileAndReport:
+    def _profile(self, tmp_path, *extra):
+        out = tmp_path / "run.jsonl"
+        rc = main([
+            "profile", "pulse", "--steps", "2",
+            "--engines", "blocked,batched", "--out", str(out), *extra,
+        ])
+        return rc, out
+
+    def test_profile_writes_stream_and_report(self, tmp_path, capsys):
+        from repro.obs import read_events, validate_events
+
+        rc, out = self._profile(tmp_path)
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "phase breakdown" in text
+        assert "hottest blocks" in text
+        assert "engine comparison" in text
+        assert "batched speedup:" in text
+        events = read_events(out)
+        assert validate_events(events) == []
+        kinds = [e["kind"] for e in events]
+        assert kinds.count("profile") == 2
+        assert kinds.count("summary") == 1
+
+    def test_profile_single_engine(self, tmp_path, capsys):
+        out = tmp_path / "one.jsonl"
+        rc = main([
+            "profile", "pulse", "--steps", "2",
+            "--engines", "batched", "--out", str(out),
+        ])
+        assert rc == 0
+        assert "engine: batched" in capsys.readouterr().out
+
+    def test_profile_compare_bench_no_false_flags(self, tmp_path, capsys):
+        # The committed bench record is a different workload, so only
+        # the engine-relative check applies; it must not flag this run.
+        rc, _ = self._profile(tmp_path, "--compare-bench")
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "bench regression" not in text
+        assert "within the committed trajectory" in text
+
+    def test_profile_rejects_unknown_engine(self, tmp_path, capsys):
+        rc = main([
+            "profile", "pulse", "--steps", "1", "--engines", "warp",
+            "--out", str(tmp_path / "x.jsonl"),
+        ])
+        assert rc == 2
+        assert "--engines" in capsys.readouterr().err
+
+    def test_profile_rejects_zero_steps(self, tmp_path, capsys):
+        rc = main([
+            "profile", "pulse", "--steps", "0",
+            "--out", str(tmp_path / "x.jsonl"),
+        ])
+        assert rc == 2
+        assert "--steps" in capsys.readouterr().err
+
+    def test_report_roundtrip(self, tmp_path, capsys):
+        rc, out = self._profile(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "profile run" in text
+        assert "engine comparison" in text
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_rejects_invalid_stream(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"v": 1, "t": 0.0, "kind": "warp"}\n')
+        assert main(["report", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "schema:" in err and "unknown kind" in err
+
+    def test_report_rejects_truncated_stream(self, tmp_path, capsys):
+        bad = tmp_path / "trunc.jsonl"
+        bad.write_text('{"v": 1, "t": 0.0, "ki')
+        assert main(["report", str(bad)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_report_strict_flags_regression(self, tmp_path, capsys):
+        import json
+
+        # Synthesize a stream whose workload matches the committed MHD
+        # record but is absurdly slow: --strict must exit nonzero.
+        from repro.obs import load_bench_record
+
+        record = load_bench_record()
+        assert record is not None
+        stream = tmp_path / "slow.jsonl"
+        events = [
+            {"v": 1, "t": 0.0, "kind": "meta", "source": "profile"},
+            {"v": 1, "t": 1.0, "kind": "profile", "engine": "batched",
+             "wall_s": 1.0, "us_per_cell": 1e6, "ndim": 2,
+             "workload": record["workload"], "phases": {"solve": 1.0}},
+        ]
+        stream.write_text(
+            "".join(json.dumps(e) + "\n" for e in events))
+        capsys.readouterr()
+        rc = main(["report", str(stream), "--compare-bench", "--strict"])
+        assert rc == 1
+        assert "bench regression" in capsys.readouterr().out

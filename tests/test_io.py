@@ -312,6 +312,25 @@ class TestHistoryCsv:
         lines = path.read_text().splitlines()
         assert lines == ["step,time,dt,n_blocks,n_cells,refined,coarsened"]
 
+    def test_mixed_history_pads_missing_wall_time(self, tmp_path):
+        # A history mixing measured and synthetic records (e.g. resumed
+        # runs) keeps the column and leaves the missing cells empty, so
+        # every row has the same arity.
+        from repro.amr.driver import StepRecord
+        from repro.amr.io import history_to_csv
+
+        history = [
+            StepRecord(1, 0.1, 0.1, 4, 64),
+            StepRecord(2, 0.2, 0.1, 4, 64, wall_time=0.02),
+        ]
+        path = tmp_path / "hist.csv"
+        history_to_csv(history, path)
+        lines = path.read_text().splitlines()
+        assert lines[0].endswith(",wall_time")
+        assert all(ln.count(",") == lines[0].count(",") for ln in lines)
+        assert lines[1].endswith(",")  # missing wall_time -> empty cell
+        assert lines[2].endswith(",0.02")
+
     def test_recovery_time_column(self, tmp_path):
         from repro.amr.driver import StepRecord
         from repro.amr.io import history_to_csv

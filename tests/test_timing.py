@@ -24,6 +24,10 @@ class TestMeasure:
         with pytest.raises(ValueError):
             measure(lambda: None, repeats=0)
 
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError, match="warmup"):
+            measure(lambda: None, repeats=1, warmup=-1)
+
 
 class TestPhaseTimer:
     def test_accumulates(self):
@@ -71,3 +75,41 @@ class TestPhaseTimer:
         t.reset()
         assert t.total == 0.0
         assert not t.counts
+        assert t.fraction("a") == 0.0
+
+    def test_nested_phases_do_not_double_count(self):
+        # Regression: a nested phase's time used to land in both its own
+        # total and the enclosing phase's, inflating `total` beyond wall
+        # time.  Each phase now records self time only.
+        t = PhaseTimer()
+        with t.phase("outer"):
+            time.sleep(0.002)
+            with t.phase("inner"):
+                time.sleep(0.004)
+        assert t.totals["inner"] >= 0.004
+        # outer carries only its own ~2ms, not inner's 4ms too
+        assert t.totals["outer"] < t.totals["inner"]
+        wall = t.totals["outer"] + t.totals["inner"]
+        assert t.total == pytest.approx(wall)
+
+    def test_triple_nesting_totals_sum_to_wall(self):
+        t = PhaseTimer()
+        t0 = time.perf_counter()
+        with t.phase("a"):
+            with t.phase("b"):
+                with t.phase("c"):
+                    time.sleep(0.002)
+            with t.phase("b"):
+                pass
+        wall = time.perf_counter() - t0
+        assert t.counts["b"] == 2
+        assert t.total <= wall + 1e-4
+
+    def test_sibling_phases_unaffected_by_nesting_fix(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            pass
+        with t.phase("b"):
+            pass
+        assert t.counts["a"] == t.counts["b"] == 1
+        assert t.totals["a"] >= 0.0 and t.totals["b"] >= 0.0
