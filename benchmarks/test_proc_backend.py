@@ -1,0 +1,136 @@
+"""Process-backend throughput: real ranks, shared-memory exchange.
+
+Fig-6-style measurement through :class:`repro.parallel.ProcessMachine`:
+the advecting-pulse AMR workload stepped across real OS processes, with
+every rank's block pool in a POSIX shared-memory segment so ghost
+exchange is a flat copy between segments brokered by pipe commands.
+
+Numbers land in ``BENCH_proc_backend.json`` (us/cell plus the exchange
+fraction of wall time, from the supervisor's phase clocks) and are
+diffed against the committed trajectory with
+:func:`repro.obs.compare_to_bench`.
+
+CI runs on one or two cores, so the ranks oversubscribe the machine;
+thresholds are deliberately loose — the hard assertions are about
+*correctness under measurement* (bit-for-bit with the serial driver)
+and the record's internal consistency, not absolute speed.
+"""
+
+import numpy as np
+
+from repro.amr import Simulation
+from repro.core import BlockForest, BlockID
+from repro.obs import compare_to_bench
+from repro.parallel import ProcConfig, ProcessMachine
+from repro.solvers import AdvectionScheme
+from repro.util.geometry import Box
+from repro.util.timing import wall_clock
+
+from _tables import emit_bench_json, emit_table
+
+WORKLOAD = "advecting pulse 2-D AMR, 2nd order, real-process ranks"
+STEPS = 20
+DT = 1e-3
+
+
+def make_forest():
+    f = BlockForest(
+        Box((0.0, 0.0), (1.0, 1.0)), (4, 4), (8, 8), nvar=1,
+        n_ghost=2, periodic=(True, True), max_level=2,
+    )
+    f.adapt([BlockID(0, (0, 0)), BlockID(0, (2, 2)), BlockID(0, (3, 1))])
+    return f
+
+
+def init_pulse(forest):
+    for b in forest:
+        X, Y = b.meshgrid()
+        b.interior[0] = np.exp(-50 * ((X - 0.5) ** 2 + (Y - 0.5) ** 2))
+
+
+def run_process_case(n_ranks):
+    scheme = AdvectionScheme((1.0, 0.5), order=2)
+    forest = make_forest()
+    init_pulse(forest)
+    config = ProcConfig(phase_timeout=5.0, hard_timeout=120.0)
+    with ProcessMachine(forest, n_ranks, scheme, config=config) as machine:
+        n_cells = machine.topology.n_cells
+        t0 = wall_clock()
+        for _ in range(STEPS):
+            machine.advance(DT)
+        elapsed = wall_clock() - t0
+        phase = dict(machine.phase_seconds)
+        stats = machine.stats
+        gathered = machine.gather()
+    # Bit-for-bit against the serial driver over the same trajectory.
+    ref = make_forest()
+    init_pulse(ref)
+    sim = Simulation(ref, scheme)
+    for _ in range(STEPS):
+        sim.advance(DT)
+    bitwise = all(
+        np.array_equal(gathered[bid], block.interior)
+        for bid, block in ref.blocks.items()
+    )
+    phase_total = sum(phase.values())
+    return {
+        "label": f"process-{n_ranks}r",
+        "engine": "process",
+        "workload": WORKLOAD,
+        "ndim": 2,
+        "ranks": n_ranks,
+        "steps": STEPS,
+        "n_cells": n_cells,
+        "us_per_cell": elapsed / (STEPS * n_cells) * 1e6,
+        "exchange_seconds": phase["exchange"],
+        "compute_seconds": phase["compute"],
+        "control_seconds": phase["control"],
+        "exchange_fraction": (
+            phase["exchange"] / phase_total if phase_total > 0 else 0.0
+        ),
+        "wire_messages": stats.n_messages,
+        "wire_bytes": stats.n_bytes,
+        "bitwise_vs_serial": bitwise,
+    }
+
+
+def test_proc_backend_bench():
+    results = [run_process_case(n) for n in (2, 4)]
+
+    emit_table(
+        "proc_backend",
+        "Process-backend throughput (real ranks, shared-memory ghost "
+        "exchange, oversubscribed CI host)",
+        ("case", "cells", "us/cell", "exch frac", "messages", "bitwise"),
+        [
+            (
+                r["label"],
+                r["n_cells"],
+                f"{r['us_per_cell']:.2f}",
+                f"{r['exchange_fraction']:.1%}",
+                r["wire_messages"],
+                "yes" if r["bitwise_vs_serial"] else "NO",
+            )
+            for r in results
+        ],
+        notes="us/cell includes supervisor control plane; thresholds are\n"
+              "loose because CI oversubscribes the ranks onto 1-2 cores",
+    )
+    record_payload = {
+        "workload": WORKLOAD,
+        "cases": results,
+    }
+    emit_bench_json("proc_backend", **record_payload)
+
+    for r in results:
+        assert r["bitwise_vs_serial"], f"{r['label']} diverged from serial"
+        assert r["us_per_cell"] > 0
+        assert 0.0 < r["exchange_fraction"] < 1.0
+        assert r["wire_messages"] > 0
+
+    # Diff against the committed trajectory record (the one just
+    # written, or a prior committed one when running pre-write in CI).
+    flags = compare_to_bench(
+        results, name="proc_backend", rel_tol=3.0
+    )
+    assert flags == [], f"process backend regressed: {flags}"

@@ -101,6 +101,10 @@ DATA_MUTATOR_MODULES: Tuple[str, ...] = (
 REPLAY_MODULES: Tuple[str, ...] = (
     "repro/resilience/",
     "repro/parallel/emulator.py",
+    "repro/parallel/procmachine.py",
+    "repro/parallel/procworker.py",
+    "repro/parallel/supervisor.py",
+    "repro/parallel/shared_arena.py",
 )
 
 #: Recovery code paths where a swallowed exception can mask the very

@@ -162,6 +162,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a structured JSONL event stream "
                               "(steps, recoveries, wire traffic; see "
                               "`repro report`)")
+    emulate.add_argument("--backend", choices=("emulated", "process"),
+                         default="emulated",
+                         help="rank substrate: in-process emulation "
+                              "(default) or one real OS process per rank "
+                              "with shared-memory pools; --kill then sends "
+                              "an actual SIGKILL and recovery respawns the "
+                              "process")
+    emulate.add_argument("--phase-timeout", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="process backend: soft per-phase reply "
+                              "deadline before the supervisor probes a "
+                              "silent rank")
+    emulate.add_argument("--hard-timeout", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="process backend: hard per-phase deadline "
+                              "before a silent rank is declared hung "
+                              "and killed")
+    emulate.add_argument("--heartbeat-interval", type=float, default=0.05,
+                         metavar="SECONDS",
+                         help="process backend: worker heartbeat cadence")
+    emulate.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                         metavar="SECONDS",
+                         help="process backend: heartbeat staleness after "
+                              "which a rank is declared hung")
+    emulate.add_argument("--respawn-max", type=int, default=3,
+                         metavar="N",
+                         help="process backend: respawn attempts per dead "
+                              "rank before recovery degrades to "
+                              "redistributing its blocks over survivors")
 
     sanitize = sub.add_parser(
         "sanitize",
@@ -529,6 +558,27 @@ def cmd_emulate(args: argparse.Namespace) -> int:
     if args.retry_backoff <= 0:
         print("error: --retry-backoff must be > 0", file=sys.stderr)
         return 2
+    if args.backend == "process":
+        for flag, value in (
+            ("--phase-timeout", args.phase_timeout),
+            ("--hard-timeout", args.hard_timeout),
+            ("--heartbeat-interval", args.heartbeat_interval),
+            ("--heartbeat-timeout", args.heartbeat_timeout),
+        ):
+            if value <= 0:
+                print(f"error: {flag} must be > 0", file=sys.stderr)
+                return 2
+        if args.hard_timeout < args.phase_timeout:
+            print("error: --hard-timeout must be >= --phase-timeout",
+                  file=sys.stderr)
+            return 2
+        if args.heartbeat_timeout <= args.heartbeat_interval:
+            print("error: --heartbeat-timeout must exceed "
+                  "--heartbeat-interval", file=sys.stderr)
+            return 2
+        if args.respawn_max < 0:
+            print("error: --respawn-max must be >= 0", file=sys.stderr)
+            return 2
 
     problem = _make_problem(args.problem, args.ndim)
     # The serial reference simulation owns a thread pool via the arena
@@ -554,6 +604,7 @@ def _drive_emulate(
     transients, recorder,
 ) -> int:
     """The emulation loop of :func:`cmd_emulate` (sim closed by caller)."""
+    import contextlib
     import tempfile
 
     from repro.parallel import EmulatedMachine
@@ -578,18 +629,52 @@ def _drive_emulate(
 
     from repro.resilience import RetryPolicy
 
-    emu = EmulatedMachine(
-        forest_emu, args.ranks, problem.scheme, bc=problem.bc,
-        fault_plan=fault_plan,
-        retry_policy=RetryPolicy(max_retries=args.retry_max,
-                                 backoff_base=args.retry_backoff),
-        sanitize=args.sanitize,
-    )
-    if args.sanitize:
-        emu.attach_race_detector()
+    retry_policy = RetryPolicy(max_retries=args.retry_max,
+                               backoff_base=args.retry_backoff)
+    # The process backend owns real child processes and /dev/shm segments;
+    # the exit stack guarantees teardown on every path, including raises.
+    with contextlib.ExitStack() as stack:
+        if args.backend == "process":
+            from repro.parallel import ProcConfig, ProcessMachine
+
+            emu = stack.enter_context(ProcessMachine(
+                forest_emu, args.ranks, problem.scheme, bc=problem.bc,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
+                sanitize=args.sanitize,
+                config=ProcConfig(
+                    phase_timeout=args.phase_timeout,
+                    hard_timeout=args.hard_timeout,
+                    heartbeat_interval=args.heartbeat_interval,
+                    heartbeat_timeout=args.heartbeat_timeout,
+                    respawn_max=args.respawn_max,
+                ),
+            ))
+            emu.recorder = recorder
+        else:
+            emu = EmulatedMachine(
+                forest_emu, args.ranks, problem.scheme, bc=problem.bc,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
+                sanitize=args.sanitize,
+            )
+        if args.sanitize:
+            emu.attach_race_detector()
+        return _emulate_loop(args, problem, sim, emu, fault_plan, recorder)
+
+
+def _emulate_loop(
+    args: argparse.Namespace, problem, sim, emu, fault_plan, recorder,
+) -> int:
+    """Drive ``emu`` against the serial reference and compare."""
+    import tempfile
+
     dt = 0.5 * sim.stable_dt()
+    backend_note = (
+        " (real processes)" if args.backend == "process" else ""
+    )
     print(
-        f"== emulating {problem.name} on {args.ranks} ranks, "
+        f"== emulating {problem.name} on {args.ranks} ranks{backend_note}, "
         f"{args.steps} steps of dt={dt:.3e} =="
     )
     if recorder is not None:
@@ -601,6 +686,7 @@ def _drive_emulate(
             ranks=args.ranks,
             steps=args.steps,
             strategy=args.recovery_strategy,
+            backend=args.backend,
         )
     for _ in range(args.steps):
         sim.advance(dt)
@@ -698,6 +784,25 @@ def _drive_emulate(
             f"snapshot copies ({emu.stats.n_partner_bytes / 1024:.0f} KB, "
             f"{100 * redundancy_overhead(emu.stats):.1f}% of traffic)"
         )
+    if args.backend == "process":
+        deaths = emu.deaths
+        if deaths:
+            print(
+                "rank deaths: "
+                + ", ".join(
+                    f"rank {d.rank} at step {d.step} ({d.kind})"
+                    for d in deaths
+                )
+            )
+        total = sum(emu.phase_seconds.values())
+        if total > 0:
+            print(
+                f"phase time: exchange {emu.phase_seconds['exchange']:.3f}s, "
+                f"compute {emu.phase_seconds['compute']:.3f}s, "
+                f"control {emu.phase_seconds['control']:.3f}s "
+                f"(exchange fraction "
+                f"{emu.phase_seconds['exchange'] / total:.1%})"
+            )
     if emu.sanitizer is not None:
         print(
             f"ghost sanitizer: {emu.sanitizer.n_exchanges_checked} "

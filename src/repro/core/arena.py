@@ -52,6 +52,16 @@ class BlockArena:
         State variables per cell.
     initial_capacity:
         Rows preallocated up front; the pool doubles on exhaustion.
+    buffer:
+        Optional writable buffer (e.g. a ``multiprocessing.shared_memory``
+        view) backing the pool instead of a private allocation.  The
+        capacity is then *fixed*: the buffer must hold exactly
+        ``initial_capacity`` rows of float64 and :meth:`acquire` raises
+        instead of growing when it is exhausted — a pool whose rows other
+        processes map by offset cannot be silently reallocated.  The
+        buffer's existing contents are kept (shared segments arrive
+        zero-filled from the kernel; an attaching side must not clobber
+        the creator's data).
     """
 
     def __init__(
@@ -61,13 +71,27 @@ class BlockArena:
         nvar: int,
         *,
         initial_capacity: int = 8,
+        buffer: Optional[memoryview] = None,
     ) -> None:
         self.m = tuple(int(mi) for mi in m)
         self.n_ghost = int(n_ghost)
         self.nvar = int(nvar)
         self.padded = tuple(mi + 2 * self.n_ghost for mi in self.m)
         cap = max(1, int(initial_capacity))
-        self.pool: np.ndarray = np.zeros((cap, self.nvar) + self.padded)
+        self._fixed = buffer is not None
+        if buffer is None:
+            self.pool: np.ndarray = np.zeros((cap, self.nvar) + self.padded)
+        else:
+            shape = (cap, self.nvar) + self.padded
+            need = 8 * int(np.prod(shape))
+            if len(buffer) < need:
+                raise ValueError(
+                    f"buffer holds {len(buffer)} bytes; "
+                    f"{need} needed for {cap} rows"
+                )
+            self.pool = np.frombuffer(
+                buffer, dtype=np.float64, count=need // 8
+            ).reshape(shape)
         #: bumped whenever rows move (growth or compaction): any cached
         #: view or flat index array into the pool is stale afterwards.
         self.layout_epoch = 0
@@ -140,6 +164,12 @@ class BlockArena:
             METRICS.gauge("arena.occupancy", self.n_active / self.capacity)
 
     def _grow(self, new_capacity: int) -> None:
+        if self._fixed:
+            raise RuntimeError(
+                "buffer-backed arena is at fixed capacity "
+                f"({self.capacity} rows); it cannot grow because other "
+                "processes map its rows by offset"
+            )
         old = self.pool
         cap = self.capacity
         pool = np.zeros((new_capacity, self.nvar) + self.padded)

@@ -1,6 +1,14 @@
 """Simulated distributed-memory machine and parallel AMR driver."""
 
 from repro.parallel.emulator import EmulatedMachine, ExchangeStats
+from repro.parallel.procmachine import ProcessMachine
+from repro.parallel.shared_arena import SharedBlockArena, leaked_segments
+from repro.parallel.supervisor import (
+    FailureKind,
+    HeartbeatMonitor,
+    ProcConfig,
+    RankDeath,
+)
 from repro.parallel.exchange import BYTES_PER_VALUE, MessageSchedule, build_schedule
 from repro.parallel.loadbalance import migration_bytes, migration_plan, rebalance
 from repro.parallel.machine import CRAY_T3D, MachineSpec, TorusTopology, VirtualMachine
@@ -24,6 +32,13 @@ from repro.parallel.partition import (
 __all__ = [
     "EmulatedMachine",
     "ExchangeStats",
+    "ProcessMachine",
+    "SharedBlockArena",
+    "leaked_segments",
+    "FailureKind",
+    "HeartbeatMonitor",
+    "ProcConfig",
+    "RankDeath",
     "BYTES_PER_VALUE",
     "MessageSchedule",
     "build_schedule",

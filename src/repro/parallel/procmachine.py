@@ -1,0 +1,948 @@
+"""Real-process parallel backend: one OS process per rank.
+
+:class:`ProcessMachine` is API-compatible with
+:class:`~repro.parallel.emulator.EmulatedMachine` but every rank is a
+real forked process whose :class:`~repro.core.arena.BlockArena` pool
+lives in a POSIX shared-memory segment
+(:class:`~repro.parallel.shared_arena.SharedBlockArena`).  Same-node
+ghost exchange is therefore a flat index copy out of the neighbor's
+segment — no payload ever crosses the control pipes — while the step
+itself runs under a barrier-phase protocol driven by the supervisor
+(this class): ``exch1 → exch2-gather → exch2-write → compute``, each
+phase acknowledged by every alive rank before the next begins (see
+:mod:`repro.parallel.procworker` for why stage 2 splits around a
+barrier: it makes the concurrent exchange bit-for-bit equal to the
+serial one).
+
+The robustness layer is the point of this backend:
+
+* the supervisor monitors ranks via a shared heartbeat board and
+  classifies failures — clean exit, SIGKILL, crash, hang, unreachable —
+  (:mod:`repro.parallel.supervisor`);
+* a scripted ``FaultPlan`` kill delivers an **actual SIGKILL** to the
+  rank's process, and the loss is detected exactly like a node failure:
+  the rank's segment is torn down and :class:`~repro.resilience.faults.
+  RankFailure` carries the lost blocks to the recovery driver;
+* control-plane replies carry CRC32 checksums; a dropped or corrupted
+  reply is retried with the machine's :class:`~repro.resilience.faults.
+  RetryPolicy` capped exponential backoff, and only exhaustion
+  escalates the rank to *unreachable* (and kills it — a rank we cannot
+  talk to is operationally dead);
+* localized recovery (:class:`~repro.resilience.procpartner.
+  SharedPartnerRing`) respawns a fresh process for a dead rank and
+  restores its blocks from the SFC buddy's in-segment mirror — pure
+  shared-memory movement, zero disk reads; if respawn keeps failing
+  the ring degrades to redistributing the blocks over survivors; double
+  faults escalate to the checkpoint rollback through the unchanged
+  :func:`~repro.resilience.recovery.run_with_recovery` driver.
+
+Segments are leak-proof: every one carries a ``weakref.finalize`` guard
+(PID-fenced so forked children never unlink the parent's segments) and
+:meth:`close` — also run by the context manager on *any* exit path —
+terminates live workers and unlinks every segment.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from multiprocessing import get_context, shared_memory
+from multiprocessing.connection import Connection
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+import weakref
+
+from repro.core.block import Block
+from repro.core.block_id import BlockID
+from repro.core.forest import BlockForest
+from repro.core.ghost import BoundaryHandler
+from repro.obs.metrics import METRICS
+from repro.parallel.emulator import ExchangeStats
+from repro.parallel.partition import Assignment, sfc_partition
+from repro.parallel.procworker import (
+    PlanEntry,
+    WorkerSpec,
+    build_exchange_plan,
+    worker_main,
+)
+from repro.parallel.shared_arena import (
+    SharedBlockArena,
+    _release_segment,
+    segment_name,
+)
+from repro.parallel.supervisor import (
+    FailureKind,
+    HeartbeatMonitor,
+    ProcConfig,
+    RankDeath,
+    classify_exit,
+    reply_crc,
+)
+from repro.solvers.scheme import FVScheme
+from repro.util.timing import wall_clock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.poison import GhostSanitizer
+    from repro.analysis.races import InboundKey, RaceDetector
+    from repro.obs.recorder import RunRecorder
+    from repro.resilience.faults import FaultPlan, RetryPolicy
+    from repro.resilience.procpartner import SharedPartnerRing
+
+__all__ = ["ProcessMachine"]
+
+#: phases whose wall time counts as exchange (vs compute) in
+#: :attr:`ProcessMachine.phase_seconds`
+_EXCHANGE_OPS = ("exch1", "exch2-gather", "exch2-write")
+_COMPUTE_OPS = ("step", "predictor", "corrector")
+
+
+class ProcessMachine:
+    """Run a block-AMR time step across real single-rank OS processes.
+
+    Constructor signature matches
+    :class:`~repro.parallel.emulator.EmulatedMachine` plus:
+
+    config:
+        :class:`~repro.parallel.supervisor.ProcConfig` timeouts.
+    test_hooks:
+        ``{rank: {(step, phase): action}}`` scripted worker misbehavior
+        for the failure-detector tests (hang / slow / exit / mute /
+        garble); hooks are per process lifetime — a respawned rank
+        starts clean.
+
+    Use as a context manager (or call :meth:`close`): teardown must run
+    even when a step raises, or worker processes and shared segments
+    leak.
+    """
+
+    def __init__(
+        self,
+        forest: BlockForest,
+        n_ranks: int,
+        scheme: FVScheme,
+        *,
+        bc: Optional[BoundaryHandler] = None,
+        assignment: Optional[Assignment] = None,
+        fault_plan: Optional["FaultPlan"] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
+        sanitize: bool = False,
+        config: Optional[ProcConfig] = None,
+        test_hooks: Optional[Dict[int, Dict[Tuple[int, str], str]]] = None,
+    ) -> None:
+        if not hasattr(os, "kill") or os.name != "posix":
+            raise RuntimeError("the process backend requires a POSIX host")
+        self.topology = forest
+        self.scheme = scheme
+        self.bc = bc
+        self.n_ranks = int(n_ranks)
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
+        self.config = config if config is not None else ProcConfig()
+        self.test_hooks = test_hooks or {}
+        #: ranks whose respawn is scripted to fail (degradation tests)
+        self.fail_respawn: Set[int] = set()
+        self.alive: List[bool] = [True] * self.n_ranks
+        self.step_index = 0
+        self.time = 0.0
+        self.stats = ExchangeStats()
+        self.assignment: Assignment = dict(
+            assignment if assignment is not None
+            else sfc_partition(forest, self.n_ranks)
+        )
+        self._plan: List[PlanEntry] = build_exchange_plan(forest)
+        self._ctx = get_context("fork")
+        self._capacity = max(1, forest.n_blocks)
+        self._mirror_capacity = max(1, forest.n_blocks)
+        self._segments: List[Optional[SharedBlockArena]] = [None] * self.n_ranks
+        self._procs: List[Optional[Any]] = [None] * self.n_ranks
+        self._conns: List[Optional[Connection]] = [None] * self.n_ranks
+        self._gen = [0] * self.n_ranks
+        self.rank_blocks: List[Dict[BlockID, Block]] = [
+            {} for _ in range(self.n_ranks)
+        ]
+        self._locator: Dict[BlockID, Tuple[int, int]] = {}
+        self._seq = 0
+        self._msg_index = 0
+        self._interiors_dirty = False
+        self._config_dirty = False
+        self._closed = False
+        self.deaths: List[RankDeath] = []
+        self.phase_seconds: Dict[str, float] = {
+            "exchange": 0.0, "compute": 0.0, "control": 0.0,
+        }
+        self.recorder: Optional["RunRecorder"] = None
+        self.race_detector: Optional["RaceDetector"] = None
+        self.sanitizer: Optional["GhostSanitizer"] = None
+
+        # Heartbeat board: one float64 counter per rank.
+        self._hb_shm = shared_memory.SharedMemory(
+            name=segment_name("hb"), create=True, size=8 * self.n_ranks
+        )
+        self._hb_fin = weakref.finalize(
+            self, _release_segment, self._hb_shm, True, os.getpid()
+        )
+        board = np.frombuffer(self._hb_shm.buf, dtype=np.float64)
+        board[:] = 0.0
+        self._monitor = HeartbeatMonitor(board)
+
+        try:
+            for rank in range(self.n_ranks):
+                self._create_segment(rank)
+            self._populate(forest)
+            for rank in range(self.n_ranks):
+                if not self._spawn_rank(rank):
+                    raise RuntimeError(f"failed to start worker rank {rank}")
+        except BaseException:
+            self.close()
+            raise
+        if sanitize:
+            from repro.analysis.poison import GhostSanitizer, poison_forest
+
+            self.sanitizer = GhostSanitizer(depth=scheme.required_ghost)
+            poison_forest(self._all_blocks())
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _create_segment(self, rank: int) -> SharedBlockArena:
+        self._gen[rank] += 1
+        seg = SharedBlockArena(
+            self.topology.m, self.topology.n_ghost, self.topology.nvar,
+            capacity=self._capacity,
+            mirror_capacity=self._mirror_capacity,
+            name=segment_name(f"r{rank}g{self._gen[rank]}"),
+            create=True,
+        )
+        self._segments[rank] = seg
+        if METRICS.enabled:
+            METRICS.inc("proc.segments_created")
+        return seg
+
+    def _bind_block(self, bid: BlockID, rank: int) -> Block:
+        """Allocate a pool row on ``rank`` and bind a supervisor-side view."""
+        seg = self._segments[rank]
+        assert seg is not None and seg.arena is not None
+        row = seg.arena.acquire()
+        tmpl = self.topology.blocks[bid]
+        blk = Block(
+            id=tmpl.id, box=tmpl.box, m=tmpl.m,
+            n_ghost=tmpl.n_ghost, nvar=tmpl.nvar,
+            data=seg.arena.view(row),
+        )
+        seg.arena.bind(row, blk)
+        blk.face_neighbors = tmpl.face_neighbors
+        self.rank_blocks[rank][bid] = blk
+        self._locator[bid] = (rank, row)
+        return blk
+
+    def _populate(self, forest: BlockForest) -> None:
+        """Write every block's padded data into its owner's shared pool."""
+        for bid in self.topology.sorted_ids():
+            rank = self.assignment[bid]
+            blk = self._bind_block(bid, rank)
+            seg = self._segments[rank]
+            assert seg is not None and seg.arena is not None
+            assert blk.arena_row is not None
+            seg.arena.view(blk.arena_row)[...] = forest.blocks[bid].data
+
+    def _config_payload(self) -> Dict[str, Any]:
+        # Every live segment is announced — including a just-respawned
+        # rank's fresh segment, which exists before the rank is marked
+        # alive (the bootstrap handshake needs it).
+        segments = {}
+        for rank in range(self.n_ranks):
+            seg = self._segments[rank]
+            if seg is not None:
+                segments[rank] = (seg.name, seg.capacity, seg.mirror_capacity)
+        return {
+            "segments": segments,
+            "locator": dict(self._locator),
+            "assignment": dict(self.assignment),
+        }
+
+    def _spawn_rank(self, rank: int) -> bool:
+        """Start (or restart) one rank process; True on a good handshake."""
+        if self._segments[rank] is None:
+            self._create_segment(rank)
+        parent_conn, child_conn = self._ctx.Pipe()
+        inherited: List[Connection] = [
+            c for c in self._conns if c is not None
+        ]
+        inherited.append(parent_conn)
+        self._seq += 1
+        seq = self._seq
+        spec = WorkerSpec(
+            rank=rank,
+            conn=child_conn,
+            topology=self.topology,
+            scheme=self.scheme,
+            bc=self.bc,
+            heartbeat_name=self._hb_shm.name,
+            heartbeat_interval=self.config.heartbeat_interval,
+            config={"seq": seq, "op": "config",
+                    "payload": self._config_payload()},
+            test_hooks=dict(self.test_hooks.get(rank, {})),
+            inherited=inherited,
+        )
+        proc = self._ctx.Process(
+            target=_worker_entry, args=(spec,), daemon=True,
+            name=f"repro-rank{rank}g{self._gen[rank]}",
+        )
+        proc.start()
+        child_conn.close()
+        ok = False
+        deadline = wall_clock() + self.config.hard_timeout
+        while wall_clock() < deadline:
+            if parent_conn.poll(self.config.poll_interval):
+                try:
+                    msg = parent_conn.recv()
+                except (EOFError, OSError):
+                    break
+                if (
+                    msg.get("seq") == seq
+                    and msg.get("crc")
+                    == reply_crc(msg.get("body", {}), seq, rank)
+                ):
+                    ok = True
+                    break
+            if not proc.is_alive():
+                break
+        if not ok:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=self.config.shutdown_timeout)
+            parent_conn.close()
+            return False
+        self._procs[rank] = proc
+        self._conns[rank] = parent_conn
+        self.alive[rank] = True
+        self._monitor.reset(rank)
+        if METRICS.enabled:
+            METRICS.gauge("proc.alive_ranks", len(self.alive_ranks))
+        return True
+
+    # ------------------------------------------------------------------
+    # machine surface shared with the emulator
+    # ------------------------------------------------------------------
+
+    @property
+    def alive_ranks(self) -> List[int]:
+        return [r for r in range(self.n_ranks) if self.alive[r]]
+
+    def owner_rank(self, bid: BlockID) -> int:
+        return self.assignment[bid]
+
+    def local_block(self, bid: BlockID) -> Block:
+        return self.rank_blocks[self.assignment[bid]][bid]
+
+    def _all_blocks(self) -> Iterator[Block]:
+        for rank in range(self.n_ranks):
+            if self.alive[rank]:
+                yield from self.rank_blocks[rank].values()
+
+    def lost_blocks(self) -> List[BlockID]:
+        owned: Set[BlockID] = set()
+        for rank in self.alive_ranks:
+            owned.update(self.rank_blocks[rank])
+        return [bid for bid in self.topology.sorted_ids() if bid not in owned]
+
+    def rank_cells(self) -> List[int]:
+        return [
+            sum(b.n_cells for b in self.rank_blocks[rank].values())
+            for rank in self.alive_ranks
+        ]
+
+    def gather(self) -> Dict[BlockID, np.ndarray]:
+        out: Dict[BlockID, np.ndarray] = {}
+        for rank in self.alive_ranks:
+            for bid, block in self.rank_blocks[rank].items():
+                out[bid] = block.interior.copy()
+        return out
+
+    def attach_race_detector(
+        self, detector: Optional["RaceDetector"] = None
+    ) -> "RaceDetector":
+        """Attach the exchange race detector, unchanged from the emulator:
+        expected inbound sets come from the same transfer plan the
+        workers execute, so the supervisor replays the schedule's
+        publish/receive events at phase barriers."""
+        from repro.analysis.races import RaceDetector
+
+        if detector is None:
+            detector = RaceDetector()
+        expected: Dict[object, Tuple[Set["InboundKey"], Set["InboundKey"]]] = {}
+        for bid, offset, transfers in self._plan:
+            stage1, stage2 = expected.setdefault(bid, (set(), set()))
+            for t in transfers:
+                (stage1 if t.delta >= 0 else stage2).add((t.src_id, offset))
+        detector.set_expected_inbound(expected)
+        self.race_detector = detector
+        return detector
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+
+    def _emit_supervisor(self, event: str, **fields: Any) -> None:
+        if self.recorder is not None:
+            self.recorder.emit("supervisor", event=event, **fields)
+
+    def _declare_death(
+        self, rank: int, kind: str, detail: str, *, kill: bool
+    ) -> RankDeath:
+        """Mark a rank dead: reap the process, tear down its segment.
+
+        Destroying the segment models the memory loss for real — the
+        partner mirrors *held by* this rank die with it (that is what
+        makes a double fault a double fault), while the mirror of this
+        rank's own blocks lives on in its buddy's segment.
+        """
+        proc = self._procs[rank]
+        if proc is not None:
+            if kill and proc.is_alive() and proc.pid is not None:
+                os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=self.config.shutdown_timeout)
+        conn = self._conns[rank]
+        if conn is not None:
+            conn.close()
+        self._procs[rank] = None
+        self._conns[rank] = None
+        self.alive[rank] = False
+        self.rank_blocks[rank] = {}
+        self._locator = {
+            bid: loc for bid, loc in self._locator.items() if loc[0] != rank
+        }
+        seg = self._segments[rank]
+        if seg is not None:
+            seg.destroy()
+            self._segments[rank] = None
+            if METRICS.enabled:
+                METRICS.inc("proc.segments_unlinked")
+        self._config_dirty = True
+        death = RankDeath(
+            rank=rank, kind=kind, detail=detail, step=self.step_index
+        )
+        self.deaths.append(death)
+        if METRICS.enabled:
+            METRICS.inc("proc.deaths")
+            METRICS.inc(f"proc.deaths.{kind}")
+            METRICS.gauge("proc.alive_ranks", len(self.alive_ranks))
+        self._emit_supervisor(
+            "rank-death", rank=rank, step=self.step_index,
+            failure=kind, detail=detail,
+        )
+        return death
+
+    def kill_rank(self, rank: int) -> None:
+        """Deliver a real SIGKILL to a rank (operator / fault-plan path)."""
+        if not (0 <= rank < self.n_ranks):
+            raise ValueError(f"rank {rank} out of range")
+        proc = self._procs[rank]
+        if proc is not None and proc.is_alive() and proc.pid is not None:
+            os.kill(proc.pid, signal.SIGKILL)
+        self._declare_death(
+            rank, FailureKind.SIGKILL, "SIGKILL delivered", kill=False
+        )
+
+    def try_respawn(self, rank: int) -> bool:
+        """Bring a dead rank back with a fresh process + segment.
+
+        Bounded by ``config.respawn_max`` attempts; returns False when
+        the rank could not be revived (the partner ring then degrades
+        to redistributing its blocks over the survivors).
+        """
+        if self.alive[rank]:
+            return True
+        attempts = 0
+        while attempts < max(1, self.config.respawn_max):
+            attempts += 1
+            ok = rank not in self.fail_respawn and self._spawn_rank(rank)
+            if ok:
+                if METRICS.enabled:
+                    METRICS.inc("proc.respawns")
+                self._emit_supervisor(
+                    "respawn", rank=rank, step=self.step_index,
+                    attempts=attempts, ok=True,
+                )
+                # Hooks are per process lifetime: the failure that
+                # killed the old process must not replay forever.
+                self.test_hooks.pop(rank, None)
+                self._config_dirty = True
+                return True
+            time.sleep(0.01 * attempts)
+        if METRICS.enabled:
+            METRICS.inc("proc.respawn_failures")
+        self._emit_supervisor(
+            "respawn", rank=rank, step=self.step_index,
+            attempts=attempts, ok=False,
+        )
+        return False
+
+    def make_partner_store(self) -> "SharedPartnerRing":
+        """The localized-recovery tier for this backend (duck-typed
+        hook used by :func:`repro.resilience.recovery.run_with_recovery`)."""
+        from repro.resilience.procpartner import SharedPartnerRing
+
+        return SharedPartnerRing(self)
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+
+    def _await_reply(
+        self, rank: int, seq: int, op: str, *, injectable: bool
+    ) -> Optional[Dict[str, Any]]:
+        """Collect one rank's phase acknowledgement under supervision.
+
+        Returns the reply body, or None after declaring the rank dead
+        (process exit, stale heartbeat, hard deadline, or control-plane
+        retry exhaustion).
+        """
+        cfg = self.config
+        conn = self._conns[rank]
+        proc = self._procs[rank]
+        if conn is None or proc is None:
+            return None
+        index = -1
+        if injectable:
+            index = self._msg_index
+            self._msg_index += 1
+        attempt = 0
+        now = wall_clock()
+        soft_deadline = now + cfg.phase_timeout
+        hard_deadline = now + cfg.hard_timeout
+
+        def probe() -> bool:
+            try:
+                conn.send({"op": "resend", "seq": seq})
+                return True
+            except OSError:
+                return False  # pipe gone; the liveness check follows
+
+        while True:
+            got = False
+            try:
+                got = conn.poll(cfg.poll_interval)
+            except OSError:
+                got = False
+            if got:
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    msg = None
+                if msg is None:
+                    pass  # fall through to the liveness checks
+                elif msg.get("seq") != seq:
+                    continue  # stale reply from an aborted phase
+                else:
+                    body = msg.get("body", {})
+                    intact = msg.get("crc") == reply_crc(body, seq, rank)
+                    fault = None
+                    if injectable and self.fault_plan is not None:
+                        fault = self.fault_plan.take_message_fault(
+                            self.step_index, index
+                        )
+                    if fault is not None and fault.mode == "corrupt":
+                        intact = False
+                    dropped = fault is not None and fault.mode == "drop"
+                    if intact and not dropped:
+                        return body
+                    # Damaged or discarded acknowledgement: retry with
+                    # backoff unless the fault is fatal or retries are
+                    # exhausted.
+                    transient = fault is None or fault.transient
+                    if (
+                        transient
+                        and self.retry_policy is not None
+                        and attempt < self.retry_policy.max_retries
+                    ):
+                        wait = self.retry_policy.backoff(
+                            attempt, step=self.step_index, index=index
+                        )
+                        self.stats.add_retry(wait)
+                        if METRICS.enabled:
+                            METRICS.inc("proc.reply_retries")
+                        time.sleep(min(wait, 0.05))
+                        attempt += 1
+                        probe()
+                        continue
+                    self._declare_death(
+                        rank, FailureKind.UNREACHABLE,
+                        f"reply for {op!r} (seq {seq}) unusable after "
+                        f"{attempt} retr(ies)",
+                        kill=True,
+                    )
+                    return None
+            if not proc.is_alive():
+                kind = classify_exit(proc.exitcode)
+                self._declare_death(
+                    rank, kind,
+                    f"process exited (code {proc.exitcode}) during {op!r}",
+                    kill=False,
+                )
+                return None
+            age = self._monitor.age(rank)
+            if METRICS.enabled:
+                METRICS.observe("proc.heartbeat_age", age)
+            if age > cfg.heartbeat_timeout:
+                self._declare_death(
+                    rank, FailureKind.HANG,
+                    f"heartbeat stale for {age:.2f}s during {op!r}",
+                    kill=True,
+                )
+                return None
+            now = wall_clock()
+            if now >= hard_deadline:
+                self._declare_death(
+                    rank, FailureKind.HANG,
+                    f"no reply for {op!r} within hard deadline "
+                    f"({cfg.hard_timeout:.1f}s)",
+                    kill=True,
+                )
+                return None
+            if now >= soft_deadline:
+                # Slow but alive (fresh heartbeat): probe for a lost
+                # acknowledgement and keep waiting to the hard deadline.
+                probe()
+                soft_deadline = now + cfg.phase_timeout
+
+    def _phase(
+        self,
+        op: str,
+        *,
+        dt: Optional[float] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[int, Dict[str, Any]]:
+        """One barrier phase: broadcast, then collect every alive rank.
+
+        Raises :class:`~repro.resilience.faults.RankFailure` when any
+        rank died and its blocks are lost (deaths of empty ranks are
+        absorbed).
+        """
+        from repro.resilience.faults import RankFailure
+
+        self._seq += 1
+        seq = self._seq
+        injectable = op not in ("config", "shutdown")
+        msg: Dict[str, Any] = {"op": op, "seq": seq, "step": self.step_index}
+        if dt is not None:
+            msg["dt"] = dt
+        if payload is not None:
+            msg["payload"] = payload
+        t0 = wall_clock()
+        targets = list(self.alive_ranks)
+        dead: List[int] = []
+        for rank in targets:
+            conn = self._conns[rank]
+            try:
+                assert conn is not None
+                conn.send(msg)
+            except (OSError, AssertionError):
+                proc = self._procs[rank]
+                code = proc.exitcode if proc is not None else None
+                self._declare_death(
+                    rank, classify_exit(code),
+                    f"control pipe closed before {op!r}", kill=True,
+                )
+                dead.append(rank)
+        replies: Dict[int, Dict[str, Any]] = {}
+        for rank in targets:
+            if not self.alive[rank]:
+                if rank not in dead:
+                    dead.append(rank)
+                continue
+            body = self._await_reply(rank, seq, op, injectable=injectable)
+            if body is None:
+                dead.append(rank)
+            else:
+                replies[rank] = body
+        bucket = (
+            "exchange" if op in _EXCHANGE_OPS
+            else "compute" if op in _COMPUTE_OPS
+            else "control"
+        )
+        self.phase_seconds[bucket] += wall_clock() - t0
+        if dead:
+            lost = self.lost_blocks()
+            if lost:
+                kinds = tuple(
+                    next(
+                        (d.kind for d in reversed(self.deaths) if d.rank == r),
+                        FailureKind.CRASH,
+                    )
+                    for r in dead
+                )
+                raise RankFailure(
+                    self.step_index, tuple(dead), tuple(lost), kinds=kinds
+                )
+        return replies
+
+    def _sync_config(self) -> None:
+        self._config_dirty = False
+        self._phase("config", payload=self._config_payload())
+
+    def _charge_exchange(self, replies: Dict[int, Dict[str, Any]]) -> None:
+        for body in replies.values():
+            n = int(body.get("n_messages", 0))
+            values = int(body.get("n_values", 0))
+            self.stats.n_messages += n
+            self.stats.n_bytes += values * 8
+            self.stats.n_local += int(body.get("n_local", 0))
+            if METRICS.enabled and n:
+                METRICS.inc("exchange.messages", n)
+                METRICS.inc("exchange.bytes", values * 8)
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    def _exchange(self) -> None:
+        det = self.race_detector
+        if self.sanitizer is not None:
+            self.sanitizer.before_exchange(self._all_blocks())
+        if det is not None:
+            det.begin_epoch()
+        self._charge_exchange(self._phase("exch1"))
+        if det is not None:
+            for bid, offset, transfers in self._plan:
+                dst_rank = self.owner_rank(bid)
+                for t in transfers:
+                    if t.delta >= 0:
+                        det.on_publish(
+                            t.src_id, bid, offset, self.owner_rank(t.src_id)
+                        )
+                        det.on_receive(bid, t.src_id, offset, dst_rank)
+        self._charge_exchange(self._phase("exch2-gather"))
+        self._phase("exch2-write")
+        if det is not None:
+            for bid, offset, transfers in self._plan:
+                dst_rank = self.owner_rank(bid)
+                for t in transfers:
+                    if t.delta < 0:
+                        src_rank = self.owner_rank(t.src_id)
+                        det.on_ghost_read(t.src_id, src_rank)
+                        det.on_publish(t.src_id, bid, offset, src_rank)
+                        det.on_receive(bid, t.src_id, offset, dst_rank)
+            det.end_epoch()
+        if self.sanitizer is not None:
+            self.sanitizer.after_exchange(self._all_blocks())
+
+    def _compute(self, op: str, dt: float) -> None:
+        det = self.race_detector
+        self._interiors_dirty = True
+        self._phase(op, dt=dt)
+        if det is not None:
+            for rank in self.alive_ranks:
+                for block in self.rank_blocks[rank].values():
+                    det.on_consume(block.id, rank)
+                    det.on_interior_write(block.id, rank)
+
+    def advance(self, dt: float) -> None:
+        """One step across all rank processes.
+
+        Scripted rank kills deliver real SIGKILLs before the step and
+        surface as :class:`~repro.resilience.faults.RankFailure`; deaths
+        detected mid-phase (hang, crash, unreachable) surface the same
+        way from inside the failing phase.
+        """
+        if self._closed:
+            raise RuntimeError("machine is closed")
+        from repro.resilience.faults import RankFailure
+
+        step = self.step_index
+        if self.fault_plan is not None:
+            killed = [
+                r for r in self.fault_plan.kills_at(step)
+                if 0 <= r < self.n_ranks and self.alive[r]
+            ]
+            if killed:
+                for rank in killed:
+                    proc = self._procs[rank]
+                    if proc is not None and proc.is_alive() and proc.pid is not None:
+                        os.kill(proc.pid, signal.SIGKILL)
+                for rank in killed:
+                    self._declare_death(
+                        rank, FailureKind.SIGKILL,
+                        "scripted fault: real SIGKILL delivered",
+                        kill=False,
+                    )
+                lost = self.lost_blocks()
+                if lost:
+                    raise RankFailure(
+                        step, tuple(killed), tuple(lost),
+                        kinds=(FailureKind.SIGKILL,) * len(killed),
+                    )
+        self._msg_index = 0
+        self._interiors_dirty = False
+        if self._config_dirty:
+            self._sync_config()
+        det = self.race_detector
+        if det is not None:
+            det.begin_step()
+        self._exchange()
+        if self.scheme.n_stages == 1:
+            self._compute("step", dt)
+        else:
+            self._compute("predictor", dt)
+            self._exchange()
+            self._compute("corrector", dt)
+        if self.sanitizer is not None:
+            self.sanitizer.after_stage(self._all_blocks())
+        self.time += dt
+        self.step_index += 1
+        # The step committed: interiors are once again a consistent
+        # whole-step state (a kill at the *next* step's start must not
+        # read this flag as mid-step).
+        self._interiors_dirty = False
+
+    # ------------------------------------------------------------------
+    # recovery surface
+    # ------------------------------------------------------------------
+
+    def adopt_block(self, bid: BlockID, rank: int, interior: np.ndarray) -> None:
+        """Recreate one block on ``rank`` from a redundant interior copy."""
+        if not self.alive[rank]:
+            raise ValueError(f"cannot adopt block onto dead rank {rank}")
+        old = self.assignment.get(bid)
+        if old is not None and old != rank:
+            prev = self.rank_blocks[old].pop(bid, None)
+            seg_old = self._segments[old]
+            if prev is not None and seg_old is not None and seg_old.arena is not None:
+                seg_old.arena.release(prev)
+        blk = self._bind_block(bid, rank)
+        blk.interior[...] = interior
+        self.assignment[bid] = rank
+        self._config_dirty = True
+        if self.race_detector is not None:
+            self.race_detector.on_interior_write(bid, rank)
+
+    def restore(
+        self,
+        forest: BlockForest,
+        *,
+        time: float,
+        step_index: Optional[int] = None,
+        assignment: Optional[Assignment] = None,
+    ) -> None:
+        """Rebuild global state from a checkpoint forest (global rollback).
+
+        Dead ranks are respawned first (the rollback restarts the whole
+        machine); ranks that cannot be revived stay dead and the SFC
+        repartition simply cuts over the survivors.
+        """
+        if set(forest.blocks) != set(self.topology.blocks):
+            raise ValueError(
+                "checkpoint topology does not match the machine's "
+                "replicated topology"
+            )
+        for rank in range(self.n_ranks):
+            if not self.alive[rank]:
+                self.try_respawn(rank)
+        alive = self.alive_ranks
+        if not alive:
+            raise RuntimeError("cannot restore: every rank has failed")
+        if assignment is None:
+            chunks = sfc_partition(self.topology, len(alive))
+            assignment = {bid: alive[r] for bid, r in chunks.items()}
+        else:
+            bad = {assignment[bid] for bid in assignment} - set(alive)
+            if bad:
+                raise ValueError(
+                    f"assignment targets dead rank(s) {sorted(bad)}"
+                )
+        self.assignment = dict(assignment)
+        for rank in alive:
+            seg = self._segments[rank]
+            if seg is not None and seg.arena is not None:
+                for blk in self.rank_blocks[rank].values():
+                    seg.arena.release(blk)
+            self.rank_blocks[rank] = {}
+        self._locator = {}
+        self._populate(forest)
+        self._config_dirty = True
+        self._sync_config()
+        if self.race_detector is not None:
+            self.race_detector.end_epoch()
+            for bid, rank in self.assignment.items():
+                self.race_detector.on_interior_write(bid, rank)
+        self.time = time
+        if step_index is not None:
+            self.step_index = step_index
+        self._interiors_dirty = False
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Terminate workers and unlink every shared segment (idempotent).
+
+        Safe on every exit path: tries a graceful shutdown first, then
+        terminates, then SIGKILLs; finally destroys all segments (the
+        creator-side unlink that actually frees the memory).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._seq += 1
+        seq = self._seq
+        for rank in range(self.n_ranks):
+            conn = self._conns[rank]
+            if conn is None:
+                continue
+            try:
+                conn.send({"op": "shutdown", "seq": seq,
+                           "step": self.step_index})
+            except OSError:
+                pass  # already gone; reaped below
+        deadline = wall_clock() + self.config.shutdown_timeout
+        for rank in range(self.n_ranks):
+            proc = self._procs[rank]
+            if proc is None:
+                continue
+            proc.join(timeout=max(0.0, deadline - wall_clock()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=self.config.shutdown_timeout)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=self.config.shutdown_timeout)
+            self._procs[rank] = None
+        for rank in range(self.n_ranks):
+            conn = self._conns[rank]
+            if conn is not None:
+                conn.close()
+                self._conns[rank] = None
+        self.rank_blocks = [{} for _ in range(self.n_ranks)]
+        for rank in range(self.n_ranks):
+            seg = self._segments[rank]
+            if seg is not None:
+                seg.destroy()
+                self._segments[rank] = None
+                if METRICS.enabled:
+                    METRICS.inc("proc.segments_unlinked")
+        self._monitor = None  # type: ignore[assignment]
+        self._hb_fin()
+
+    def __enter__(self) -> "ProcessMachine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def _worker_entry(spec: WorkerSpec) -> None:
+    """Module-level fork target (kept importable for traceability)."""
+    worker_main(spec)

@@ -1,0 +1,205 @@
+"""Shared-memory block storage: one rank's arena pool in a POSIX segment.
+
+The process backend (:mod:`repro.parallel.procmachine`) gives every rank
+a real OS process, and same-node ghost exchange becomes a flat index
+copy into the neighbor's pool — which requires every rank's
+:class:`~repro.core.arena.BlockArena` pool to live in memory all ranks
+can map.  :class:`SharedBlockArena` wraps one
+:class:`multiprocessing.shared_memory.SharedMemory` segment laid out as
+
+* ``capacity`` padded pool rows (``(capacity, nvar, *padded)``, float64),
+  managed through a buffer-backed :class:`~repro.core.arena.BlockArena`
+  on the creating (supervisor) side, and
+* ``mirror_capacity`` interior-shaped rows (``(mc, nvar, *m)``) used by
+  the shared partner ring (:mod:`repro.resilience.procpartner`) to hold
+  the SFC buddy's redundant block copies *inside this rank's segment* —
+  so losing the rank really does lose the copies it held.
+
+Leak-proofing: the creator owns the segment name and unlinks it exactly
+once — on :meth:`destroy`, or from a :func:`weakref.finalize` guard that
+fires at interpreter exit / garbage collection if ``destroy`` was never
+reached (a supervisor crash mid-run).  The finalizer records the
+creating PID so that worker processes forked with a copy of this object
+never unlink the parent's segment on their own exit.  Attaching sides
+deregister from :mod:`multiprocessing.resource_tracker`, which would
+otherwise unlink the creator's segment when the *attacher* exits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import weakref
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.arena import BlockArena
+
+__all__ = ["SharedBlockArena", "segment_name", "leaked_segments"]
+
+#: Prefix of every segment this module creates; the post-test leak sweep
+#: and :func:`leaked_segments` key on it.
+SEGMENT_PREFIX = "repro-shm"
+
+_counter = itertools.count()
+
+
+def segment_name(tag: str) -> str:
+    """A unique-per-process segment name (no RNG: PID + counter)."""
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_counter)}-{tag}"
+
+
+def leaked_segments() -> List[str]:
+    """Names of this module's segments still registered in /dev/shm."""
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # non-POSIX fallback: nothing to scan
+        return []
+    return sorted(
+        n for n in os.listdir(shm_dir) if n.startswith(SEGMENT_PREFIX)
+    )
+
+
+def _release_segment(shm: shared_memory.SharedMemory, created: bool,
+                     owner_pid: int) -> None:
+    """Best-effort close (+ unlink when we created it).
+
+    Runs at most once per segment from either :meth:`~SharedBlockArena.
+    destroy` or the finalizer.  A forked child inherits the parent's
+    finalizers; the PID guard keeps it from unlinking segments it does
+    not own.
+    """
+    if os.getpid() != owner_pid:
+        return
+    try:
+        shm.close()
+    except BufferError:
+        # Outstanding numpy views pin the mapping; the name can still be
+        # removed below and the mapping goes away when the views die.
+        # Disarm the handle so ``SharedMemory.__del__`` does not retry
+        # the close (noisily) at garbage-collection time; only the fd
+        # must be returned eagerly.
+        shm._buf = None
+        shm._mmap = None
+        if shm._fd >= 0:
+            try:
+                os.close(shm._fd)
+            except OSError:
+                pass
+            shm._fd = -1
+    if created:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class SharedBlockArena:
+    """One rank's pool + partner-mirror region in a shared segment.
+
+    Parameters
+    ----------
+    m, n_ghost, nvar:
+        Block geometry (shared by every block in the forest).
+    capacity:
+        Pool rows (padded block slots) in the segment.
+    mirror_capacity:
+        Interior-shaped rows reserved for the partner ring's redundant
+        copies of the SFC buddy's blocks.
+    name:
+        Segment name; required when attaching, generated when creating.
+    create:
+        True on the supervisor (owns the name, unlinks on destroy);
+        False in a worker attaching to an existing segment.
+    """
+
+    def __init__(
+        self,
+        m: Sequence[int],
+        n_ghost: int,
+        nvar: int,
+        *,
+        capacity: int,
+        mirror_capacity: int = 0,
+        name: Optional[str] = None,
+        create: bool = True,
+    ) -> None:
+        self.m = tuple(int(mi) for mi in m)
+        self.n_ghost = int(n_ghost)
+        self.nvar = int(nvar)
+        self.capacity = int(capacity)
+        self.mirror_capacity = int(mirror_capacity)
+        padded = tuple(mi + 2 * self.n_ghost for mi in self.m)
+        pool_elems = self.capacity * self.nvar * int(np.prod(padded))
+        mirror_elems = (
+            self.mirror_capacity * self.nvar * int(np.prod(self.m))
+        )
+        total = 8 * (pool_elems + mirror_elems)
+        if create:
+            if name is None:
+                name = segment_name(f"cap{self.capacity}")
+            self.shm = shared_memory.SharedMemory(
+                name=name, create=True, size=total
+            )
+        else:
+            if name is None:
+                raise ValueError("attaching requires a segment name")
+            # Workers are forked, so they share the creator's resource
+            # tracker: attaching re-registers the name there (a set, so
+            # a no-op) and must NOT unregister it — that would erase the
+            # creator's registration and break its own unlink accounting.
+            self.shm = shared_memory.SharedMemory(name=name)
+        self.name = self.shm.name
+        self.created = bool(create)
+        #: buffer-backed arena over the pool region (row allocation is
+        #: only meaningful on the creating side; attachers just view)
+        self.arena: Optional[BlockArena] = BlockArena(
+            self.m, self.n_ghost, self.nvar,
+            initial_capacity=self.capacity,
+            buffer=self.shm.buf[: 8 * pool_elems],
+        )
+        self.mirror: Optional[np.ndarray] = None
+        if self.mirror_capacity:
+            self.mirror = np.frombuffer(
+                self.shm.buf, dtype=np.float64,
+                offset=8 * pool_elems, count=mirror_elems,
+            ).reshape((self.mirror_capacity, self.nvar) + self.m)
+        self._fin = weakref.finalize(
+            self, _release_segment, self.shm, self.created, os.getpid()
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self.shm.size
+
+    def pool_view(self, row: int) -> np.ndarray:
+        """The ``(nvar, *padded)`` view of one pool row."""
+        if self.arena is None:
+            raise RuntimeError(f"segment {self.name} is destroyed")
+        return self.arena.pool[row]
+
+    def mirror_view(self, row: int) -> np.ndarray:
+        """The ``(nvar, *m)`` view of one partner-mirror row."""
+        if self.mirror is None:
+            raise RuntimeError(f"segment {self.name} has no mirror region")
+        return self.mirror[row]
+
+    def destroy(self) -> None:
+        """Drop the views and release the segment (idempotent).
+
+        On the creating side this also unlinks the name — the step that
+        actually frees the memory once every mapping is gone.
+        """
+        self.arena = None
+        self.mirror = None
+        # The finalizer body runs exactly once whether triggered here or
+        # at interpreter exit.
+        self._fin()
+
+    def __repr__(self) -> str:
+        state = "live" if self._fin.alive else "destroyed"
+        return (
+            f"SharedBlockArena({self.name}, cap={self.capacity}, "
+            f"mirror={self.mirror_capacity}, {state})"
+        )

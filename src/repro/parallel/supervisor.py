@@ -1,0 +1,155 @@
+"""Rank supervision for the real-process backend.
+
+The supervisor side of :mod:`repro.parallel.procmachine`: heartbeat
+monitoring, per-phase reply deadlines, and the failure taxonomy.  The
+design separates two questions a distributed runtime must answer about
+an unresponsive peer:
+
+* **is the process alive?** — the OS answers exactly (``Process.
+  is_alive`` / exit codes), and a tiny shared-memory heartbeat board
+  (one counter per rank, bumped by a daemon thread in each worker)
+  distinguishes *computing slowly* from *wedged*: a rank that blows the
+  soft reply deadline but keeps heartbeating is given until the hard
+  deadline; a rank whose heartbeat has gone stale is declared hung and
+  killed, because a wedged process would otherwise stall the whole
+  step barrier forever.
+* **did the reply arrive intact?** — every control-plane reply carries
+  a CRC32 over its body; a corrupted or dropped reply is retried with
+  the machine's :class:`~repro.resilience.faults.RetryPolicy` capped
+  exponential backoff (seeded jitter, so a replayed recovery window
+  backs off identically), and only retry exhaustion escalates the rank
+  to *unreachable*.
+
+All wall-clock reads go through :func:`repro.util.timing.wall_clock`
+(the repro-lint REPRO104 contract); heartbeat freshness is judged by
+*counter movement observed by the supervisor*, never by comparing raw
+clock values across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.util.timing import wall_clock
+
+__all__ = [
+    "ProcConfig",
+    "FailureKind",
+    "RankDeath",
+    "HeartbeatMonitor",
+    "reply_crc",
+]
+
+
+@dataclass(frozen=True)
+class ProcConfig:
+    """Timeout and supervision tuning for the process backend.
+
+    The defaults suit tests and CI on oversubscribed cores: the soft
+    deadline only triggers a probe, so false positives cost one resend;
+    only the heartbeat and hard deadlines can declare a rank dead.
+    """
+
+    #: soft per-phase reply deadline; passing it sends a resend probe
+    phase_timeout: float = 10.0
+    #: absolute per-phase deadline — a heartbeating but never-replying
+    #: rank is declared hung when this expires
+    hard_timeout: float = 60.0
+    #: worker heartbeat period
+    heartbeat_interval: float = 0.05
+    #: heartbeat silence after which a rank is declared hung
+    heartbeat_timeout: float = 5.0
+    #: supervisor polling granularity while awaiting replies
+    poll_interval: float = 0.005
+    #: respawn attempts per dead rank before degrading to redistribution
+    respawn_max: int = 3
+    #: grace period for a worker to exit after a shutdown command
+    shutdown_timeout: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.phase_timeout <= 0 or self.hard_timeout <= 0:
+            raise ValueError("timeouts must be > 0")
+        if self.hard_timeout < self.phase_timeout:
+            raise ValueError("hard_timeout must be >= phase_timeout")
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat settings must be > 0")
+        if self.respawn_max < 0:
+            raise ValueError("respawn_max must be >= 0")
+
+
+class FailureKind:
+    """How a rank died, as classified by the supervisor."""
+
+    CLEAN_EXIT = "clean-exit"  #: exited with status 0 without being asked
+    SIGKILL = "sigkill"  #: killed by SIGKILL (scripted fault or operator)
+    CRASH = "crash"  #: non-zero exit / other signal
+    HANG = "hang"  #: heartbeat went stale or hard deadline expired
+    UNREACHABLE = "unreachable"  #: reply retries exhausted (drop/corrupt)
+
+    ALL = (CLEAN_EXIT, SIGKILL, CRASH, HANG, UNREACHABLE)
+
+
+@dataclass(frozen=True)
+class RankDeath:
+    """One classified rank failure."""
+
+    rank: int
+    kind: str
+    detail: str
+    #: step index at which the supervisor declared the death
+    step: int = -1
+
+
+def classify_exit(exitcode: Optional[int]) -> str:
+    """Map a ``multiprocessing.Process.exitcode`` to a failure kind."""
+    if exitcode is None:
+        return FailureKind.HANG
+    if exitcode == 0:
+        return FailureKind.CLEAN_EXIT
+    if exitcode == -9:  # SIGKILL
+        return FailureKind.SIGKILL
+    return FailureKind.CRASH
+
+
+def reply_crc(body: Dict[str, Any], seq: int, rank: int) -> int:
+    """Content checksum both sides compute independently over a reply."""
+    text = json.dumps(body, sort_keys=True, default=str)
+    return zlib.crc32(f"{seq}:{rank}:{text}".encode())
+
+
+class HeartbeatMonitor:
+    """Supervisor-side view of the shared heartbeat board.
+
+    The board is a ``(n_ranks,)`` float64 counter array in shared
+    memory; each worker's heartbeat thread increments its slot.  The
+    monitor records *when it last saw each counter move* on its own
+    clock, so freshness never depends on cross-process clock agreement.
+    """
+
+    def __init__(self, board: np.ndarray) -> None:
+        self.board = board
+        now = wall_clock()
+        self._last_value: List[float] = [float(v) for v in board]
+        self._last_seen: List[float] = [now] * board.shape[0]
+
+    def reset(self, rank: int) -> None:
+        """Forget history for ``rank`` (respawn reuses its slot)."""
+        self._last_value[rank] = float(self.board[rank])
+        self._last_seen[rank] = wall_clock()
+
+    def age(self, rank: int) -> float:
+        """Seconds since the supervisor saw ``rank``'s counter move."""
+        now = wall_clock()
+        value = float(self.board[rank])
+        if value != self._last_value[rank]:
+            self._last_value[rank] = value
+            self._last_seen[rank] = now
+        return now - self._last_seen[rank]
+
+    def is_fresh(self, rank: int, timeout: float) -> bool:
+        return self.age(rank) <= timeout

@@ -35,6 +35,7 @@ from repro.resilience.faults import (
     RetryPolicy,
 )
 from repro.resilience.partner import PartnerStore
+from repro.resilience.procpartner import SharedPartnerRing
 from repro.resilience.recovery import (
     RECOVERY_STRATEGIES,
     RecoveryEvent,
@@ -65,6 +66,7 @@ __all__ = [
     "RankKill",
     "RetryPolicy",
     "PartnerStore",
+    "SharedPartnerRing",
     "RECOVERY_STRATEGIES",
     "RecoveryEvent",
     "ResilienceReport",

@@ -52,15 +52,31 @@ class FaultDetected(RuntimeError):
 
 
 class RankFailure(FaultDetected):
-    """A rank died and its blocks are lost."""
+    """A rank died and its blocks are lost.
 
-    def __init__(self, step: int, ranks: Tuple[int, ...], lost_blocks: Tuple) -> None:
+    ``kinds`` optionally carries the supervisor's failure classification
+    per rank (see :class:`repro.parallel.supervisor.FailureKind`) when
+    the failure came from a real process; the emulator leaves it empty.
+    """
+
+    def __init__(
+        self,
+        step: int,
+        ranks: Tuple[int, ...],
+        lost_blocks: Tuple,
+        *,
+        kinds: Tuple[str, ...] = (),
+    ) -> None:
         self.step = step
         self.ranks = tuple(ranks)
         self.lost_blocks = tuple(lost_blocks)
+        self.kinds = tuple(kinds)
+        detail = (
+            f" ({', '.join(self.kinds)})" if self.kinds else ""
+        )
         super().__init__(
-            f"rank(s) {list(self.ranks)} failed before step {step}; "
-            f"{len(self.lost_blocks)} block(s) lost"
+            f"rank(s) {list(self.ranks)} failed before step {step}"
+            f"{detail}; {len(self.lost_blocks)} block(s) lost"
         )
 
 

@@ -45,6 +45,7 @@ import numpy as np
 from repro.core.block_id import BlockID
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.block import Block
     from repro.parallel.emulator import EmulatedMachine
 
 __all__ = ["PartnerStore"]
@@ -129,7 +130,7 @@ class PartnerStore:
                 tag = _tag(block.interior)
                 if tags.get(bid) == tag:
                     continue
-                copies[bid] = block.interior.copy()
+                copies[bid] = self._store_copy(owner, holder, bid, block)
                 tags[bid] = tag
                 copied += 1
                 if holder is not None:
@@ -137,6 +138,20 @@ class PartnerStore:
         self.snapshot_step = machine.step_index
         self.snapshot_time = float(machine.time)
         return copied
+
+    def _store_copy(
+        self, owner: int, holder: Optional[int], bid: BlockID, block: "Block"
+    ) -> np.ndarray:
+        """Materialize one block's snapshot copy; subclass hook.
+
+        The base store keeps a private in-process copy (the emulator's
+        model of partner memory); the real-process backend's
+        :class:`~repro.resilience.procpartner.SharedPartnerRing`
+        overrides this to write the copy into the *holder's*
+        shared-memory mirror region, so the copy genuinely lives — and
+        dies — with the holding rank's process.
+        """
+        return block.interior.copy()
 
     # ------------------------------------------------------------------
     # queries

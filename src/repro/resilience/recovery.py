@@ -234,7 +234,11 @@ def run_with_recovery(
     report = ResilienceReport()
     partner: Optional[PartnerStore] = None
     if strategy in ("local", "auto"):
-        partner = PartnerStore(machine)
+        # Backends that place partner copies somewhere non-default (the
+        # process backend mirrors them in shared memory) expose a
+        # factory; everything else gets the in-process store.
+        make = getattr(machine, "make_partner_store", None)
+        partner = make() if callable(make) else PartnerStore(machine)
         partner.refresh()
     checkpointer.save(snapshot_forest(machine), step=machine.step_index, time=machine.time)
     report.checkpoints_written += 1

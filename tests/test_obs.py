@@ -257,6 +257,7 @@ class TestValidateEvents:
                          "strategy": "local", "replayed_steps": 1},
             "profile": {"engine": "blocked", "wall_s": 0.1, "phases": {}},
             "summary": {"engines": {}},
+            "supervisor": {"event": "rank-death", "rank": 1},
         }
         assert set(payloads) == set(EVENT_SCHEMA)
         buf = io.StringIO()

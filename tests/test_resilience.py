@@ -639,6 +639,114 @@ class TestCheckpointer:
 
 
 # ---------------------------------------------------------------------------
+# torn-write hardening: a checkpoint store must never serve garbage
+# ---------------------------------------------------------------------------
+
+
+def _checkpoint_writer_loop(dirpath):
+    """Child-process body: save checkpoints as fast as possible until
+    SIGKILLed (torn-write victim for the tests below)."""
+    forest = make_amr_forest()
+    init_pulse(forest)
+    ckpt = Checkpointer(dirpath, keep=1000)
+    step = 0
+    while True:
+        step += 1
+        ckpt.save(forest, step=step, time=0.001 * step)
+
+
+class TestTornWrites:
+    """A reader must see either a complete checkpoint or a clean
+    :class:`CheckpointError` — never a partial payload — regardless of
+    where a write was interrupted."""
+
+    def _small_forest(self):
+        # Smallest sensible forest so the byte-boundary sweep stays fast.
+        forest = BlockForest(
+            Box((0.0, 0.0), (1.0, 1.0)), (2, 2), (4, 4), nvar=1,
+            n_ghost=2, periodic=(True, True), max_level=1,
+        )
+        for b in forest:
+            X, Y = b.meshgrid()
+            b.interior[0] = X + 2.0 * Y
+        return forest
+
+    def test_truncation_at_every_byte_boundary_raises(self, tmp_path):
+        from repro.amr.io import load_forest
+
+        path = tmp_path / "ckpt.npz"
+        save_forest(self._small_forest(), path, time=0.5, step=3)
+        payload = path.read_bytes()
+        torn = tmp_path / "torn.npz"
+        for cut in range(len(payload)):
+            torn.write_bytes(payload[:cut])
+            with pytest.raises(CheckpointError):
+                load_forest(torn)
+        # the untouched original still loads
+        restored = load_forest(path)
+        assert set(restored.blocks) == set(self._small_forest().blocks)
+
+    def test_latest_falls_back_past_torn_newest(self, tmp_path):
+        forest = make_amr_forest()
+        init_pulse(forest)
+        ckpt = Checkpointer(tmp_path, keep=5)
+        ckpt.save(forest, step=1, time=0.1)
+        info2 = ckpt.save(forest, step=2, time=0.2)
+        payload = info2.path.read_bytes()
+        # tear the newest checkpoint at a handful of spread-out points
+        for cut in (0, 1, len(payload) // 4, len(payload) // 2,
+                    len(payload) - 1):
+            info2.path.write_bytes(payload[:cut])
+            fresh = Checkpointer(tmp_path, keep=5)
+            latest = fresh.latest()
+            assert latest is not None and latest.step == 1
+            assert info2.path in fresh.quarantined
+            restored, info = fresh.load_latest()
+            assert info.step == 1
+            assert set(restored.blocks) == set(forest.blocks)
+
+    def test_sigkill_mid_write_never_corrupts_store(self, tmp_path):
+        import multiprocessing as mp
+        import os
+        import signal
+        import time
+
+        from repro.amr.io import load_forest
+
+        writer = mp.Process(
+            target=_checkpoint_writer_loop, args=(tmp_path,), daemon=True
+        )
+        writer.start()
+        deadline = time.monotonic() + 30.0
+        while (
+            len(list(tmp_path.glob("*.npz"))) < 3
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert writer.pid is not None
+        os.kill(writer.pid, signal.SIGKILL)
+        writer.join(timeout=10)
+        files = sorted(tmp_path.glob("*.npz"))
+        assert files, "writer never produced a checkpoint"
+        # Every published file is complete (atomic rename); anything
+        # unreadable must fail loudly, never return partial data.
+        n_ok = 0
+        for path in files:
+            try:
+                restored = load_forest(path)
+            except CheckpointError:
+                continue
+            assert len(restored.blocks) > 0
+            n_ok += 1
+        assert n_ok >= 1
+        # The store recovers to a usable state for the next run.
+        ckpt = Checkpointer(tmp_path)
+        restored, info = ckpt.load_latest()
+        assert len(restored.blocks) > 0
+        assert info.step >= 1
+
+
+# ---------------------------------------------------------------------------
 # forest invariant validation
 # ---------------------------------------------------------------------------
 
