@@ -17,6 +17,7 @@ from repro.amr.io import (
     history_to_csv,
     load_forest,
     save_forest,
+    verify_checkpoint,
 )
 from repro.amr.sampling import (
     ProbeSeries,
@@ -57,6 +58,7 @@ __all__ = [
     "history_to_csv",
     "load_forest",
     "save_forest",
+    "verify_checkpoint",
     "ProbeSeries",
     "integrate",
     "line_cut",

@@ -35,6 +35,7 @@ from repro.util.timing import PhaseTimer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.recorder import RunRecorder
+    from repro.resilience.scrub import Scrubber
 
 __all__ = ["Simulation", "StepRecord"]
 
@@ -184,6 +185,10 @@ class Simulation:
         #: attach one and every step/adapt is emitted as a structured
         #: event.  Pure observer — never touches simulation state.
         self.recorder: Optional["RunRecorder"] = None
+        #: optional integrity scrubber (see :mod:`repro.resilience.scrub`);
+        #: attach via :meth:`attach_scrubber` and every step boundary is
+        #: CRC-verified before any phase reads the state.
+        self.scrubber: Optional["Scrubber"] = None
         self._block_times: Optional[Dict[BlockID, float]] = None
         self._block_steps: Optional[Dict[BlockID, int]] = None
 
@@ -455,6 +460,42 @@ class Simulation:
             self.sanitizer.after_stage(self.forest)
         self.time += dt
 
+    def attach_scrubber(self, scrubber: "Scrubber") -> "Scrubber":
+        """Attach a memory scrubber, tagging the current state as the
+        trusted baseline.
+
+        Tags live in the forest arena's
+        :class:`~repro.core.integrity.RowLedger`, so they follow rows
+        through compaction (batched engine) and pool growth by
+        construction.  Scrubbing only reads state: a scrub-enabled run
+        is bit-for-bit identical to baseline.
+        """
+        scrubber.attach_arena(self.forest.arena)
+        self.scrubber = scrubber
+        self.scrub_retag()
+        return scrubber
+
+    def scrub_retag(self) -> None:
+        """Re-baseline every block's integrity tag (write boundaries:
+        post-step and post-adapt)."""
+        if self.scrubber is not None:
+            self.scrubber.retag_blocks(
+                {bid: self.forest.blocks[bid] for bid in self.forest.sorted_ids()}
+            )
+
+    def _scrub_check(self) -> None:
+        """Verify the forest against the integrity tags (step boundary)."""
+        if self.scrubber is None or not self.scrubber.due(self.step_count):
+            return
+        from repro.resilience.scrub import CorruptionError
+
+        with self.timer.phase("scrub"):
+            entries = self.scrubber.scrub_blocks(
+                {bid: self.forest.blocks[bid] for bid in self.forest.sorted_ids()}
+            )
+        if entries:
+            raise CorruptionError(self.step_count, entries)
+
     def maybe_adapt(self) -> Optional[AdaptSummary]:
         """Run the refinement criterion if this step is a check step."""
         if self.criterion is None:
@@ -523,7 +564,12 @@ class Simulation:
         halved dt on failure; the record's ``dt`` is the one that
         actually succeeded."""
         wall_start = _time.perf_counter()
+        self._scrub_check()
         adapted = self.maybe_adapt()
+        if adapted is not None:
+            # Adaptation allocated/released arena rows: freshly created
+            # blocks need a baseline tag before anything mutates them.
+            self.scrub_retag()
         if dt is None:
             dt = self.stable_dt()
         if self.safe_mode:
@@ -534,6 +580,9 @@ class Simulation:
             with self.timer.phase("hook"):
                 self.hook(self, dt)
         self.step_count += 1
+        # Post-step write boundary: the committed state becomes the new
+        # trusted baseline for the next scrub.
+        self.scrub_retag()
         rec = StepRecord(
             step=self.step_count,
             time=self.time,

@@ -37,6 +37,7 @@ __all__ = [
     "save_forest",
     "load_forest",
     "checkpoint_metadata",
+    "verify_checkpoint",
     "grid_report",
     "history_to_csv",
 ]
@@ -225,6 +226,56 @@ def checkpoint_metadata(path: Union[str, Path]) -> Dict[str, float]:
     if "sim_step" in payload:
         meta["step"] = int(payload["sim_step"])
     return meta
+
+
+def verify_checkpoint(path: Union[str, Path]) -> Dict[str, object]:
+    """Audit one checkpoint file without rebuilding the forest.
+
+    Unlike :func:`checkpoint_metadata` this never raises: every failure
+    mode (missing file, truncated zip, missing keys, version mismatch,
+    checksum mismatch) is folded into the returned record, so a
+    directory audit can tabulate good and bad files side by side.
+
+    Returns a dict with ``path``, ``ok`` and ``error`` always present;
+    readable files additionally carry ``format_version``, ``n_blocks``,
+    ``stored_crc`` and ``computed_crc`` (equal iff the content is
+    intact) plus ``step``/``time`` when the writer recorded them.
+    """
+    path = Path(path)
+    record: Dict[str, object] = {"path": path, "ok": False, "error": None}
+    try:
+        with np.load(path) as f:
+            payload = {name: f[name] for name in f.files}
+    except Exception as exc:  # missing, truncated zip, bad member CRC, ...
+        record["error"] = str(exc)
+        return record
+    missing = [k for k in _REQUIRED_KEYS if k not in payload]
+    if missing:
+        record["error"] = f"missing required keys: {', '.join(missing)}"
+        return record
+    record["format_version"] = int(payload["format_version"])
+    record["n_blocks"] = int(payload["levels"].shape[0])
+    if "sim_step" in payload:
+        record["step"] = int(payload["sim_step"])
+    if "sim_time" in payload:
+        record["time"] = float(payload["sim_time"])
+    stored = int(payload["checksum"])
+    computed = _array_checksum(payload)
+    record["stored_crc"] = stored
+    record["computed_crc"] = computed
+    if int(payload["format_version"]) != FORMAT_VERSION:
+        record["error"] = (
+            f"format version {int(payload['format_version'])}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    elif stored != computed:
+        record["error"] = (
+            f"checksum mismatch (stored {stored:#010x}, "
+            f"computed {computed:#010x})"
+        )
+    else:
+        record["ok"] = True
+    return record
 
 
 def load_forest(path: Union[str, Path]) -> BlockForest:

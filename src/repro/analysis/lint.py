@@ -22,6 +22,11 @@ REPRO104   No wall-clock reads (``time.time``, ``perf_counter``,
            ``datetime.now``, ...) in deterministic-replay code
            (``resilience/``, the rank emulator): route them through
            ``repro.util.timing.wall_clock`` so replays can stub time.
+REPRO105   No raw ``zlib.crc32``/``zlib.adler32``/``hashlib.*`` calls
+           outside the checksum-owner modules (``core/integrity.py``,
+           the checkpoint format, the wire supervisor): everything else
+           must go through the :mod:`repro.core.integrity` helpers so
+           checksum policy stays in one auditable place.
 ========== =============================================================
 
 Suppression: append ``# repro: noqa`` (any rule) or
@@ -111,6 +116,19 @@ REPLAY_MODULES: Tuple[str, ...] = (
 #: fault being recovered from (bare ``except:`` is banned everywhere).
 RECOVERY_MODULES: Tuple[str, ...] = ("repro/resilience/",)
 
+#: Modules allowed to call ``zlib``/``hashlib`` checksum primitives
+#: directly: the integrity helpers themselves, the checkpoint format
+#: (file-level array checksum), the rotating checkpoint store, and the
+#: wire supervisor (per-message reply CRCs).  Everything else must go
+#: through :mod:`repro.core.integrity` so checksum policy — algorithm,
+#: masking, what bytes a tag covers — stays in one auditable place.
+CHECKSUM_OWNER_MODULES: Tuple[str, ...] = (
+    "repro/core/integrity.py",
+    "repro/amr/io.py",
+    "repro/resilience/checkpoint.py",
+    "repro/parallel/supervisor.py",
+)
+
 RULES: Tuple[Rule, ...] = (
     Rule(
         "REPRO101",
@@ -125,6 +143,10 @@ RULES: Tuple[Rule, ...] = (
         "REPRO104",
         "wall-clock read in deterministic-replay code",
         scope=REPLAY_MODULES,
+    ),
+    Rule(
+        "REPRO105",
+        "raw zlib/hashlib checksum call outside checksum-owner modules",
     ),
 )
 
@@ -233,6 +255,9 @@ class _Checker(ast.NodeVisitor):
         self.is_data_owner = any(
             module_path.startswith(p) for p in DATA_MUTATOR_MODULES
         )
+        self.is_checksum_owner = any(
+            module_path.startswith(p) for p in CHECKSUM_OWNER_MODULES
+        )
 
     def _emit(self, node: ast.AST, code: str, message: str) -> None:
         self.found.append(
@@ -320,6 +345,19 @@ class _Checker(ast.NodeVisitor):
                     f"wall-clock read `{dotted}` in deterministic-replay "
                     "code; use repro.util.timing.wall_clock() so replays "
                     "can stub time",
+                )
+            elif not self.is_checksum_owner and (
+                dotted in ("zlib.crc32", "zlib.adler32")
+                or head == "hashlib"
+                or dotted == "hashlib"
+            ):
+                self._emit(
+                    node,
+                    "REPRO105",
+                    f"raw checksum call `{dotted}` outside a checksum-owner "
+                    "module; use the repro.core.integrity helpers "
+                    "(crc_bytes / content_crc / crc_text) so integrity "
+                    "policy stays centralized",
                 )
         self.generic_visit(node)
 

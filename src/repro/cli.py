@@ -22,7 +22,7 @@ Commands
     the exchange race detector on the emulated machine (see
     :mod:`repro.analysis`).
 ``lint``
-    Run the repo's AMR-specific AST lint (rules REPRO101-104) over
+    Run the repo's AMR-specific AST lint (rules REPRO101-105) over
     source paths.
 ``profile``
     Run a problem under the observability layer (metrics registry +
@@ -84,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution engine: per-block kernels (blocked) "
                           "or vectorized-over-blocks arena kernels "
                           "(batched); results are bit-for-bit identical")
+    run.add_argument("--scrub-every", type=int, metavar="N", default=None,
+                     help="verify per-block CRC integrity tags every N "
+                          "steps; silent data corruption aborts loudly "
+                          "with a per-block diagnosis instead of "
+                          "propagating (bit-for-bit transparent)")
 
     bench = sub.add_parser(
         "bench",
@@ -96,10 +101,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-json", action="store_true",
                        help="skip writing BENCH_batched_engine.json")
 
-    info = sub.add_parser("info", help="summarize a checkpoint")
-    info.add_argument("checkpoint")
+    info = sub.add_parser("info", help="summarize or audit checkpoints")
+    info.add_argument("checkpoint",
+                      help="a checkpoint file, or (with --checksums) a "
+                           "checkpoint directory to audit")
     info.add_argument("--validate", action="store_true",
                       help="run the forest invariant validator")
+    info.add_argument("--checksums", action="store_true",
+                      help="report content checksums; pointing at a "
+                           "directory audits every rotating checkpoint "
+                           "in it, flagging corrupt files")
+    info.add_argument("--prefix", default="ckpt", metavar="NAME",
+                      help="rotating-checkpoint filename prefix for "
+                           "directory audits (default: ckpt)")
 
     scaling = sub.add_parser("scaling", help="simulated-T3D efficiency sweep")
     scaling.add_argument("--steps", type=int, default=10)
@@ -131,6 +145,26 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="STEP:INDEX",
                          help="transiently drop wire message INDEX during "
                               "STEP (retried with backoff, see --retry-max)")
+    emulate.add_argument("--flip-bits", action="append", default=[],
+                         metavar="STEP:TARGET[:BLOCK[:BYTE[:BIT]]]",
+                         help="flip one bit of live state before STEP "
+                              "(repeatable); TARGET is interior, ghost, "
+                              "mirror, or staging, BLOCK indexes the "
+                              "SFC block order (wire-message order for "
+                              "staging); detected by the scrubber and "
+                              "repaired through the self-healing ladder")
+    emulate.add_argument("--scrub-every", type=int, default=None,
+                         metavar="N",
+                         help="verify block and mirror CRC integrity "
+                              "tags every N steps (defaults to 1 when "
+                              "--flip-bits is given, else off)")
+    emulate.add_argument("--refine-levels", type=int, default=0,
+                         metavar="L",
+                         help="statically refine L levels around the "
+                              "domain center before the run (exercises "
+                              "cross-level exchange; staging bitflips "
+                              "ride the coarse-to-fine payloads this "
+                              "creates)")
     emulate.add_argument("--checkpoint-every", type=int, default=1,
                          metavar="N",
                          help="recovery checkpoint cadence (fault runs)")
@@ -241,7 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "regression")
 
     lint = sub.add_parser(
-        "lint", help="run the AMR-specific AST lint (REPRO101-104)"
+        "lint", help="run the AMR-specific AST lint (REPRO101-105)"
     )
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories (default: src/repro)")
@@ -291,6 +325,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.checkpoint_every is not None and args.checkpoint_every < 1:
         print("error: --checkpoint-every must be >= 1", file=sys.stderr)
         return 2
+    if args.scrub_every is not None and args.scrub_every < 1:
+        print("error: --scrub-every must be >= 1", file=sys.stderr)
+        return 2
     problem = _make_problem(args.problem, args.ndim)
     if args.resume:
         try:
@@ -325,6 +362,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
         sim.safe_mode = args.safe_mode
     sim.reflux = args.reflux
+    if args.scrub_every is not None:
+        from repro.resilience import Scrubber
+
+        sim.attach_scrubber(Scrubber(every=args.scrub_every))
     with sim:
         return _drive_run(args, problem, sim)
 
@@ -332,7 +373,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def _drive_run(args: argparse.Namespace, problem, sim) -> int:
     """The run loop of :func:`cmd_run` (sim closed by the caller)."""
     from repro.amr import grid_report, save_forest
-    from repro.resilience import UnrecoverableStep
+    from repro.resilience import CorruptionError, UnrecoverableStep
 
     checkpointer = None
     if args.checkpoint_every is not None:
@@ -355,6 +396,13 @@ def _drive_run(args: argparse.Namespace, problem, sim) -> int:
             dt = min(dt, args.t_end - sim.time)
         try:
             rec = sim.step(dt)
+        except CorruptionError as exc:
+            # The serial driver has no partner/checkpoint tier to heal
+            # from; the scrubber's job here is the loud, early abort.
+            print(f"error: {exc}", file=sys.stderr)
+            for entry in exc.entries:
+                print(f"  corrupt: {entry.describe()}", file=sys.stderr)
+            return 1
         except UnrecoverableStep as exc:
             f = exc.failure
             print(
@@ -388,6 +436,12 @@ def _drive_run(args: argparse.Namespace, problem, sim) -> int:
             f"\nghost sanitizer: {sim.sanitizer.n_exchanges_checked} "
             f"exchanges verified, {sim.sanitizer.n_cells_poisoned} "
             f"ghost values poisoned, 0 violations"
+        )
+    if sim.scrubber is not None:
+        s = sim.scrubber
+        print(
+            f"\nscrubber: {s.scrubs} scrubs, {s.blocks_verified} block "
+            f"verifications, {s.mismatches} mismatches"
         )
     if args.save:
         save_forest(sim.forest, args.save, time=sim.time, step=sim.step_count)
@@ -441,18 +495,38 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.amr import (
         CheckpointError,
         checkpoint_metadata,
         grid_report,
         load_forest,
+        verify_checkpoint,
     )
 
+    if Path(args.checkpoint).is_dir():
+        if not args.checksums:
+            print(
+                f"error: {args.checkpoint} is a directory "
+                "(use --checksums to audit it)",
+                file=sys.stderr,
+            )
+            return 2
+        return _info_audit(args, Path(args.checkpoint))
     try:
         meta = checkpoint_metadata(args.checkpoint)
         forest = load_forest(args.checkpoint)
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        if args.checksums:
+            rec = verify_checkpoint(args.checkpoint)
+            if rec.get("stored_crc") is not None:
+                print(
+                    f"  stored crc32 {rec['stored_crc']:#010x}, "
+                    f"computed {rec['computed_crc']:#010x}",
+                    file=sys.stderr,
+                )
         return 1
     line = f"format v{meta['format_version']}, {meta['n_blocks']} blocks"
     if "step" in meta:
@@ -460,6 +534,9 @@ def cmd_info(args: argparse.Namespace) -> int:
     if "time" in meta:
         line += f", t={meta['time']:.6g}"
     print(line)
+    if args.checksums:
+        rec = verify_checkpoint(args.checkpoint)
+        print(f"content crc32: {rec['stored_crc']:#010x} (verified)")
     print(grid_report(forest))
     totals = []
     for block in forest:
@@ -477,6 +554,71 @@ def cmd_info(args: argparse.Namespace) -> int:
             return 1
         print("forest invariants: OK")
     return 0
+
+
+def _info_audit(args: argparse.Namespace, directory) -> int:
+    """Audit a checkpoint directory: per-file checksum verification in
+    rotation order, plus the restart point recovery would pick."""
+    from repro.amr import load_forest, verify_checkpoint
+    from repro.resilience import Checkpointer
+
+    ckpt = Checkpointer(directory, prefix=args.prefix)
+    entries = ckpt._scan()
+    if not entries:
+        print(
+            f"no '{args.prefix}-*.npz' checkpoints in {directory}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"checkpoint audit: {directory} ({len(entries)} file(s))")
+    print(
+        f"{'file':<22} {'step':>8} {'time':>12} {'blocks':>7} "
+        f"{'crc32':>10}  status"
+    )
+    n_bad = 0
+    for _, path in entries:
+        rec = verify_checkpoint(path)
+        if not rec["ok"]:
+            n_bad += 1
+            print(
+                f"{path.name:<22} {'-':>8} {'-':>12} {'-':>7} {'-':>10}  "
+                f"CORRUPT: {rec['error']}"
+            )
+            continue
+        step = str(rec.get("step", "-"))
+        time = rec.get("time")
+        time_s = f"{time:.6g}" if time is not None else "-"
+        status = "OK"
+        if args.validate:
+            from repro.resilience import validate_forest
+
+            violations = validate_forest(
+                load_forest(path), check_ghosts=False
+            )
+            if violations:
+                n_bad += 1
+                status = f"INVALID: {len(violations)} violation(s)"
+            else:
+                status = "OK (invariants valid)"
+        print(
+            f"{path.name:<22} {step:>8} {time_s:>12} "
+            f"{rec['n_blocks']:>7} {rec['computed_crc']:#010x}  {status}"
+        )
+    latest = ckpt.latest()
+    if latest is None:
+        print("restart point: NONE USABLE", file=sys.stderr)
+        return 1
+    print(
+        f"restart point: {latest.path.name} "
+        f"(step {latest.step}, t={latest.time:.6g})"
+    )
+    if ckpt.quarantined:
+        print(
+            "quarantined: "
+            + ", ".join(p.name for p in ckpt.quarantined),
+            file=sys.stderr,
+        )
+    return 1 if n_bad else 0
 
 
 def cmd_scaling(args: argparse.Namespace) -> int:
@@ -534,6 +676,54 @@ def _parse_fault_pairs(specs, flag):
     return pairs
 
 
+def _parse_flip_specs(specs):
+    """``STEP:TARGET[:BLOCK[:BYTE[:BIT]]]`` specs -> BitFlip records."""
+    from repro.resilience.faults import _FLIP_TARGETS, BitFlip
+
+    usage = "STEP:TARGET[:BLOCK[:BYTE[:BIT]]]"
+    flips = []
+    for spec in specs:
+        parts = spec.split(":")
+        try:
+            if not 2 <= len(parts) <= 5:
+                raise ValueError(spec)
+            step = int(parts[0])
+            nums = [int(p) for p in parts[2:]]
+        except ValueError:
+            raise SystemExit(
+                f"error: --flip-bits expects {usage}, got {spec!r}"
+            )
+        target = parts[1]
+        if target not in _FLIP_TARGETS:
+            raise SystemExit(
+                f"error: --flip-bits target must be one of "
+                f"{', '.join(_FLIP_TARGETS)}, got {target!r}"
+            )
+        block, byte, bit = (nums + [0, 0, 0])[:3]
+        flips.append(
+            BitFlip(step=step, target=target, block=block, byte=byte, bit=bit)
+        )
+    return flips
+
+
+def _refine_center(forest, levels: int) -> None:
+    """Statically refine ``levels`` times at the domain center.
+
+    Deterministic (the SFC-first leaf covering the center point, by a
+    half-open containment test) so the serial reference and the
+    emulated forest get bit-identical topologies.
+    """
+    center = tuple(
+        0.5 * (lo + hi) for lo, hi in zip(forest.domain.lo, forest.domain.hi)
+    )
+    for _ in range(levels):
+        for bid in forest.sorted_ids():
+            box = forest.blocks[bid].box
+            if all(l <= c < h for l, c, h in zip(box.lo, center, box.hi)):
+                forest.refine(bid)
+                break
+
+
 def cmd_emulate(args: argparse.Namespace) -> int:
     kills = _parse_fault_pairs(args.kill, "--kill")
     for step, rank in kills:
@@ -548,6 +738,25 @@ def cmd_emulate(args: argparse.Namespace) -> int:
     corrupts = _parse_fault_pairs(args.corrupt_message, "--corrupt-message")
     transients = _parse_fault_pairs(args.transient_message,
                                     "--transient-message")
+    flips = _parse_flip_specs(args.flip_bits)
+    if args.refine_levels < 0:
+        print("error: --refine-levels must be >= 0", file=sys.stderr)
+        return 2
+    if any(f.target == "staging" for f in flips) and args.refine_levels < 1:
+        print(
+            "error: staging bitflips need --refine-levels >= 1 "
+            "(staging buffers only exist for coarse-to-fine exchange)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.scrub_every is None and flips:
+        # An injected flip without a scrubber is exactly the silent
+        # corruption this subsystem exists to prevent; default to the
+        # tightest detection window.
+        args.scrub_every = 1
+    if args.scrub_every is not None and args.scrub_every < 1:
+        print("error: --scrub-every must be >= 1", file=sys.stderr)
+        return 2
     for flag, value, floor in (
         ("--partner-refresh-every", args.partner_refresh_every, 1),
         ("--retry-max", args.retry_max, 0),
@@ -590,18 +799,19 @@ def cmd_emulate(args: argparse.Namespace) -> int:
             with RunRecorder(args.record) as recorder:
                 rc = _drive_emulate(
                     args, problem, sim, kills, drops, corrupts, transients,
-                    recorder,
+                    flips, recorder,
                 )
             print(f"event stream written to {args.record}")
             return rc
         return _drive_emulate(
-            args, problem, sim, kills, drops, corrupts, transients, None
+            args, problem, sim, kills, drops, corrupts, transients, flips,
+            None,
         )
 
 
 def _drive_emulate(
     args: argparse.Namespace, problem, sim, kills, drops, corrupts,
-    transients, recorder,
+    transients, flips, recorder,
 ) -> int:
     """The emulation loop of :func:`cmd_emulate` (sim closed by caller)."""
     import contextlib
@@ -609,11 +819,16 @@ def _drive_emulate(
 
     from repro.parallel import EmulatedMachine
 
+    if args.refine_levels:
+        _refine_center(sim.forest, args.refine_levels)
+        problem.init_forest(sim.forest)
     forest_emu = problem.config.make_forest(problem.scheme.nvar)
+    if args.refine_levels:
+        _refine_center(forest_emu, args.refine_levels)
     problem.init_forest(forest_emu)
 
     fault_plan = None
-    if kills or drops or corrupts or transients:
+    if kills or drops or corrupts or transients or flips:
         from repro.resilience import FaultPlan, MessageFault, RankKill
 
         fault_plan = FaultPlan(
@@ -625,6 +840,7 @@ def _drive_emulate(
                 + [MessageFault(step=s, index=i, mode="drop", transient=True)
                    for s, i in transients]
             ),
+            bitflips=flips,
         )
 
     from repro.resilience import RetryPolicy
@@ -669,6 +885,15 @@ def _emulate_loop(
     """Drive ``emu`` against the serial reference and compare."""
     import tempfile
 
+    scrubber = None
+    if args.scrub_every is not None:
+        from repro.resilience import Scrubber
+
+        # Attached before the run so the recovery driver can hand the
+        # scrubber the partner store (mirror verification) when the
+        # localized tier comes up.  Verification only reads state, so
+        # the bit-for-bit comparison below still holds.
+        scrubber = emu.attach_scrubber(Scrubber(every=args.scrub_every))
     dt = 0.5 * sim.stable_dt()
     backend_note = (
         " (real processes)" if args.backend == "process" else ""
@@ -693,7 +918,11 @@ def _emulate_loop(
         if sim.hook is not None:
             sim.hook(sim, dt)
     if fault_plan is not None:
-        from repro.resilience import Checkpointer, run_with_recovery
+        from repro.resilience import (
+            Checkpointer,
+            CorruptionError,
+            run_with_recovery,
+        )
 
         tmpdir = None
         if args.checkpoint_dir is None:
@@ -712,6 +941,11 @@ def _emulate_loop(
                 partner_refresh_every=args.partner_refresh_every,
                 recorder=recorder,
             )
+        except CorruptionError as exc:
+            print(f"error: unrecoverable corruption: {exc}", file=sys.stderr)
+            for entry in exc.entries:
+                print(f"  corrupt: {entry.describe()}", file=sys.stderr)
+            return 1
         finally:
             if tmpdir is not None:
                 tmpdir.cleanup()
@@ -808,6 +1042,13 @@ def _emulate_loop(
             f"ghost sanitizer: {emu.sanitizer.n_exchanges_checked} "
             f"exchanges verified; race detector: "
             f"{emu.race_detector.epoch} epochs, 0 violations"
+        )
+    if scrubber is not None:
+        print(
+            f"scrubber: {scrubber.scrubs} scrubs, "
+            f"{scrubber.blocks_verified} block verifications, "
+            f"{scrubber.mirrors_verified} mirror verifications, "
+            f"{scrubber.mismatches} mismatches"
         )
     hook_note = " (driver hook runs serial-side only)" if problem.hook else ""
     print(f"max |emulated - serial| = {worst:.3e}{hook_note}")

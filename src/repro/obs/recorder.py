@@ -53,6 +53,9 @@ EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
     "exchange": frozenset({"n_messages", "n_bytes"}),
     # one fault recovery (localized or global rollback)
     "recovery": frozenset({"step", "fault", "strategy", "replayed_steps"}),
+    # one scrub-detected silent-data-corruption incident and the
+    # self-healing action taken (mirror-repair | rewind | rollback)
+    "corruption": frozenset({"step", "regions", "action"}),
     # one supervision action of the real-process backend (rank death,
     # respawn, degradation); the event name carries its own fields
     "supervisor": frozenset({"event"}),

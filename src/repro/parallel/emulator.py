@@ -62,7 +62,8 @@ from repro.solvers.scheme import FVScheme
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.poison import GhostSanitizer
     from repro.analysis.races import InboundKey, RaceDetector
-    from repro.resilience.faults import FaultPlan, RetryPolicy
+    from repro.resilience.faults import BitFlip, FaultPlan, RetryPolicy
+    from repro.resilience.scrub import Scrubber
 
 __all__ = ["EmulatedMachine", "ExchangeStats"]
 
@@ -181,6 +182,8 @@ class EmulatedMachine:
         self._plan = self._build_plan()
         self.race_detector: Optional["RaceDetector"] = None
         self.sanitizer: Optional["GhostSanitizer"] = None
+        self.scrubber: Optional["Scrubber"] = None
+        self._staged_flips: List["BitFlip"] = []
         if sanitize:
             from repro.analysis.poison import GhostSanitizer, poison_forest
 
@@ -232,6 +235,32 @@ class EmulatedMachine:
         for rank in range(self.n_ranks):
             if self.alive[rank]:
                 yield from self.rank_blocks[rank].values()
+
+    def blocks_by_id(self) -> Dict[BlockID, Block]:
+        """Every live block keyed by id, in deterministic SFC order —
+        the traversal the scrubber and bitflip injection index into."""
+        out: Dict[BlockID, Block] = {}
+        for bid in self.topology.sorted_ids():
+            rank = self.assignment.get(bid)
+            if rank is None or not self.alive[rank]:
+                continue
+            block = self.rank_blocks[rank].get(bid)
+            if block is not None:
+                out[bid] = block
+        return out
+
+    def attach_scrubber(self, scrubber: "Scrubber") -> "Scrubber":
+        """Attach a memory scrubber and tag the current state as the
+        trusted baseline."""
+        self.scrubber = scrubber
+        scrubber.retag_blocks(self.blocks_by_id())
+        return scrubber
+
+    def scrub_retag(self) -> None:
+        """Re-baseline every live block's integrity tag (called at the
+        write boundaries: post-step, post-restore, post-repair)."""
+        if self.scrubber is not None:
+            self.scrubber.retag_blocks(self.blocks_by_id())
 
     def attach_race_detector(
         self, detector: Optional["RaceDetector"] = None
@@ -324,6 +353,8 @@ class EmulatedMachine:
         self.time = time
         if step_index is not None:
             self.step_index = step_index
+        self._staged_flips.clear()
+        self.scrub_retag()
 
     def adopt_block(self, bid: BlockID, rank: int, interior: np.ndarray) -> None:
         """Recreate one block on ``rank`` from a redundant interior copy.
@@ -353,6 +384,8 @@ class EmulatedMachine:
         self.assignment[bid] = rank
         if self.race_detector is not None:
             self.race_detector.on_interior_write(bid, rank)
+        if self.scrubber is not None:
+            self.scrubber.retag_block(bid, clone)
 
     def _send(self, payload: np.ndarray, src_rank: int, dst_rank: int,
               t: Transfer, *, extra_values: int = 0) -> np.ndarray:
@@ -375,6 +408,31 @@ class EmulatedMachine:
             return payload
         index = self._msg_index
         self._msg_index += 1
+        if self._staged_flips:
+            for f in list(self._staged_flips):
+                if f.block == index:
+                    # The staging buffer is corrupted after the sender
+                    # computed its content CRC, so the receiver's
+                    # independent check catches the mismatch — loud,
+                    # like a scripted "corrupt" message fault, but
+                    # classified as silent-corruption for the ladder.
+                    self._staged_flips.remove(f)
+                    from repro.resilience.faults import apply_bitflip
+                    from repro.resilience.scrub import (
+                        CorruptEntry,
+                        CorruptionError,
+                    )
+
+                    self.stats.add(payload.size + extra_values)
+                    apply_bitflip(payload, f.byte, f.bit)
+                    raise CorruptionError(
+                        self.step_index,
+                        [
+                            CorruptEntry(
+                                "staging", block=t.dst_id, rank=dst_rank
+                            )
+                        ],
+                    )
         attempt = 0
         while True:
             self.stats.add(payload.size + extra_values)
@@ -542,6 +600,27 @@ class EmulatedMachine:
                     raise RankFailure(
                         self.step_index, tuple(killed), tuple(lost)
                     )
+        if self.fault_plan is not None and self.fault_plan.bitflips:
+            from repro.resilience.scrub import apply_scripted_flips
+
+            partner = self.scrubber.partner if self.scrubber is not None else None
+            self._staged_flips.extend(
+                apply_scripted_flips(
+                    self.fault_plan.flips_at(self.step_index),
+                    self.blocks_by_id(),
+                    partner,
+                )
+            )
+        if self.scrubber is not None and self.scrubber.due(self.step_index):
+            from repro.resilience.scrub import CorruptionError
+
+            entries = self.scrubber.scrub_blocks(
+                self.blocks_by_id(),
+                rank_of=self.assignment,
+                partner=self.scrubber.partner,
+            )
+            if entries:
+                raise CorruptionError(self.step_index, entries)
         self._msg_index = 0
         scheme = self.scheme
         g = self.topology.n_ghost
@@ -580,6 +659,10 @@ class EmulatedMachine:
             self.sanitizer.after_stage(self._all_blocks())
         self.time += dt
         self.step_index += 1
+        # Staging flips whose message index never came up this step are
+        # dropped — the staging buffers they targeted no longer exist.
+        self._staged_flips.clear()
+        self.scrub_retag()
 
     def gather(self) -> Dict[BlockID, np.ndarray]:
         """Collect every surviving block's interior (the 'MPI_Gather' at

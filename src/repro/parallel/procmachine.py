@@ -96,8 +96,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.poison import GhostSanitizer
     from repro.analysis.races import InboundKey, RaceDetector
     from repro.obs.recorder import RunRecorder
-    from repro.resilience.faults import FaultPlan, RetryPolicy
+    from repro.resilience.faults import BitFlip, FaultPlan, RetryPolicy
     from repro.resilience.procpartner import SharedPartnerRing
+    from repro.resilience.scrub import Scrubber
 
 __all__ = ["ProcessMachine"]
 
@@ -184,6 +185,8 @@ class ProcessMachine:
         self.recorder: Optional["RunRecorder"] = None
         self.race_detector: Optional["RaceDetector"] = None
         self.sanitizer: Optional["GhostSanitizer"] = None
+        self.scrubber: Optional["Scrubber"] = None
+        self._staged_flips: List["BitFlip"] = []
 
         # Heartbeat board: one float64 counter per rank.
         self._hb_shm = shared_memory.SharedMemory(
@@ -370,6 +373,36 @@ class ProcessMachine:
             for bid, block in self.rank_blocks[rank].items():
                 out[bid] = block.interior.copy()
         return out
+
+    def blocks_by_id(self) -> Dict[BlockID, Block]:
+        """Every live block keyed by id, in deterministic SFC order.
+
+        The supervisor-side views alias the rank segments directly, so
+        scrubbing and bitflip injection touch the same shared memory the
+        worker processes compute on — no copies, no extra phases.
+        """
+        out: Dict[BlockID, Block] = {}
+        for bid in self.topology.sorted_ids():
+            rank = self.assignment.get(bid)
+            if rank is None or not self.alive[rank]:
+                continue
+            block = self.rank_blocks[rank].get(bid)
+            if block is not None:
+                out[bid] = block
+        return out
+
+    def attach_scrubber(self, scrubber: "Scrubber") -> "Scrubber":
+        """Attach a memory scrubber and tag the current state as the
+        trusted baseline."""
+        self.scrubber = scrubber
+        scrubber.retag_blocks(self.blocks_by_id())
+        return scrubber
+
+    def scrub_retag(self) -> None:
+        """Re-baseline every live block's integrity tag (called at the
+        write boundaries: post-step, post-restore, post-repair)."""
+        if self.scrubber is not None:
+            self.scrubber.retag_blocks(self.blocks_by_id())
 
     def attach_race_detector(
         self, detector: Optional["RaceDetector"] = None
@@ -724,8 +757,18 @@ class ProcessMachine:
                             t.src_id, bid, offset, self.owner_rank(t.src_id)
                         )
                         det.on_receive(bid, t.src_id, offset, dst_rank)
-        self._charge_exchange(self._phase("exch2-gather"))
-        self._phase("exch2-write")
+        verify = self.scrubber is not None or bool(self._staged_flips)
+        gather_replies = self._phase(
+            "exch2-gather", payload={"verify": True} if verify else None
+        )
+        self._charge_exchange(gather_replies)
+        write_payload = (
+            self._plan_staging_flips(gather_replies)
+            if self._staged_flips else None
+        )
+        write_replies = self._phase("exch2-write", payload=write_payload)
+        if verify:
+            self._check_staging(write_replies)
         if det is not None:
             for bid, offset, transfers in self._plan:
                 dst_rank = self.owner_rank(bid)
@@ -738,6 +781,75 @@ class ProcessMachine:
             det.end_epoch()
         if self.sanitizer is not None:
             self.sanitizer.after_exchange(self._all_blocks())
+
+    def _payload_block(self, rank: int, idx: int) -> Optional[BlockID]:
+        """Destination block of ``rank``'s ``idx``-th exch2 payload.
+
+        Workers and supervisor derive payload order from the same plan,
+        so a staging-corruption report carrying only a local payload
+        index still yields a per-block diagnosis.
+        """
+        i = 0
+        for bid, _offset, transfers in self._plan:
+            if self.assignment.get(bid) != rank:
+                continue
+            for t in transfers:
+                if t.delta < 0:
+                    if i == idx:
+                        return bid
+                    i += 1
+        return None
+
+    def _plan_staging_flips(
+        self, gather_replies: Dict[int, Dict[str, Any]]
+    ) -> Optional[Dict[str, Any]]:
+        """Address staged bitflips onto concrete (rank, payload) slots.
+
+        The scripted flip's ``block`` field is a global in-flight payload
+        index; the gather replies report how many payloads each rank is
+        holding, so the supervisor maps the global index to a rank-local
+        one and ships the flip down in the ``exch2-write`` command.  With
+        no payloads in flight the flips stay staged for a later exchange
+        of the same step (they are dropped at the end of the advance,
+        like the emulator's).
+        """
+        counts = [
+            (rank, int(body.get("n_payloads", 0)))
+            for rank, body in sorted(gather_replies.items())
+        ]
+        total = sum(n for _, n in counts)
+        if total == 0:
+            return None
+        flips: List[Dict[str, int]] = []
+        for f in self._staged_flips:
+            g = f.block % total
+            for rank, n in counts:
+                if g < n:
+                    flips.append({
+                        "rank": rank, "index": g,
+                        "byte": f.byte, "bit": f.bit,
+                    })
+                    break
+                g -= n
+        self._staged_flips.clear()
+        return {"flips": flips} if flips else None
+
+    def _check_staging(self, replies: Dict[int, Dict[str, Any]]) -> None:
+        """Raise on any payload whose write-side CRC check failed."""
+        from repro.resilience.scrub import CorruptEntry, CorruptionError
+
+        entries = []
+        for rank in sorted(replies):
+            for idx in replies[rank].get("staging_bad", ()):
+                entries.append(
+                    CorruptEntry(
+                        "staging",
+                        block=self._payload_block(rank, int(idx)),
+                        rank=rank,
+                    )
+                )
+        if entries:
+            raise CorruptionError(self.step_index, entries)
 
     def _compute(self, op: str, dt: float) -> None:
         det = self.race_detector
@@ -784,6 +896,27 @@ class ProcessMachine:
                         step, tuple(killed), tuple(lost),
                         kinds=(FailureKind.SIGKILL,) * len(killed),
                     )
+        if self.fault_plan is not None and self.fault_plan.bitflips:
+            from repro.resilience.scrub import apply_scripted_flips
+
+            partner = self.scrubber.partner if self.scrubber is not None else None
+            self._staged_flips.extend(
+                apply_scripted_flips(
+                    self.fault_plan.flips_at(step),
+                    self.blocks_by_id(),
+                    partner,
+                )
+            )
+        if self.scrubber is not None and self.scrubber.due(step):
+            from repro.resilience.scrub import CorruptionError
+
+            entries = self.scrubber.scrub_blocks(
+                self.blocks_by_id(),
+                rank_of=self.assignment,
+                partner=self.scrubber.partner,
+            )
+            if entries:
+                raise CorruptionError(step, entries)
         self._msg_index = 0
         self._interiors_dirty = False
         if self._config_dirty:
@@ -806,6 +939,11 @@ class ProcessMachine:
         # whole-step state (a kill at the *next* step's start must not
         # read this flag as mid-step).
         self._interiors_dirty = False
+        # Staging flips that never matched an in-flight payload are
+        # dropped with the step, and the committed state becomes the
+        # scrubber's new trusted baseline (post-step write boundary).
+        self._staged_flips.clear()
+        self.scrub_retag()
 
     # ------------------------------------------------------------------
     # recovery surface
@@ -827,6 +965,8 @@ class ProcessMachine:
         self._config_dirty = True
         if self.race_detector is not None:
             self.race_detector.on_interior_write(bid, rank)
+        if self.scrubber is not None:
+            self.scrubber.retag_block(bid, blk)
 
     def restore(
         self,
@@ -881,6 +1021,8 @@ class ProcessMachine:
         if step_index is not None:
             self.step_index = step_index
         self._interiors_dirty = False
+        self._staged_flips.clear()
+        self.scrub_retag()
 
     # ------------------------------------------------------------------
     # teardown

@@ -62,6 +62,7 @@ import numpy as np
 from repro.core.block import Block
 from repro.core.block_id import BlockID
 from repro.core.forest import BlockForest
+from repro.core.integrity import content_crc
 from repro.core.ghost import (
     BoundaryHandler,
     NeighborKind,
@@ -76,6 +77,7 @@ from repro.core.ghost import (
     restriction_contribution,
 )
 from repro.parallel.shared_arena import SharedBlockArena
+from repro.resilience.faults import apply_bitflip
 from repro.solvers.scheme import FVScheme
 
 __all__ = ["WorkerSpec", "worker_main", "build_exchange_plan"]
@@ -180,6 +182,7 @@ class _Worker:
         self.assignment: Dict[BlockID, int] = {}
         self.saved: Dict[BlockID, np.ndarray] = {}
         self._payloads: List[np.ndarray] = []
+        self._payload_crcs: List[int] = []
 
     # -- configuration --------------------------------------------------
 
@@ -191,6 +194,7 @@ class _Worker:
         self.blocks = {}
         self.saved = {}
         self._payloads = []
+        self._payload_crcs = []
         for rank in list(self.segments):
             seg = self.segments[rank]
             if rank not in wanted or wanted[rank][0] != seg.name:
@@ -218,6 +222,7 @@ class _Worker:
             self.blocks[bid] = blk
         self.saved = {}
         self._payloads = []
+        self._payload_crcs = []
         return {"status": "ok", "n_blocks": len(self.own_blocks())}
 
     def own_blocks(self) -> List[Block]:
@@ -285,8 +290,15 @@ class _Worker:
             "n_values": n_values, "n_local": n_local,
         }
 
-    def exch2_gather(self) -> Dict[str, Any]:
-        """Read-only half of stage 2: gather bordered coarse sources."""
+    def exch2_gather(self, cmd: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Read-only half of stage 2: gather bordered coarse sources.
+
+        When the supervisor asks (``payload={"verify": True}`` — the
+        scrub tier is on), the worker CRC-tags every gathered payload;
+        :meth:`exch2_write` re-checks the tags before prolonging, so a
+        bit flipped in the staging buffers between the two phases is
+        caught before it ever reaches a ghost region.
+        """
         order = self.topology.prolong_order
         n_remote = 0
         n_values = 0
@@ -308,16 +320,42 @@ class _Worker:
                 else:
                     n_local += 1
         self._payloads = payloads
+        if cmd is not None and cmd.get("verify"):
+            self._payload_crcs = [content_crc(p) for p in payloads]
+        else:
+            self._payload_crcs = []
         return {
             "status": "ok", "n_messages": n_remote,
             "n_values": n_values, "n_local": n_local,
+            "n_payloads": len(payloads),
         }
 
-    def exch2_write(self) -> Dict[str, Any]:
-        """Write half of stage 2: prolong gathered payloads, then BCs."""
+    def exch2_write(self, cmd: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Write half of stage 2: prolong gathered payloads, then BCs.
+
+        Scripted staging bitflips addressed to this rank are applied
+        first (after the gather-side CRC tags were taken), then every
+        payload is re-checked against its tag: a mismatched payload is
+        *not* prolonged — the corruption stays contained in the staging
+        buffer — and its index is reported back so the supervisor can
+        raise the corruption for the recovery ladder.
+        """
         ndim = self.topology.ndim
         order = self.topology.prolong_order
         payloads = self._payloads
+        if cmd is not None and payloads:
+            for f in cmd.get("flips", ()):
+                if int(f["rank"]) == self.rank:
+                    apply_bitflip(
+                        payloads[int(f["index"]) % len(payloads)],
+                        f["byte"], f["bit"],
+                    )
+        bad = set()
+        if self._payload_crcs:
+            bad = {
+                i for i, p in enumerate(payloads)
+                if content_crc(p) != self._payload_crcs[i]
+            }
         i = 0
         for bid, offset, transfers in self.plan:
             if self.assignment.get(bid) != self.rank:
@@ -326,6 +364,9 @@ class _Worker:
             for t in transfers:
                 if t.delta >= 0:
                     continue
+                if i in bad:
+                    i += 1
+                    continue
                 up = -t.delta
                 fine = prolong_bordered(payloads[i], t.src_box, up, order, ndim)
                 i += 1
@@ -333,8 +374,12 @@ class _Worker:
                 sub = t.dst_box.slices(cover.lo)
                 dst.view(t.dst_box)[...] = fine[(slice(None),) + sub]
         self._payloads = []
+        self._payload_crcs = []
         self._apply_bc()
-        return {"status": "ok", "n_prolonged": i}
+        body: Dict[str, Any] = {"status": "ok", "n_prolonged": i}
+        if bad:
+            body["staging_bad"] = sorted(bad)
+        return body
 
     # -- compute phases -------------------------------------------------
 
@@ -367,9 +412,9 @@ def _execute(worker: _Worker, msg: Dict[str, Any]) -> Dict[str, Any]:
     if op == "exch1":
         return worker.exch1()
     if op == "exch2-gather":
-        return worker.exch2_gather()
+        return worker.exch2_gather(msg.get("payload"))
     if op == "exch2-write":
-        return worker.exch2_write()
+        return worker.exch2_write(msg.get("payload"))
     if op == "step":
         return worker.step_single(msg["dt"])
     if op == "predictor":

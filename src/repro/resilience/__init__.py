@@ -18,6 +18,10 @@ subsystem; this package supplies that layer for the reproduction:
   selectable strategy: localized partner-copy recovery (only the lost
   blocks move, zero disk reads) degrading gracefully to the global
   rollback-and-replay on double faults, both bit-for-bit;
+* :mod:`repro.resilience.scrub` — phase-boundary :class:`Scrubber`
+  CRC verification turning silent bitflips into loud, recoverable
+  :class:`CorruptionError` diagnoses, plus deterministic scripted
+  bitflip injection for the SDC defense tests;
 * :mod:`repro.resilience.validate` — :func:`validate_forest` invariant
   checks (coverage, level jumps, neighbor symmetry, ghost consistency);
 * :mod:`repro.resilience.safestep` — post-step health scanning and the
@@ -26,6 +30,7 @@ subsystem; this package supplies that layer for the reproduction:
 
 from repro.resilience.checkpoint import Checkpointer, CheckpointInfo
 from repro.resilience.faults import (
+    BitFlip,
     FaultDetected,
     FaultPlan,
     MessageFailure,
@@ -33,6 +38,7 @@ from repro.resilience.faults import (
     RankFailure,
     RankKill,
     RetryPolicy,
+    apply_bitflip,
 )
 from repro.resilience.partner import PartnerStore
 from repro.resilience.procpartner import SharedPartnerRing
@@ -42,6 +48,12 @@ from repro.resilience.recovery import (
     ResilienceReport,
     run_with_recovery,
     snapshot_forest,
+)
+from repro.resilience.scrub import (
+    CorruptEntry,
+    CorruptionError,
+    Scrubber,
+    apply_scripted_flips,
 )
 from repro.resilience.safestep import (
     HealthIssue,
@@ -56,8 +68,14 @@ from repro.resilience.validate import (
 )
 
 __all__ = [
+    "BitFlip",
     "Checkpointer",
     "CheckpointInfo",
+    "CorruptEntry",
+    "CorruptionError",
+    "Scrubber",
+    "apply_bitflip",
+    "apply_scripted_flips",
     "FaultDetected",
     "FaultPlan",
     "MessageFailure",

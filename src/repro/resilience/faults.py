@@ -27,11 +27,12 @@ recovers, locally from a partner copy or globally from a checkpoint.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
+
+from repro.core.integrity import crc_text
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.block_id import BlockID
@@ -42,8 +43,10 @@ __all__ = [
     "MessageFailure",
     "RankKill",
     "MessageFault",
+    "BitFlip",
     "FaultPlan",
     "RetryPolicy",
+    "apply_bitflip",
 ]
 
 
@@ -101,6 +104,27 @@ class MessageFailure(FaultDetected):
 
 _MESSAGE_MODES = ("drop", "corrupt")
 
+_FLIP_TARGETS = ("interior", "ghost", "mirror", "staging")
+
+
+def apply_bitflip(arr: np.ndarray, byte: int, bit: int) -> None:
+    """XOR one bit of an array's contents, in place.
+
+    Works on non-contiguous views (a block's ``interior``, a shared
+    mirror row): the byte offset is interpreted against the array's
+    logical C-order byte stream, mapped to the owning element, and the
+    flip is written back through the view.  ``byte`` and ``bit`` wrap
+    around the array/element size so any scripted offset is valid.
+    """
+    if arr.size == 0:  # pragma: no cover - nothing to flip
+        return
+    itemsize = arr.dtype.itemsize
+    byte = int(byte) % (arr.size * itemsize)
+    idx = np.unravel_index(byte // itemsize, arr.shape)
+    raw = bytearray(arr[idx].tobytes())
+    raw[byte % itemsize] ^= 1 << (int(bit) % 8)
+    arr[idx] = np.frombuffer(bytes(raw), dtype=arr.dtype)[0]
+
 
 @dataclass(frozen=True)
 class RankKill:
@@ -137,6 +161,41 @@ class MessageFault:
         if self.mode not in _MESSAGE_MODES:
             raise ValueError(
                 f"mode must be one of {_MESSAGE_MODES}, got {self.mode!r}"
+            )
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """Flip one bit of live state immediately before executing ``step``.
+
+    ``target`` selects the memory region:
+
+    * ``"interior"`` — a computational cell of a live block,
+    * ``"ghost"`` — the ghost halo of a live block (padded row minus
+      the interior),
+    * ``"mirror"`` — the partner store's mirror copy of a block (on the
+      process backend this is a row of the *holder* rank's shared
+      segment),
+    * ``"staging"`` — an in-flight exchange staging buffer (the payload
+      between gather and write), hit mid-exchange rather than at the
+      step boundary.
+
+    ``block`` indexes the machine's deterministic block order (for
+    ``staging``, the step's wire-message order); ``byte``/``bit``
+    select the flipped bit and wrap around the region size, so seeded
+    random plans never miss.
+    """
+
+    step: int
+    target: str = "interior"
+    block: int = 0
+    byte: int = 0
+    bit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target not in _FLIP_TARGETS:
+            raise ValueError(
+                f"target must be one of {_FLIP_TARGETS}, got {self.target!r}"
             )
 
 
@@ -180,7 +239,7 @@ class RetryPolicy:
             self.backoff_base * self.backoff_factor ** attempt,
             self.backoff_cap,
         )
-        h = zlib.crc32(f"{self.seed}:{step}:{index}:{attempt}".encode())
+        h = crc_text(f"{self.seed}:{step}:{index}:{attempt}")
         return raw * (1.0 + self.jitter * (h / 2 ** 32))
 
 
@@ -191,9 +250,11 @@ class FaultPlan:
         self,
         kills: Iterable[RankKill] = (),
         message_faults: Iterable[MessageFault] = (),
+        bitflips: Iterable[BitFlip] = (),
     ) -> None:
         self.kills: Tuple[RankKill, ...] = tuple(kills)
         self.message_faults: Tuple[MessageFault, ...] = tuple(message_faults)
+        self.bitflips: Tuple[BitFlip, ...] = tuple(bitflips)
         self._fired: Set = set()
 
     @classmethod
@@ -264,7 +325,23 @@ class FaultPlan:
         mf = self.take_message_fault(step, index)
         return mf.mode if mf is not None else None
 
+    def flips_at(self, step: int) -> List[BitFlip]:
+        """Bitflips to apply before executing ``step`` (consumed,
+        one-shot — a flip does not re-fire when recovery replays the
+        step, matching the transient-SEU fault model)."""
+        out: List[BitFlip] = []
+        for i, f in enumerate(self.bitflips):
+            if f.step == step and ("flip", i) not in self._fired:
+                self._fired.add(("flip", i))
+                out.append(f)
+        return out
+
     @property
     def pending(self) -> int:
         """Faults that have not fired yet."""
-        return len(self.kills) + len(self.message_faults) - len(self._fired)
+        return (
+            len(self.kills)
+            + len(self.message_faults)
+            + len(self.bitflips)
+            - len(self._fired)
+        )

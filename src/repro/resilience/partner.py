@@ -37,12 +37,12 @@ and the recovery driver escalates to the global checkpoint rollback.
 
 from __future__ import annotations
 
-import zlib
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.block_id import BlockID
+from repro.core.integrity import content_crc
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.block import Block
@@ -52,8 +52,14 @@ __all__ = ["PartnerStore"]
 
 
 def _tag(interior: np.ndarray) -> int:
-    """Cheap content tag used to skip unchanged blocks on refresh."""
-    return zlib.crc32(np.ascontiguousarray(interior).tobytes())
+    """Cheap content tag used to skip unchanged blocks on refresh.
+
+    The tag doubles as the mirror's integrity CRC: a stored copy whose
+    recomputed :func:`~repro.core.integrity.content_crc` no longer
+    matches it has been corrupted in the holder's memory and must never
+    be used as a repair source.
+    """
+    return content_crc(interior)
 
 
 class PartnerStore:
@@ -219,6 +225,84 @@ class PartnerStore:
         losing its redundancy buffer; also a test hook)."""
         self._copies.pop(rank, None)
         self._tags.pop(rank, None)
+
+    # ------------------------------------------------------------------
+    # mirror integrity (SDC defense)
+    # ------------------------------------------------------------------
+
+    def mirror_keys(self) -> List[Tuple[int, BlockID]]:
+        """Every stored mirror as ``(owner, bid)``, in deterministic
+        order (rank, then the owner's SFC insertion order) — the index
+        space scripted ``mirror`` bitflips select from."""
+        return [
+            (owner, bid)
+            for owner in sorted(self._copies)
+            for bid in self._copies[owner]
+        ]
+
+    def copy_view(self, owner: int, bid: BlockID) -> Optional[np.ndarray]:
+        """The stored mirror of one block, or None (test/injection hook:
+        on the process backend this is a live shared-memory view, so
+        writing to it corrupts the holder rank's real mirror row)."""
+        return self._copies.get(owner, {}).get(bid)
+
+    def verify_copies(self) -> Iterator[Tuple[int, BlockID, int, int]]:
+        """Recompute every stored mirror's CRC against its refresh tag.
+
+        Yields ``(owner, bid, expected_crc, actual_crc)`` for each copy;
+        the scrubber turns ``expected != actual`` into a ``mirror``
+        corruption entry.  Deterministic order (rank, then the owner's
+        insertion order, which follows the SFC cut).
+        """
+        for owner in sorted(self._copies):
+            tags = self._tags.get(owner, {})
+            for bid, copy in self._copies[owner].items():
+                expected = tags.get(bid)
+                if expected is None:  # pragma: no cover - defensive
+                    continue
+                yield owner, bid, expected, _tag(copy)
+
+    def copy_is_valid(self, owner: int, bid: BlockID) -> bool:
+        """Whether a mirror of ``owner``'s block exists, its holder is
+        alive, and its contents still match the CRC taken at refresh —
+        the gate a repair source must pass before it is trusted."""
+        if not self.has_copy(owner):
+            return False
+        copy = self._copies[owner].get(bid)
+        if copy is None:
+            return False
+        return _tag(copy) == self._tags[owner].get(bid)
+
+    def repair_block(self, owner: int, bid: BlockID) -> int:
+        """Overwrite a corrupted live interior from its verified mirror.
+
+        The caller must have checked :meth:`copy_is_valid` first.  The
+        restored payload is a real wire message from the holder to the
+        owner and is charged to partner traffic exactly once.  Returns
+        the bytes moved.
+        """
+        copy = self._copies[owner][bid]
+        block = self.machine.rank_blocks[owner][bid]
+        block.interior[...] = copy
+        holder = self._pairing.get(owner)
+        if holder is not None and holder != owner:
+            self.machine.stats.add(copy.size)
+        return int(copy.nbytes)
+
+    def remirror_block(self, owner: int, bid: BlockID) -> int:
+        """Rebuild a corrupted mirror from the (verified-live) block.
+
+        The replacement copy travels owner -> holder like any refresh
+        payload and is charged as partner traffic.  Returns the bytes
+        moved.
+        """
+        block = self.machine.rank_blocks[owner][bid]
+        holder = self._pairing.get(owner)
+        self._copies[owner][bid] = self._store_copy(owner, holder, bid, block)
+        self._tags[owner][bid] = _tag(block.interior)
+        if holder is not None:
+            self.machine.stats.add_partner(block.interior.size)
+        return int(block.interior.nbytes)
 
     # ------------------------------------------------------------------
     # restore

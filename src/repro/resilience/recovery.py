@@ -45,6 +45,7 @@ from repro.obs.metrics import METRICS
 from repro.resilience.checkpoint import Checkpointer
 from repro.resilience.faults import FaultDetected, MessageFailure, RankFailure
 from repro.resilience.partner import PartnerStore
+from repro.resilience.scrub import CorruptionError
 from repro.util.timing import wall_clock
 
 __all__ = [
@@ -139,7 +140,93 @@ def _event_kind(exc: FaultDetected) -> str:
         return "rank-failure"
     if isinstance(exc, MessageFailure):
         return f"message-{exc.mode}"
+    if isinstance(exc, CorruptionError):
+        return "corruption"
     return "fault"
+
+
+def _machine_retag(machine: "EmulatedMachine") -> None:
+    """Re-baseline the machine's integrity tags after a repair/rewind
+    (no-op when no scrubber is attached)."""
+    retag = getattr(machine, "scrub_retag", None)
+    if callable(retag):
+        retag()
+
+
+def _attempt_corruption_repair(
+    machine: "EmulatedMachine",
+    partner: PartnerStore,
+    exc: CorruptionError,
+    step: int,
+) -> Optional[Tuple[int, int, int]]:
+    """The self-healing ladder for scrub-detected corruption.
+
+    Per region, cheapest valid repair first:
+
+    * ``mirror`` — the live block is still good (the same scrub pass
+      verified it): rebuild the mirror from it, charged as partner
+      traffic.
+    * ``ghost`` — the next exchange rewrites the halo from live
+      neighbors; nothing to move.
+    * ``interior`` — repair in place from the SFC buddy's mirror, but
+      only after the mirror's own CRC verifies (a corrupt mirror must
+      never be a repair source) and only when the snapshot matches the
+      present step; a stale-but-valid snapshot rewinds every survivor
+      and replays the window instead.
+    * ``staging`` — the exchange aborted mid-flight with ghosts
+      partially written: rewind every survivor to the snapshot, like a
+      message failure.
+
+    Returns ``(restored_from_step, blocks, bytes)`` or None when no
+    verified repair source exists (double corruption), in which case
+    the caller escalates to the global checkpoint rollback.
+    """
+    interior_bids = {e.block for e in exc.entries if e.region == "interior"}
+    mirror_keys = {
+        (e.rank, e.block) for e in exc.entries if e.region == "mirror"
+    }
+    if any(bid in interior_bids for _, bid in mirror_keys):
+        # A block and its own mirror are both corrupt: neither side can
+        # vouch for the other — classic double corruption, escalate.
+        return None
+    blocks = 0
+    nbytes = 0
+    # Mirrors first: a later survivor rewind reads these copies, so they
+    # must be rebuilt (from scrub-verified live blocks) before any use.
+    for owner, bid in sorted(
+        mirror_keys, key=lambda k: (k[0] if k[0] is not None else -1, str(k[1]))
+    ):
+        if owner is None or bid not in machine.rank_blocks[owner]:
+            return None
+        nbytes += partner.remirror_block(owner, bid)
+        blocks += 1
+    needs_rewind = any(e.region == "staging" for e in exc.entries)
+    repairable: list = []
+    for bid in interior_bids:
+        owner = machine.assignment.get(bid)
+        if owner is None or not partner.copy_is_valid(owner, bid):
+            return None  # no verified source for this block
+        repairable.append((owner, bid))
+    if repairable and not partner.is_current:
+        # Valid but stale mirrors: in-place repair would splice an old
+        # interior into the present step, so rewind everyone instead.
+        needs_rewind = True
+    if needs_rewind:
+        if not partner.can_rewind():
+            return None
+        b, n = partner.rewind_alive()
+        blocks += b
+        nbytes += n
+        restored_from = partner.snapshot_step
+        machine.step_index = partner.snapshot_step
+        machine.time = partner.snapshot_time
+    else:
+        for owner, bid in repairable:
+            nbytes += partner.repair_block(owner, bid)
+            blocks += 1
+        restored_from = step
+    _machine_retag(machine)
+    return restored_from, blocks, nbytes
 
 
 def _attempt_local_recovery(
@@ -155,6 +242,8 @@ def _attempt_local_recovery(
     (double fault / stale snapshot) and the caller must escalate.
     All preconditions are checked before any state is mutated.
     """
+    if isinstance(exc, CorruptionError):
+        return _attempt_corruption_repair(machine, partner, exc, step)
     if isinstance(exc, RankFailure):
         dead = list(exc.ranks)
         if not partner.can_restore(dead):
@@ -240,6 +329,11 @@ def run_with_recovery(
         make = getattr(machine, "make_partner_store", None)
         partner = make() if callable(make) else PartnerStore(machine)
         partner.refresh()
+        scrubber = getattr(machine, "scrubber", None)
+        if scrubber is not None:
+            # The scrub pass also verifies the partner mirrors, so a
+            # corrupt mirror is caught before it could serve a repair.
+            scrubber.partner = partner
     checkpointer.save(snapshot_forest(machine), step=machine.step_index, time=machine.time)
     report.checkpoints_written += 1
     start = machine.step_index
@@ -278,12 +372,19 @@ def run_with_recovery(
             else:
                 info = checkpointer.latest()
                 if info is None:
+                    if isinstance(exc, CorruptionError):
+                        # No verified mirror and no checkpoint: nothing
+                        # can vouch for the data.  Abort with the
+                        # per-block diagnosis rather than a bare
+                        # checkpoint complaint.
+                        raise exc
                     raise CheckpointError(
                         "fault detected but no usable checkpoint exists to "
                         "roll back to"
                     ) from exc
                 forest, info = checkpointer.load_latest()
                 machine.restore(forest, time=info.time, step_index=info.step)
+                _machine_retag(machine)
                 if partner is not None:
                     partner.refresh()
                 event = RecoveryEvent(
@@ -304,6 +405,31 @@ def run_with_recovery(
             report.events.append(event)
             report.steps_replayed += event.replayed_steps
             pending_recovery_time += event.duration
+            if isinstance(exc, CorruptionError):
+                if event.strategy == "global":
+                    action = "rollback"
+                elif event.replayed_steps or "staging" in exc.regions:
+                    # Staging corruption always rewinds the survivors,
+                    # even when the snapshot is current (zero replay).
+                    action = "rewind"
+                else:
+                    action = "mirror-repair"
+                if METRICS.enabled:
+                    METRICS.inc("sdc.corruptions", len(exc.entries))
+                    METRICS.inc("sdc.repairs" if action == "mirror-repair"
+                                else "sdc.escalations")
+                    METRICS.inc("sdc.bytes_repaired", event.bytes_restored)
+                if recorder is not None:
+                    recorder.emit(
+                        "corruption",
+                        step=exc.step,
+                        regions=list(exc.regions),
+                        action=action,
+                        blocks=[str(e.block) for e in exc.entries],
+                        blocks_restored=event.blocks_restored,
+                        bytes_restored=event.bytes_restored,
+                        detail=str(exc),
+                    )
             if METRICS.enabled:
                 METRICS.inc("recovery.events")
                 METRICS.inc("recovery.blocks_restored", event.blocks_restored)

@@ -374,6 +374,44 @@ class TestLintRules:
         src = "import time\nt = time.perf_counter()\n"
         assert lint_source(src, "repro/util/timing2.py") == []
 
+    def test_repro105_raw_checksum_outside_owner_modules(self):
+        bad = [
+            "import zlib\nc = zlib.crc32(b'x')\n",
+            "import zlib\nc = zlib.adler32(b'x')\n",
+            "from zlib import crc32\nc = crc32(b'x')\n",
+            "import hashlib\nh = hashlib.sha256(b'x')\n",
+            "import hashlib\nh = hashlib.md5(b'x')\n",
+            "from hashlib import sha256\nh = sha256(b'x')\n",
+        ]
+        for src in bad:
+            v = lint_source(src, "repro/amr/driver2.py")
+            assert any(x.code == "REPRO105" for x in v), src
+
+    def test_repro105_allowed_in_checksum_owner_modules(self):
+        src = "import zlib\nc = zlib.crc32(b'x')\n"
+        for owner in (
+            "repro/core/integrity.py",
+            "repro/amr/io.py",
+            "repro/resilience/checkpoint.py",
+            "repro/parallel/supervisor.py",
+        ):
+            assert lint_source(src, owner) == [], owner
+
+    def test_repro105_integrity_helpers_are_fine(self):
+        src = (
+            "from repro.core.integrity import content_crc, crc_bytes\n"
+            "c = content_crc(arr)\n"
+            "d = crc_bytes(b'x')\n"
+        )
+        assert lint_source(src, "repro/amr/driver2.py") == []
+
+    def test_repro105_noqa_escape(self):
+        src = (
+            "import zlib\n"
+            "c = zlib.crc32(b'x')  # repro: noqa[REPRO105]\n"
+        )
+        assert lint_source(src, "repro/amr/driver2.py") == []
+
     def test_noqa_suppression(self):
         src = "b.data = x  # repro: noqa[REPRO101]\n"
         assert lint_source(src, "repro/amr/driver2.py") == []

@@ -258,6 +258,8 @@ class TestValidateEvents:
             "profile": {"engine": "blocked", "wall_s": 0.1, "phases": {}},
             "summary": {"engines": {}},
             "supervisor": {"event": "rank-death", "rank": 1},
+            "corruption": {"step": 2, "regions": ["interior"],
+                           "action": "mirror-repair"},
         }
         assert set(payloads) == set(EVENT_SCHEMA)
         buf = io.StringIO()

@@ -32,10 +32,12 @@ from repro.parallel import (
 )
 from repro.parallel.shared_arena import SharedBlockArena
 from repro.resilience import (
+    BitFlip,
     Checkpointer,
     FaultPlan,
     RankKill,
     RetryPolicy,
+    Scrubber,
     run_with_recovery,
 )
 from repro.solvers import AdvectionScheme, EulerScheme
@@ -299,6 +301,79 @@ class TestRealProcessDeath:
             assert sum(len(m.rank_blocks[r]) for r in m.alive_ranks) == len(
                 ref.blocks
             )
+            assert_bitwise(m, ref)
+
+
+# ---------------------------------------------------------------------------
+# silent data corruption: scrub + mirror-verified healing on real processes
+# ---------------------------------------------------------------------------
+
+
+class TestSilentDataCorruption:
+    """Bitflips injected into real worker address spaces (via the
+    supervisor fault channel) must be detected at the next phase
+    boundary and healed back to bit-for-bit agreement with the serial
+    driver — the same oracle the SIGKILL tests use."""
+
+    def test_fault_free_scrub_run_is_bit_identical(self):
+        scheme = AdvectionScheme((1.0, 0.5), order=2)
+        ref = serial_reference(scheme, 4, DT)
+        forest = make_amr_forest()
+        init_pulse(forest, scheme)
+        with ProcessMachine(forest, 3, scheme, config=FAST) as m:
+            scrubber = m.attach_scrubber(Scrubber(every=1))
+            for _ in range(4):
+                m.advance(DT)
+            assert_bitwise(m, ref)
+            assert scrubber.scrubs >= 4
+            assert scrubber.mismatches == 0
+
+    @pytest.mark.parametrize("target", ["interior", "mirror", "staging"])
+    def test_flip_detected_and_healed_bit_for_bit(self, target, tmp_path):
+        scheme = AdvectionScheme((1.0, 0.5), order=2)
+        ref = serial_reference(scheme, 4, DT)
+        forest = make_amr_forest()
+        init_pulse(forest, scheme)
+        plan = FaultPlan(
+            bitflips=[BitFlip(step=2, target=target, block=1, byte=7,
+                              bit=4)]
+        )
+        with ProcessMachine(
+            forest, 3, scheme, fault_plan=plan, config=FAST,
+        ) as m:
+            m.attach_scrubber(Scrubber(every=1))
+            report, _ = drive_with_recovery(m, tmp_path)
+            events = [e for e in report.events if e.kind == "corruption"]
+            assert events, "flip was never detected"
+            assert events[0].step == 2
+            # no rank died: the machine never lost a process to SDC
+            assert m.deaths == []
+            assert m.alive_ranks == [0, 1, 2]
+            assert_bitwise(m, ref)
+
+    def test_interior_flip_heals_from_mirror_with_zero_disk_reads(
+        self, tmp_path
+    ):
+        scheme = AdvectionScheme((1.0, 0.5), order=2)
+        ref = serial_reference(scheme, 4, DT)
+        forest = make_amr_forest()
+        init_pulse(forest, scheme)
+        plan = FaultPlan(
+            bitflips=[BitFlip(step=2, target="interior", block=0, byte=3,
+                              bit=2)]
+        )
+        ckpt = CountingCheckpointer(tmp_path)
+        with ProcessMachine(
+            forest, 3, scheme, fault_plan=plan, config=FAST,
+        ) as m:
+            m.attach_scrubber(Scrubber(every=1))
+            report, _ = drive_with_recovery(
+                m, tmp_path, strategy="local", checkpointer=ckpt
+            )
+            assert [(e.kind, e.strategy) for e in report.events] == [
+                ("corruption", "local")
+            ]
+            assert ckpt.n_disk_loads == 0
             assert_bitwise(m, ref)
 
 

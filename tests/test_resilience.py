@@ -746,6 +746,88 @@ class TestTornWrites:
         assert info.step >= 1
 
 
+class TestBitflippedCheckpoints:
+    """Single-bitflip fuzz over a v2 checkpoint file.  The oracle: a
+    flipped file either fails loudly with :class:`CheckpointError` or
+    loads **bit-identical** to the original — flips can land in zip
+    padding/ignored header bytes, but must never surface as silently
+    different state."""
+
+    def _small_forest(self):
+        forest = BlockForest(
+            Box((0.0, 0.0), (1.0, 1.0)), (2, 2), (4, 4), nvar=1,
+            n_ghost=2, periodic=(True, True), max_level=1,
+        )
+        for b in forest:
+            X, Y = b.meshgrid()
+            b.interior[0] = X + 2.0 * Y
+        return forest
+
+    @staticmethod
+    def _bit_identical(a, b):
+        if set(a.blocks) != set(b.blocks):
+            return False
+        return all(
+            np.array_equal(blk.interior, b.blocks[bid].interior)
+            for bid, blk in a.blocks.items()
+        )
+
+    def test_flip_at_every_byte_offset_is_detected_or_harmless(
+        self, tmp_path
+    ):
+        from repro.amr.io import load_forest, verify_checkpoint
+
+        path = tmp_path / "ckpt.npz"
+        save_forest(self._small_forest(), path, time=0.5, step=3)
+        original = load_forest(path)
+        payload = bytearray(path.read_bytes())
+        flipped = tmp_path / "flipped.npz"
+        n_detected = n_harmless = 0
+        for offset in range(len(payload)):
+            bit = offset % 8  # vary the bit so sign/exponent/mantissa,
+            payload[offset] ^= 1 << bit  # magic bytes and CRCs all get hit
+            flipped.write_bytes(payload)
+            payload[offset] ^= 1 << bit
+            record = verify_checkpoint(flipped)
+            try:
+                restored = load_forest(flipped)
+            except CheckpointError:
+                n_detected += 1
+                assert not record["ok"], (
+                    f"verify_checkpoint passed a file load_forest "
+                    f"rejects (offset {offset})"
+                )
+                continue
+            n_harmless += 1
+            assert self._bit_identical(restored, original), (
+                f"bitflip at byte {offset} bit {bit} loaded silently "
+                "different state"
+            )
+        assert n_detected + n_harmless == len(payload)
+        # the data payload dominates the file, so most flips must trip
+        # the checksum; only header/padding flips may be harmless
+        assert n_detected > n_harmless
+
+    def test_latest_quarantines_bitflipped_newest(self, tmp_path):
+        forest = make_amr_forest()
+        init_pulse(forest)
+        ckpt = Checkpointer(tmp_path, keep=5)
+        ckpt.save(forest, step=1, time=0.1)
+        info2 = ckpt.save(forest, step=2, time=0.2)
+        payload = bytearray(info2.path.read_bytes())
+        # flip a byte in the middle of the member data, where the
+        # array payload lives
+        payload[len(payload) // 2] ^= 0x10
+        info2.path.write_bytes(payload)
+        fresh = Checkpointer(tmp_path, keep=5)
+        latest = fresh.latest()
+        assert latest is not None and latest.step == 1
+        assert info2.path in fresh.quarantined
+        restored, info = fresh.load_latest()
+        assert info.step == 1
+        assert set(restored.blocks) == set(forest.blocks)
+
+
 # ---------------------------------------------------------------------------
 # forest invariant validation
 # ---------------------------------------------------------------------------
