@@ -17,9 +17,31 @@ Three independent layers, all opt-in and zero-cost when disabled:
   paths, no wall-clock reads in deterministic-replay code) with
   per-rule codes and ``# repro: noqa[RULE]`` suppression.
 
+A fourth, fully static layer verifies the distributed backends
+(``repro check``):
+
+* :mod:`repro.analysis.protocol` — a declarative, machine-readable
+  **spec of the supervisor/worker wire protocol** (phases, sequence
+  numbers, CRC-checked replies, supervision timeouts, fault
+  transitions, the heal ladder) plus an AST conformance layer that
+  keeps the spec honest against the real modules;
+* :mod:`repro.analysis.effects` — a **phase-effect analyzer** inferring
+  which arena regions (interior/ghost/mirror/staging) each
+  ``@phase_effect``-annotated function reads and writes, checked
+  against the spec's per-phase contracts (lint rule REPRO106);
+* :mod:`repro.analysis.modelcheck` — a bounded **explicit-state model
+  checker** exploring protocol interleavings under fault injection and
+  reporting deadlocks, lost wakeups, sequence divergence, double-frees,
+  and unverified-mirror heals as replayable counterexample schedules.
+
 See ``docs/static-analysis.md`` for the rule catalog and semantics.
 """
 
+from repro.analysis.effects import (
+    FunctionEffects,
+    check_source as effect_check_source,
+    infer_module_effects,
+)
 from repro.analysis.lint import (
     LintViolation,
     Rule,
@@ -27,6 +49,26 @@ from repro.analysis.lint import (
     lint_paths,
     lint_source,
     rule_codes,
+)
+from repro.analysis.modelcheck import (
+    CounterexampleTrace,
+    EXPECTED_VIOLATION,
+    MODEL_FAULTS,
+    MUTATIONS,
+    ModelCheckResult,
+    check_protocol,
+    replay_trace,
+    schedule_faults,
+)
+from repro.analysis.protocol import (
+    PROTOCOL,
+    PROTOCOL_MODULES,
+    ConformanceIssue,
+    ProtocolSpec,
+    check_conformance,
+    contract_for,
+    mutated,
+    phase_effect,
 )
 from repro.analysis.poison import (
     GhostSanitizer,
@@ -66,4 +108,23 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "rule_codes",
+    "PROTOCOL",
+    "PROTOCOL_MODULES",
+    "ConformanceIssue",
+    "ProtocolSpec",
+    "check_conformance",
+    "contract_for",
+    "mutated",
+    "phase_effect",
+    "FunctionEffects",
+    "effect_check_source",
+    "infer_module_effects",
+    "CounterexampleTrace",
+    "EXPECTED_VIOLATION",
+    "MODEL_FAULTS",
+    "MUTATIONS",
+    "ModelCheckResult",
+    "check_protocol",
+    "replay_trace",
+    "schedule_faults",
 ]

@@ -27,12 +27,29 @@ REPRO105   No raw ``zlib.crc32``/``zlib.adler32``/``hashlib.*`` calls
            the checkpoint format, the wire supervisor): everything else
            must go through the :mod:`repro.core.integrity` helpers so
            checksum policy stays in one auditable place.
+REPRO106   Functions annotated ``@phase_effect("op")`` may only read
+           and write the arena regions the protocol spec declares for
+           that phase (:mod:`repro.analysis.effects` infers the
+           regions; :data:`repro.analysis.protocol.PROTOCOL` declares
+           the contracts).
+REPRO107   Protocol wire messages (``conn.send(...)`` calls and dict
+           literals carrying both ``op`` and ``seq``) may be built only
+           inside the spec-registered constructor functions — new
+           message sites must be added to the spec first.
 ========== =============================================================
 
 Suppression: append ``# repro: noqa`` (any rule) or
 ``# repro: noqa[REPRO104]`` (specific rules, comma-separated) to the
 offending line.  Suppressions are deliberate and auditable — grep for
 ``repro: noqa`` to review every exception.
+
+Per-directory configuration: ``lint_paths`` applies
+:data:`DIR_CONFIGS` to files under ``tests/`` and ``benchmarks/`` —
+REPRO101 is dropped there (tests legitimately poke ``.data`` to build
+fixtures and corrupt state on purpose) while REPRO102 stays on and
+REPRO104 is *forced* in ``tests/`` (scoped rules otherwise never fire
+outside the package).  ``benchmarks/`` keep wall-clock access: timing
+is their purpose.
 
 The checker is pure stdlib ``ast`` — no third-party dependency — and
 is exposed both as a library (:func:`lint_source`, :func:`lint_paths`)
@@ -45,9 +62,14 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.effects import check_source as _effect_check
+from repro.analysis.protocol import PROTOCOL, PROTOCOL_MODULES
 
 __all__ = [
+    "DIR_CONFIGS",
+    "DirConfig",
     "LintViolation",
     "Rule",
     "RULES",
@@ -129,6 +151,14 @@ CHECKSUM_OWNER_MODULES: Tuple[str, ...] = (
     "repro/parallel/supervisor.py",
 )
 
+#: Modules whose ``@phase_effect`` annotations are checked against the
+#: protocol spec's per-phase region contracts (REPRO106).
+EFFECT_MODULES: Tuple[str, ...] = (
+    "repro/core/",
+    "repro/parallel/",
+    "repro/resilience/",
+)
+
 RULES: Tuple[Rule, ...] = (
     Rule(
         "REPRO101",
@@ -147,6 +177,17 @@ RULES: Tuple[Rule, ...] = (
     Rule(
         "REPRO105",
         "raw zlib/hashlib checksum call outside checksum-owner modules",
+    ),
+    Rule(
+        "REPRO106",
+        "phase-effect violation: region access outside the phase's "
+        "declared contract",
+        scope=EFFECT_MODULES,
+    ),
+    Rule(
+        "REPRO107",
+        "protocol message built outside spec-registered constructors",
+        scope=PROTOCOL_MODULES,
     ),
 )
 
@@ -242,11 +283,16 @@ def _normalize(dotted: str) -> str:
 
 
 class _Checker(ast.NodeVisitor):
-    def __init__(self, module_path: str, aliases: Dict[str, str]) -> None:
+    def __init__(
+        self,
+        module_path: str,
+        aliases: Dict[str, str],
+        force: FrozenSet[str] = frozenset(),
+    ) -> None:
         self.module_path = module_path
         self.aliases = aliases
         self.found: List[Tuple[int, int, str, str]] = []
-        self.in_replay = any(
+        self.in_replay = "REPRO104" in force or any(
             module_path.startswith(p) for p in REPLAY_MODULES
         )
         self.in_recovery = any(
@@ -258,11 +304,40 @@ class _Checker(ast.NodeVisitor):
         self.is_checksum_owner = any(
             module_path.startswith(p) for p in CHECKSUM_OWNER_MODULES
         )
+        self.is_protocol_module = module_path in PROTOCOL_MODULES
+        self._constructors: FrozenSet[str] = (
+            PROTOCOL.constructor_qualnames(module_path)
+            if self.is_protocol_module else frozenset()
+        )
+        self._scope: List[str] = []
 
     def _emit(self, node: ast.AST, code: str, message: str) -> None:
         self.found.append(
             (getattr(node, "lineno", 1), getattr(node, "col_offset", 0),
              code, message)
+        )
+
+    # -- scope tracking (REPRO107 constructor qualnames) ----------------
+
+    def _visit_scope(self, node: ast.AST, name: str) -> None:
+        self._scope.append(name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_scope(node, node.name)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node, node.name)
+
+    def _in_registered_constructor(self) -> bool:
+        qual = ".".join(self._scope)
+        return any(
+            qual == reg or qual.startswith(reg + ".")
+            for reg in self._constructors
         )
 
     # -- REPRO101: Block.data mutation ----------------------------------
@@ -359,6 +434,36 @@ class _Checker(ast.NodeVisitor):
                     "(crc_bytes / content_crc / crc_text) so integrity "
                     "policy stays centralized",
                 )
+        if (
+            self.is_protocol_module
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "send"
+            and not self._in_registered_constructor()
+        ):
+            self._emit(
+                node,
+                "REPRO107",
+                "wire `.send(...)` outside a spec-registered message "
+                "constructor; register the site in "
+                "repro.analysis.protocol.PROTOCOL.constructors first",
+            )
+        self.generic_visit(node)
+
+    # -- REPRO107: protocol message literals ----------------------------
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        if self.is_protocol_module and not self._in_registered_constructor():
+            keys = {
+                k.value for k in node.keys
+                if isinstance(k, ast.Constant) and isinstance(k.value, str)
+            }
+            if "op" in keys and "seq" in keys:
+                self._emit(
+                    node,
+                    "REPRO107",
+                    "protocol command literal (op+seq dict) built outside "
+                    "a spec-registered message constructor",
+                )
         self.generic_visit(node)
 
     # -- REPRO103: bare / swallowing except -----------------------------
@@ -393,15 +498,20 @@ def lint_source(
     *,
     select: Optional[Iterable[str]] = None,
     display_path: Optional[str] = None,
+    force: Optional[Iterable[str]] = None,
 ) -> List[LintViolation]:
     """Lint one module's source text.
 
     ``module_path`` is the package-relative path (``repro/core/block.py``)
     used for rule scoping; ``display_path`` (default: ``module_path``)
-    is what violations report.  ``select`` restricts to specific codes.
+    is what violations report.  ``select`` restricts to specific codes;
+    ``force`` treats the named scoped rules as in-scope regardless of
+    ``module_path`` (how ``tests/`` gets REPRO104 despite living outside
+    the package).
     """
     display = display_path if display_path is not None else module_path
     wanted = set(select) if select is not None else set(rule_codes())
+    forced = frozenset(force) if force is not None else frozenset()
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
@@ -413,11 +523,17 @@ def lint_source(
         ]
     imports = _ImportAliases()
     imports.visit(tree)
-    checker = _Checker(module_path, imports.aliases)
+    checker = _Checker(module_path, imports.aliases, forced)
     checker.visit(tree)
+    found = list(checker.found)
+    if "REPRO106" in wanted and (
+        "REPRO106" in forced
+        or any(module_path.startswith(p) for p in EFFECT_MODULES)
+    ):
+        found.extend(_effect_check(source, module_path))
     suppressed = _collect_suppressions(source)
     out: List[LintViolation] = []
-    for line, col, code, message in checker.found:
+    for line, col, code, message in found:
         if code not in wanted:
             continue
         if line in suppressed:
@@ -450,20 +566,69 @@ def iter_python_files(paths: Sequence[Path]) -> List[Path]:
     return files
 
 
+@dataclass(frozen=True)
+class DirConfig:
+    """Per-directory rule configuration applied by :func:`lint_paths`.
+
+    ``drop`` removes rules that are meaningless or counterproductive in
+    the directory; ``force`` treats scoped rules as in-scope there (see
+    :func:`lint_source`).
+    """
+
+    drop: Tuple[str, ...] = ()
+    force: Tuple[str, ...] = ()
+
+
+#: Directory-name keyed configs, matched against any path component.
+#: Tests poke ``.data`` to build fixtures and corrupt state on purpose
+#: (REPRO101 off) but must stay deterministic (REPRO102 on, REPRO104
+#: forced).  Benchmarks additionally own their wall clocks — timing is
+#: the product, so REPRO104 stays off there.
+DIR_CONFIGS: Dict[str, DirConfig] = {
+    "tests": DirConfig(drop=("REPRO101",), force=("REPRO104",)),
+    "benchmarks": DirConfig(drop=("REPRO101", "REPRO104")),
+}
+
+
+def _config_for(path: Path) -> Optional[DirConfig]:
+    # Files inside the package keep the default scoping even if some
+    # ancestor directory happens to be named "tests".
+    parts = path.parts
+    if "repro" in parts:
+        return None
+    for part in parts:
+        cfg = DIR_CONFIGS.get(part)
+        if cfg is not None:
+            return cfg
+    return None
+
+
 def lint_paths(
     paths: Sequence[str],
     *,
     select: Optional[Iterable[str]] = None,
 ) -> List[LintViolation]:
-    """Lint files and directory trees; returns all violations found."""
+    """Lint files and directory trees; returns all violations found.
+
+    An explicit ``select`` narrows the rule set everywhere; on top of
+    that, files under a :data:`DIR_CONFIGS` directory get that
+    directory's dropped/forced rules.
+    """
     out: List[LintViolation] = []
     for path in iter_python_files([Path(p) for p in paths]):
+        cfg = _config_for(path)
+        wanted = set(select) if select is not None else set(rule_codes())
+        force: Tuple[str, ...] = ()
+        if cfg is not None:
+            wanted -= set(cfg.drop)
+            force = cfg.force
         out.extend(
             lint_source(
                 path.read_text(encoding="utf-8"),
                 _module_path_for(path),
-                select=select,
+                select=wanted,
                 display_path=str(path),
+                force=force,
             )
         )
     return out

@@ -1,0 +1,594 @@
+"""Explicit-state model checker for the supervisor/worker protocol.
+
+The process backend's barrier-phase protocol
+(:mod:`repro.parallel.procmachine` / :mod:`repro.parallel.procworker`)
+is easy to get *mostly* right and hard to get *always* right: the bugs
+that matter live in interleavings that the test suite hits once in a
+thousand runs — a reply lost exactly when the probe is disabled, a rank
+killed between the gather and the write half of an exchange, a stale
+duplicate reply accepted for the wrong sequence number.  This module
+explores those interleavings exhaustively under a small-world bound
+(2–4 ranks, one or two steps, a bounded fault budget) against the
+declarative :class:`~repro.analysis.protocol.ProtocolSpec`.
+
+The model is deliberately small.  One abstract state tracks, per rank,
+where the worker is in the command/reply cycle (``idle``, ``busy``,
+``replied``, plus fault statuses), the last sequence number it
+executed, whether its exchange staging payload has been gathered, and
+whether its shared-memory segment is mapped; globally it tracks the
+phase program counter, the supervisor's broadcast/collect pc, the
+mirror-verified flag of the partner store, and the remaining fault
+budget.  Transitions mirror the real supervision ladder: soft-timeout
+probes resend cached replies, CRC-garbled replies are retried,
+heartbeat timeouts detect hangs and deaths, dead ranks are reaped
+(segment freed), healed from the partner mirror, and re-issued the
+in-flight command.
+
+Checked properties (each yields a replayable counterexample schedule):
+
+``deadlock``
+    no action is enabled before the phase program completes;
+``lost-wakeup``
+    a deadlock whose stuck rank holds an unsent reply — the classic
+    consequence of dropping the soft-timeout probe;
+``seq-divergence``
+    a phase completes while some rank's last executed sequence number
+    differs from the supervisor's — accepting a stale duplicate reply;
+``double-free``
+    a rank's shared segment is freed twice — reap racing respawn
+    cleanup without the mapped-flag guard;
+``mirror-unverified``
+    a heal consumes a partner mirror that was never CRC-verified;
+``staging-order``
+    the write half of an exchange runs before its gather half filled
+    the staging payload (the reordered-exch2 mutation).
+
+Faults are injected at command-execution points of injectable phases
+(``config``/``shutdown`` are excluded, matching the spec); the model
+fault alphabet is ``kill``/``hang``/``mute``/``garble``/``stale``.
+Partial-order reduction exploits that worker executions and reply
+deliveries on distinct ranks commute: once the fault budget is
+exhausted, only the lowest-ranked of the purely-commutative actions is
+explored, while supervision actions (timeouts, reaps, heals) always
+branch fully.
+
+Counterexamples serialize to JSON (:class:`CounterexampleTrace`) and
+replay two ways: in-model via :func:`replay_trace` (used by the tests
+to pin the violation), and on the emulated backend via
+``repro emulate --schedule`` (which maps the trace's fault actions to
+the emulator's deterministic fault plan through
+:func:`schedule_faults`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.analysis.protocol import PROTOCOL, ProtocolSpec, mutated
+
+__all__ = [
+    "Action",
+    "CounterexampleTrace",
+    "EXPECTED_VIOLATION",
+    "MODEL_FAULTS",
+    "MUTATIONS",
+    "ModelCheckResult",
+    "check_protocol",
+    "replay_trace",
+    "schedule_faults",
+]
+
+#: Fault kinds the model injects at execution points.  ``kill``/``hang``
+#: map onto the worker test hooks of the same name; ``mute`` covers the
+#: hook's ``mute`` and ``slow`` spellings (reply missing at the soft
+#: timeout); ``garble`` is a transient CRC failure; ``stale`` models a
+#: delayed duplicate reply carrying an old sequence number.
+MODEL_FAULTS: Tuple[str, ...] = ("kill", "hang", "mute", "garble", "stale")
+
+#: Named single-flag spec mutations, each seeding one protocol bug the
+#: checker must find.  Keys are accepted by ``repro check --mutate``.
+MUTATIONS: Mapping[str, Mapping[str, bool]] = {
+    "reorder-exch2": {"gather_before_write": False},
+    "skip-mirror-verify": {"verify_mirror_before_heal": False},
+    "drop-probe": {"probe_on_soft_timeout": False},
+    "unguarded-free": {"guard_segment_free": False},
+    "skip-seq-check": {"check_reply_seq": False},
+}
+
+#: Violation kind each mutation is expected to surface.
+EXPECTED_VIOLATION: Mapping[str, str] = {
+    "reorder-exch2": "staging-order",
+    "skip-mirror-verify": "mirror-unverified",
+    "drop-probe": "lost-wakeup",
+    "unguarded-free": "double-free",
+    "skip-seq-check": "seq-divergence",
+}
+
+# Worker statuses.  "busy" holds an unexecuted command; "muted" executed
+# but lost its reply; "stale" holds a delayed duplicate reply (command
+# unexecuted); "garbled" holds a CRC-corrupt reply; "detected" is a dead
+# rank the heartbeat has noticed; "reaped" had its segment freed and
+# awaits healing.
+_IDLE = "idle"
+_BUSY = "busy"
+_REPLIED = "replied"
+_MUTED = "muted"
+_GARBLED = "garbled"
+_STALE = "stale"
+_HUNG = "hung"
+_DEAD = "dead"
+_DETECTED = "detected"
+_REAPED = "reaped"
+
+#: One scheduler action: a tuple of strings/ints, first element the verb.
+Action = Tuple[Any, ...]
+
+# State tuple layout (hashable, canonical):
+#   (phase_idx, sup_pc, seq, workers, collected, mirror_verified, faults_left)
+# with workers = tuple of (status, last_seq, staging_filled, seg_mapped).
+_State = Tuple[
+    int, str, int, Tuple[Tuple[str, int, bool, bool], ...],
+    FrozenSet[int], bool, int,
+]
+
+
+def _build_program(
+    spec: ProtocolSpec, steps: int, scheme: str
+) -> Tuple[Tuple[str, int], ...]:
+    """The bounded phase program: ``config`` then ``steps`` step bodies.
+
+    Each entry is ``(op, step_index)``.  The ``gather_before_write``
+    mutation reorders the exchange halves here, exactly as a
+    wrongly-sequenced ``_phase`` call chain would.
+    """
+    body = list(
+        spec.step_program_double if scheme == "double"
+        else spec.step_program_single
+    )
+    if not spec.gather_before_write:
+        swapped: List[str] = []
+        i = 0
+        while i < len(body):
+            if (
+                i + 1 < len(body)
+                and body[i] == "exch2-gather"
+                and body[i + 1] == "exch2-write"
+            ):
+                swapped += [body[i + 1], body[i]]
+                i += 2
+            else:
+                swapped.append(body[i])
+                i += 1
+        body = swapped
+    program: List[Tuple[str, int]] = [("config", 0)]
+    for s in range(steps):
+        program.extend((op, s) for op in body)
+    return tuple(program)
+
+
+def _initial(ranks: int, max_faults: int) -> _State:
+    workers = tuple((_IDLE, -1, False, True) for _ in range(ranks))
+    return (0, "bcast", 0, workers, frozenset(), False, max_faults)
+
+
+def _done(state: _State, program: Tuple[Tuple[str, int], ...]) -> bool:
+    return state[0] >= len(program)
+
+
+def _enabled(
+    state: _State,
+    spec: ProtocolSpec,
+    program: Tuple[Tuple[str, int], ...],
+) -> List[Action]:
+    phase_idx, sup, _seq, workers, _collected, verified, budget = state
+    if phase_idx >= len(program):
+        return []
+    op, _step = program[phase_idx]
+    injectable = spec.phase(op).injectable
+    actions: List[Action] = []
+    if sup == "bcast":
+        return [("bcast",)]
+    any_reaped = any(w[0] == _REAPED for w in workers)
+    for r, (status, _last, _staging, _mapped) in enumerate(workers):
+        if status == _BUSY:
+            actions.append(("exec", r))
+            if injectable and budget > 0:
+                actions.extend(("fault", r, kind) for kind in MODEL_FAULTS)
+        elif status in (_REPLIED, _GARBLED, _STALE):
+            actions.append(("deliver", r))
+        elif status == _MUTED:
+            if spec.probe_on_soft_timeout:
+                actions.append(("timeout", r))
+        elif status in (_HUNG, _DEAD):
+            actions.append(("timeout", r))
+        elif status == _DETECTED:
+            actions.append(("reap", r))
+        elif status == _REAPED:
+            if not spec.guard_segment_free:
+                actions.append(("reap", r))
+            if verified or not spec.verify_mirror_before_heal:
+                actions.append(("heal", r))
+    if any_reaped and not verified:
+        actions.append(("verify-mirror",))
+    return actions
+
+
+def _apply(
+    state: _State,
+    action: Action,
+    spec: ProtocolSpec,
+    program: Tuple[Tuple[str, int], ...],
+) -> Tuple[_State, Optional[Tuple[str, str]]]:
+    """Apply ``action``; return the successor and any violation found."""
+    phase_idx, sup, seq, workers, collected, verified, budget = state
+    ws = [list(w) for w in workers]
+    coll = set(collected)
+    op, _step = program[phase_idx]
+    verb = action[0]
+    violation: Optional[Tuple[str, str]] = None
+
+    if verb == "bcast":
+        seq += 1
+        sup = "collect"
+        for w in ws:
+            w[0] = _BUSY
+        coll = set()
+    elif verb == "exec":
+        r = int(action[1])
+        ws[r][0] = _REPLIED
+        ws[r][1] = seq
+        if op == "exch2-gather":
+            ws[r][2] = True
+        elif op == "exch2-write":
+            if not ws[r][2]:
+                violation = (
+                    "staging-order",
+                    f"rank {r} ran exch2-write at seq {seq} before "
+                    "exch2-gather filled its staging payload",
+                )
+            ws[r][2] = False
+    elif verb == "fault":
+        r, kind = int(action[1]), str(action[2])
+        budget -= 1
+        if kind == "kill":
+            ws[r][0] = _DEAD
+        elif kind == "hang":
+            ws[r][0] = _HUNG
+        elif kind == "mute":
+            # Executed, reply lost in the pipe.
+            ws[r][0] = _MUTED
+            ws[r][1] = seq
+            if op == "exch2-gather":
+                ws[r][2] = True
+            elif op == "exch2-write":
+                ws[r][2] = False
+        elif kind == "garble":
+            ws[r][0] = _GARBLED
+            ws[r][1] = seq
+            if op == "exch2-gather":
+                ws[r][2] = True
+            elif op == "exch2-write":
+                ws[r][2] = False
+        elif kind == "stale":
+            # A delayed duplicate reply arrives; the real command is
+            # still unexecuted in the worker's queue.
+            ws[r][0] = _STALE
+    elif verb == "deliver":
+        r = int(action[1])
+        status = ws[r][0]
+        if status == _GARBLED:
+            # CRC check fails; the probe resends the cached reply and
+            # the transient corruption does not recur.
+            ws[r][0] = _REPLIED
+        elif status == _STALE:
+            if spec.check_reply_seq:
+                # Duplicate discarded; the genuine command proceeds.
+                ws[r][0] = _BUSY
+            else:
+                ws[r][0] = _IDLE
+                coll.add(r)
+        else:
+            ws[r][0] = _IDLE
+            coll.add(r)
+    elif verb == "timeout":
+        r = int(action[1])
+        status = ws[r][0]
+        if status == _MUTED:
+            # Soft-timeout probe: worker re-sends its cached reply.
+            ws[r][0] = _REPLIED
+        else:
+            # Heartbeat/hard timeout: hang is killed, death observed.
+            ws[r][0] = _DETECTED
+            verified = False
+    elif verb == "reap":
+        r = int(action[1])
+        if not ws[r][3]:
+            violation = (
+                "double-free",
+                f"rank {r}'s shared segment freed twice during cleanup",
+            )
+        ws[r][3] = False
+        ws[r][0] = _REAPED
+    elif verb == "verify-mirror":
+        verified = True
+    elif verb == "heal":
+        r = int(action[1])
+        if not verified:
+            violation = (
+                "mirror-unverified",
+                f"rank {r} healed from a partner mirror that was never "
+                "CRC-verified",
+            )
+        # Respawned with a remapped segment and the in-flight command
+        # re-issued; supervisor-side staging payloads survive the death.
+        ws[r][0] = _BUSY
+        ws[r][3] = True
+
+    # Inline, deterministic phase completion: once every rank's reply is
+    # collected the supervisor checks sequence agreement and advances.
+    if (
+        violation is None
+        and sup == "collect"
+        and len(coll) == len(ws)
+        and all(w[0] == _IDLE for w in ws)
+    ):
+        diverged = [r for r, w in enumerate(ws) if w[1] != seq]
+        if diverged:
+            violation = (
+                "seq-divergence",
+                f"phase '{op}' completed at seq {seq} but rank(s) "
+                f"{diverged} last executed a different sequence number",
+            )
+        else:
+            phase_idx += 1
+            sup = "bcast"
+            coll = set()
+
+    new_state: _State = (
+        phase_idx, sup, seq,
+        tuple((w[0], w[1], bool(w[2]), bool(w[3])) for w in ws),
+        frozenset(coll), verified, budget,
+    )
+    return new_state, violation
+
+
+def _commutative(action: Action) -> bool:
+    """Whether interleavings of this action across ranks are confluent."""
+    return action[0] in ("exec", "deliver")
+
+
+@dataclass(frozen=True)
+class CounterexampleTrace:
+    """A replayable schedule driving the model into a violation."""
+
+    kind: str  #: violation kind, e.g. "double-free"
+    message: str  #: human-readable diagnosis
+    ranks: int
+    steps: int
+    max_faults: int
+    scheme: str
+    mutation: Optional[str]  #: MUTATIONS key the spec was seeded with
+    actions: Tuple[Tuple[Any, ...], ...]  #: scheduler actions, in order
+    phases: Tuple[str, ...] = ()  #: phase op active at each action
+
+    def to_json(self) -> str:
+        payload = {
+            "kind": self.kind,
+            "message": self.message,
+            "ranks": self.ranks,
+            "steps": self.steps,
+            "max_faults": self.max_faults,
+            "scheme": self.scheme,
+            "mutation": self.mutation,
+            "actions": [list(a) for a in self.actions],
+            "phases": list(self.phases),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CounterexampleTrace":
+        raw = json.loads(text)
+        return cls(
+            kind=str(raw["kind"]),
+            message=str(raw["message"]),
+            ranks=int(raw["ranks"]),
+            steps=int(raw["steps"]),
+            max_faults=int(raw["max_faults"]),
+            scheme=str(raw.get("scheme", "single")),
+            mutation=raw.get("mutation"),
+            actions=tuple(tuple(a) for a in raw["actions"]),
+            phases=tuple(str(p) for p in raw.get("phases", ())),
+        )
+
+
+@dataclass(frozen=True)
+class ModelCheckResult:
+    """Outcome of one bounded exploration."""
+
+    ok: bool
+    states: int  #: distinct states visited
+    transitions: int  #: transitions taken
+    completed: int  #: accepting (program-finished) states reached
+    counterexample: Optional[CounterexampleTrace] = None
+    truncated: bool = False  #: hit the max_states bound
+    bounds: Dict[str, int] = field(default_factory=dict)
+
+
+def check_protocol(
+    spec: ProtocolSpec = PROTOCOL,
+    *,
+    ranks: int = 2,
+    steps: int = 1,
+    max_faults: int = 1,
+    scheme: str = "single",
+    por: bool = True,
+    max_states: int = 500_000,
+    mutation: Optional[str] = None,
+) -> ModelCheckResult:
+    """Breadth-first exploration of the bounded protocol model.
+
+    Returns on the first violation with a shortest counterexample
+    schedule (BFS order), or after exhausting the state space.  ``por``
+    enables the ample-set reduction described in the module docstring;
+    disabling it explores the full interleaving set (used by the tests
+    to confirm the reduction misses nothing on the seeded mutations).
+    """
+    if not 2 <= ranks <= 4:
+        raise ValueError("small-world bound requires 2 <= ranks <= 4")
+    if not 1 <= steps <= 3:
+        raise ValueError("small-world bound requires 1 <= steps <= 3")
+    if not 0 <= max_faults <= 3:
+        raise ValueError("small-world bound requires 0 <= max_faults <= 3")
+    if scheme not in ("single", "double"):
+        raise ValueError(f"unknown scheme {scheme!r}")
+    if mutation is not None:
+        spec = mutated(spec, **MUTATIONS[mutation])
+    program = _build_program(spec, steps, scheme)
+    init = _initial(ranks, max_faults)
+    # parent map: state -> (predecessor, action, phase-op) for trace
+    # reconstruction; BFS guarantees shortest counterexamples.
+    parents: Dict[_State, Optional[Tuple[_State, Action, str]]] = {init: None}
+    queue: deque[_State] = deque([init])
+    transitions = 0
+    completed = 0
+    truncated = False
+
+    def _trace(
+        state: _State, last: Optional[Action], kind: str, message: str
+    ) -> CounterexampleTrace:
+        path: List[Tuple[Action, str]] = []
+        if last is not None:
+            path.append((last, program[state[0]][0]))
+        cur = state
+        while True:
+            entry = parents[cur]
+            if entry is None:
+                break
+            cur, act, op = entry
+            path.append((act, op))
+        path.reverse()
+        return CounterexampleTrace(
+            kind=kind, message=message, ranks=ranks, steps=steps,
+            max_faults=max_faults, scheme=scheme, mutation=mutation,
+            actions=tuple(a for a, _ in path),
+            phases=tuple(op for _, op in path),
+        )
+
+    while queue:
+        state = queue.popleft()
+        if _done(state, program):
+            completed += 1
+            continue
+        actions = _enabled(state, spec, program)
+        if not actions:
+            stuck_muted = any(w[0] == _MUTED for w in state[3])
+            kind = "lost-wakeup" if stuck_muted else "deadlock"
+            message = (
+                "no action enabled before program completion"
+                + (
+                    "; a worker holds an unsent reply and no probe "
+                    "will resend it"
+                    if stuck_muted else ""
+                )
+            )
+            # Deadlock is a property of the state itself: the trace is
+            # the schedule that reaches it, with no final action.
+            return ModelCheckResult(
+                ok=False, states=len(parents), transitions=transitions,
+                completed=completed,
+                counterexample=_trace(state, None, kind, message),
+            )
+        if por and state[6] == 0:
+            commuting = [a for a in actions if _commutative(a)]
+            others = [a for a in actions if not _commutative(a)]
+            if commuting and not others:
+                actions = [min(commuting)]
+        op = program[state[0]][0]
+        for action in actions:
+            succ, violation = _apply(state, action, spec, program)
+            transitions += 1
+            if violation is not None:
+                kind, message = violation
+                return ModelCheckResult(
+                    ok=False, states=len(parents), transitions=transitions,
+                    completed=completed,
+                    counterexample=_trace(state, action, kind, message),
+                )
+            if succ not in parents:
+                if len(parents) >= max_states:
+                    truncated = True
+                    continue
+                parents[succ] = (state, action, op)
+                queue.append(succ)
+    return ModelCheckResult(
+        ok=True, states=len(parents), transitions=transitions,
+        completed=completed, truncated=truncated,
+        bounds={"ranks": ranks, "steps": steps, "max_faults": max_faults},
+    )
+
+
+def replay_trace(
+    trace: CounterexampleTrace, spec: ProtocolSpec = PROTOCOL
+) -> Optional[Tuple[str, str]]:
+    """Re-run a counterexample schedule through the model transition
+    function; returns the violation it reproduces (``None`` if the
+    schedule completes cleanly — i.e. the trace no longer reproduces).
+
+    Deadlock-class traces end at the stuck state rather than at a
+    violating transition, so after the last action the enabled-set is
+    checked the same way the explorer checks it.
+    """
+    if trace.mutation is not None:
+        spec = mutated(spec, **MUTATIONS[trace.mutation])
+    program = _build_program(spec, trace.steps, trace.scheme)
+    state = _initial(trace.ranks, trace.max_faults)
+    for action in trace.actions:
+        enabled = _enabled(state, spec, program)
+        if tuple(action) not in [tuple(a) for a in enabled]:
+            raise ValueError(
+                f"trace diverged: action {action!r} not enabled"
+            )
+        state, violation = _apply(state, tuple(action), spec, program)
+        if violation is not None:
+            return violation
+    if not _done(state, program) and not _enabled(state, spec, program):
+        stuck_muted = any(w[0] == _MUTED for w in state[3])
+        kind = "lost-wakeup" if stuck_muted else "deadlock"
+        return kind, "no action enabled before program completion"
+    return None
+
+
+def schedule_faults(
+    trace: CounterexampleTrace, spec: ProtocolSpec = PROTOCOL
+) -> List[Dict[str, Any]]:
+    """Extract the fault injections from a counterexample schedule.
+
+    Returns one entry per ``fault`` action with the step index, rank,
+    fault kind, and the phase op it interrupted — the shape
+    ``repro emulate --schedule`` maps onto the emulator's deterministic
+    :class:`~repro.resilience.faults.FaultPlan`.  Step indices are
+    exact: the trace is replayed through the model so each fault reads
+    the step of the phase-program entry it fired under.
+    """
+    if trace.mutation is not None:
+        spec = mutated(spec, **MUTATIONS[trace.mutation])
+    program = _build_program(spec, trace.steps, trace.scheme)
+    state = _initial(trace.ranks, trace.max_faults)
+    faults: List[Dict[str, Any]] = []
+    for action in trace.actions:
+        act = tuple(action)
+        if act and act[0] == "fault" and state[0] < len(program):
+            op, step = program[state[0]]
+            faults.append({
+                "step": step,
+                "rank": int(act[1]),
+                "action": str(act[2]),
+                "phase": op,
+            })
+        state, violation = _apply(state, act, spec, program)
+        if violation is not None:
+            break
+    return faults

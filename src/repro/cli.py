@@ -22,8 +22,13 @@ Commands
     the exchange race detector on the emulated machine (see
     :mod:`repro.analysis`).
 ``lint``
-    Run the repo's AMR-specific AST lint (rules REPRO101-105) over
-    source paths.
+    Run the repo's AMR-specific AST lint (rules REPRO101-107) over
+    source paths, as text, JSON, or GitHub workflow annotations.
+``check``
+    Static protocol verification: spec/code conformance, phase-effect
+    contracts (REPRO106/107), and a bounded explicit-state model check
+    of the supervisor/worker protocol with a seeded-mutation self-test
+    (see :mod:`repro.analysis.modelcheck`).
 ``profile``
     Run a problem under the observability layer (metrics registry +
     JSONL event stream) and print the phase breakdown, hottest blocks,
@@ -225,6 +230,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process backend: respawn attempts per dead "
                               "rank before recovery degrades to "
                               "redistributing its blocks over survivors")
+    emulate.add_argument("--schedule", metavar="TRACE.json", default=None,
+                         help="replay a `repro check` counterexample trace: "
+                              "its fault injections are mapped onto the "
+                              "deterministic fault plan (kill/hang -> rank "
+                              "kill, mute/garble/stale -> transient message "
+                              "drop) and the final-state digest is printed")
 
     sanitize = sub.add_parser(
         "sanitize",
@@ -275,7 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "regression")
 
     lint = sub.add_parser(
-        "lint", help="run the AMR-specific AST lint (REPRO101-105)"
+        "lint", help="run the AMR-specific AST lint (REPRO101-107)"
     )
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories (default: src/repro)")
@@ -284,6 +295,44 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: all)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json", "github"),
+                      help="output format: human-readable lines (default), "
+                           "a JSON report, or GitHub workflow error "
+                           "annotations (::error file=...)")
+
+    check = sub.add_parser(
+        "check",
+        help="static protocol verification: spec conformance, "
+             "phase-effect contracts, bounded model check",
+    )
+    check.add_argument("--ranks", type=int, default=2,
+                       help="model-check world size (2-4, default 2)")
+    check.add_argument("--steps", type=int, default=1,
+                       help="bounded step count (default 1)")
+    check.add_argument("--max-faults", type=int, default=1,
+                       help="fault-injection budget (default 1)")
+    check.add_argument("--scheme", choices=("single", "double"),
+                       default="single",
+                       help="step program: single-stage or "
+                            "predictor/corrector")
+    check.add_argument("--no-por", action="store_true",
+                       help="disable the partial-order reduction "
+                            "(full interleaving exploration)")
+    check.add_argument("--mutate", default=None, metavar="NAME",
+                       choices=("reorder-exch2", "skip-mirror-verify",
+                                "drop-probe", "unguarded-free",
+                                "skip-seq-check"),
+                       help="model-check a single seeded spec mutation; "
+                            "succeeds when the expected violation is "
+                            "found (detection self-test)")
+    check.add_argument("--skip-mutations", action="store_true",
+                       help="skip the all-mutations detection self-test "
+                            "that normally runs after the clean check")
+    check.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="write counterexample traces as "
+                            "<DIR>/<kind>.json (replayable via "
+                            "`repro emulate --schedule`)")
     return parser
 
 
@@ -724,7 +773,68 @@ def _refine_center(forest, levels: int) -> None:
                 break
 
 
+#: How model-checker fault actions land on the emulator's fault plan.
+_SCHEDULE_KILL_ACTIONS = ("kill", "hang", "clean-exit", "exit")
+_SCHEDULE_MESSAGE_ACTIONS = ("mute", "garble", "stale", "slow")
+
+
+def _merge_schedule(args: argparse.Namespace) -> int:
+    """Fold a model-checker counterexample trace into the fault flags.
+
+    Each fault action in the trace becomes the nearest emulator-level
+    injection: process-death faults a ``--kill``, message-level faults a
+    ``--transient-message`` (dropped once, recovered by the retry
+    policy).  The mapped schedule is printed so the replay is auditable.
+    """
+    from pathlib import Path
+
+    from repro.analysis.modelcheck import CounterexampleTrace, schedule_faults
+
+    try:
+        trace = CounterexampleTrace.from_json(
+            Path(args.schedule).read_text(encoding="utf-8")
+        )
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load --schedule: {exc}", file=sys.stderr)
+        return 2
+    faults = schedule_faults(trace)
+    print(
+        f"== replaying counterexample '{trace.kind}'"
+        + (f" (mutation {trace.mutation})" if trace.mutation else "")
+        + f": {len(faults)} fault(s) =="
+    )
+    if trace.ranks > args.ranks:
+        print(
+            f"note: trace was found on {trace.ranks} ranks; replaying on "
+            f"{args.ranks}"
+        )
+    for f in faults:
+        rank = int(f["rank"]) % args.ranks
+        # Model step s happens after s full steps committed; the
+        # emulator's fault plan indexes injection points the same way.
+        step = int(f["step"])
+        if step >= args.steps:
+            step = args.steps - 1
+        action = str(f["action"])
+        if action in _SCHEDULE_KILL_ACTIONS:
+            args.kill.append(f"{step}:{rank}")
+            mapped = f"kill rank {rank} at step {step}"
+        elif action in _SCHEDULE_MESSAGE_ACTIONS:
+            args.transient_message.append(f"{step}:{rank}")
+            mapped = f"transiently drop message {rank} of step {step}"
+        else:
+            print(f"note: fault action {action!r} has no emulator "
+                  "equivalent; skipped")
+            continue
+        print(f"  {action} @ {f['phase']} -> {mapped}")
+    return 0
+
+
 def cmd_emulate(args: argparse.Namespace) -> int:
+    if args.schedule is not None:
+        rc = _merge_schedule(args)
+        if rc:
+            return rc
     kills = _parse_fault_pairs(args.kill, "--kill")
     for step, rank in kills:
         if not 0 <= rank < args.ranks:
@@ -1050,6 +1160,13 @@ def _emulate_loop(
             f"{scrubber.mirrors_verified} mirror verifications, "
             f"{scrubber.mismatches} mismatches"
         )
+    if getattr(args, "schedule", None) is not None:
+        from repro.core.integrity import content_crc
+
+        digest = 0
+        for bid in sorted(gathered):
+            digest = (digest * 1000003 + content_crc(gathered[bid])) & 0xFFFFFFFF
+        print(f"schedule replay digest: {digest:#010x}")
     hook_note = " (driver hook runs serial-side only)" if problem.hook else ""
     print(f"max |emulated - serial| = {worst:.3e}{hook_note}")
     if problem.hook is None and worst != 0.0:
@@ -1246,6 +1363,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.analysis.lint import RULES, lint_paths
 
     if args.list_rules:
@@ -1264,12 +1383,203 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(
+            f"error: no such path(s): {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
     violations = lint_paths(args.paths, select=select)
-    for v in violations:
-        print(f"{v.path}:{v.line}:{v.col}: {v.code} {v.message}")
+    if args.format == "json":
+        import json
+
+        print(json.dumps(
+            {
+                "violations": [
+                    {
+                        "path": v.path, "line": v.line, "col": v.col,
+                        "code": v.code, "message": v.message,
+                    }
+                    for v in violations
+                ],
+                "count": len(violations),
+            },
+            indent=2, sort_keys=True,
+        ))
+    elif args.format == "github":
+        for v in violations:
+            # GitHub workflow-command annotations surface inline on the
+            # PR diff; newlines in messages would break the command.
+            message = v.message.replace("\n", " ")
+            print(
+                f"::error file={v.path},line={v.line},col={v.col},"
+                f"title={v.code}::{message}"
+            )
+    else:
+        for v in violations:
+            print(f"{v.path}:{v.line}:{v.col}: {v.code} {v.message}")
     if violations:
         print(f"{len(violations)} violation(s)", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Static protocol verification (`repro check`).
+
+    Three passes, each independently fatal: (1) AST conformance of the
+    wire modules against the declarative protocol spec, (2) the
+    REPRO106/107 lint over the effect-annotated packages, (3) a bounded
+    explicit-state model check.  Unless skipped, a detection self-test
+    then confirms every seeded spec mutation still yields its expected
+    counterexample — guarding the checker itself against rot.
+    """
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.lint import lint_paths
+    from repro.analysis.modelcheck import (
+        EXPECTED_VIOLATION,
+        MUTATIONS,
+        check_protocol,
+    )
+    from repro.analysis.protocol import check_conformance
+
+    if not 2 <= args.ranks <= 4:
+        print("error: --ranks must be in 2..4 (small-world bound)",
+              file=sys.stderr)
+        return 2
+    if not 1 <= args.steps <= 3:
+        print("error: --steps must be in 1..3 (small-world bound)",
+              file=sys.stderr)
+        return 2
+    if not 0 <= args.max_faults <= 3:
+        print("error: --max-faults must be in 0..3 (small-world bound)",
+              file=sys.stderr)
+        return 2
+    trace_dir: Optional[Path] = None
+    if args.trace_dir is not None:
+        trace_dir = Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+
+    def _write_trace(cx) -> None:
+        if trace_dir is None or cx is None:
+            return
+        out = trace_dir / (
+            f"{cx.kind}.json" if cx.mutation is None
+            else f"{cx.mutation}-{cx.kind}.json"
+        )
+        out.write_text(cx.to_json() + "\n", encoding="utf-8")
+        print(f"  counterexample trace written to {out}")
+
+    failures = 0
+
+    # Pass 3 only, when a single mutation self-test was requested.
+    if args.mutate is not None:
+        res = check_protocol(
+            ranks=args.ranks, steps=args.steps, max_faults=args.max_faults,
+            scheme=args.scheme, por=not args.no_por, mutation=args.mutate,
+        )
+        expected = EXPECTED_VIOLATION[args.mutate]
+        if res.ok:
+            print(
+                f"FAIL: mutation '{args.mutate}' explored {res.states} "
+                f"states without finding the seeded "
+                f"'{expected}' violation"
+            )
+            return 1
+        cx = res.counterexample
+        assert cx is not None
+        print(
+            f"mutation '{args.mutate}': found '{cx.kind}' after "
+            f"{res.states} states ({len(cx.actions)}-action schedule)"
+        )
+        print(f"  {cx.message}")
+        _write_trace(cx)
+        if cx.kind != expected:
+            print(f"FAIL: expected '{expected}', found '{cx.kind}'")
+            return 1
+        return 0
+
+    # Pass 1: spec <-> code conformance.
+    issues = check_conformance()
+    if issues:
+        failures += len(issues)
+        print(f"conformance: {len(issues)} issue(s)")
+        for issue in issues:
+            print(f"  {issue.module}:{issue.line}: [{issue.kind}] "
+                  f"{issue.message}")
+    else:
+        print("conformance: wire modules match the protocol spec")
+
+    # Pass 2: phase-effect contracts + constructor-site lint.
+    pkg = Path(repro.__file__).resolve().parent
+    lint_targets = [
+        str(pkg / sub) for sub in ("core", "parallel", "resilience")
+        if (pkg / sub).is_dir()
+    ]
+    violations = lint_paths(lint_targets, select={"REPRO106", "REPRO107"})
+    if violations:
+        failures += len(violations)
+        print(f"phase effects: {len(violations)} violation(s)")
+        for v in violations:
+            print(f"  {v.path}:{v.line}: {v.code} {v.message}")
+    else:
+        print("phase effects: all annotated functions within contract")
+
+    # Pass 3: bounded model check of the clean spec.
+    res = check_protocol(
+        ranks=args.ranks, steps=args.steps, max_faults=args.max_faults,
+        scheme=args.scheme, por=not args.no_por,
+    )
+    if res.ok:
+        note = " (truncated)" if res.truncated else ""
+        print(
+            f"model check: {res.states} states, {res.transitions} "
+            f"transitions, {res.completed} completed schedule(s), "
+            f"no violations{note} "
+            f"[ranks={args.ranks} steps={args.steps} "
+            f"faults<={args.max_faults} {args.scheme}]"
+        )
+    else:
+        failures += 1
+        cx = res.counterexample
+        assert cx is not None
+        print(f"model check: VIOLATION '{cx.kind}' after {res.states} "
+              f"states")
+        print(f"  {cx.message}")
+        print("  schedule: " + " -> ".join(
+            ":".join(str(x) for x in a) for a in cx.actions
+        ))
+        _write_trace(cx)
+
+    # Detection self-test: every seeded mutation must still be caught.
+    if not args.skip_mutations:
+        caught = 0
+        for name in MUTATIONS:
+            mres = check_protocol(
+                ranks=args.ranks, steps=args.steps,
+                max_faults=max(args.max_faults, 1),
+                scheme=args.scheme, por=not args.no_por, mutation=name,
+            )
+            expected = EXPECTED_VIOLATION[name]
+            cx = mres.counterexample
+            if cx is not None and cx.kind == expected:
+                caught += 1
+            else:
+                failures += 1
+                found = cx.kind if cx is not None else "nothing"
+                print(f"  mutation '{name}': expected '{expected}', "
+                      f"found {found}")
+                _write_trace(cx)
+        print(f"mutation self-test: {caught}/{len(MUTATIONS)} seeded "
+              "bugs detected")
+
+    if failures:
+        print(f"FAIL: {failures} finding(s)", file=sys.stderr)
+        return 1
+    print("OK: protocol spec, phase effects, and bounded model agree")
     return 0
 
 
@@ -1284,6 +1594,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "emulate": cmd_emulate,
         "sanitize": cmd_sanitize,
         "lint": cmd_lint,
+        "check": cmd_check,
         "profile": cmd_profile,
         "report": cmd_report,
     }

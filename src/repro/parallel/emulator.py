@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Set,
 
 import numpy as np
 
+from repro.analysis.protocol import phase_effect
 from repro.core.block import Block
 from repro.core.block_id import BlockID, IndexBox
 from repro.core.forest import BlockForest
@@ -356,6 +357,7 @@ class EmulatedMachine:
         self._staged_flips.clear()
         self.scrub_retag()
 
+    @phase_effect("heal")
     def adopt_block(self, bid: BlockID, rank: int, interior: np.ndarray) -> None:
         """Recreate one block on ``rank`` from a redundant interior copy.
 
@@ -467,6 +469,7 @@ class EmulatedMachine:
 
     # ------------------------------------------------------------------
 
+    @phase_effect("exchange")
     def exchange(self) -> None:
         """One full ghost exchange through explicit messages.
 

@@ -63,6 +63,7 @@ from typing import (
 import numpy as np
 import weakref
 
+from repro.analysis.protocol import phase_effect
 from repro.core.block import Block
 from repro.core.block_id import BlockID
 from repro.core.forest import BlockForest
@@ -949,6 +950,7 @@ class ProcessMachine:
     # recovery surface
     # ------------------------------------------------------------------
 
+    @phase_effect("heal")
     def adopt_block(self, bid: BlockID, rank: int, interior: np.ndarray) -> None:
         """Recreate one block on ``rank`` from a redundant interior copy."""
         if not self.alive[rank]:

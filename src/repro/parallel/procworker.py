@@ -59,6 +59,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.protocol import phase_effect
 from repro.core.block import Block
 from repro.core.block_id import BlockID
 from repro.core.forest import BlockForest
@@ -186,6 +187,7 @@ class _Worker:
 
     # -- configuration --------------------------------------------------
 
+    @phase_effect("config")
     def apply_config(self, cfg: Dict[str, Any]) -> Dict[str, Any]:
         """Attach segments and rebuild block views per the row locator."""
         wanted: Dict[int, Tuple[str, int, int]] = cfg["segments"]
@@ -250,6 +252,7 @@ class _Worker:
                         region = block.ghost_region(face, other)
                         self.bc(block, face, region, self.topology)
 
+    @phase_effect("exch1")
     def exch1(self) -> Dict[str, Any]:
         """Stage 1: same-level copies + restrictions into own ghosts."""
         ndim = self.topology.ndim
@@ -290,6 +293,7 @@ class _Worker:
             "n_values": n_values, "n_local": n_local,
         }
 
+    @phase_effect("exch2-gather")
     def exch2_gather(self, cmd: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """Read-only half of stage 2: gather bordered coarse sources.
 
@@ -330,6 +334,7 @@ class _Worker:
             "n_payloads": len(payloads),
         }
 
+    @phase_effect("exch2-write")
     def exch2_write(self, cmd: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """Write half of stage 2: prolong gathered payloads, then BCs.
 
@@ -383,12 +388,14 @@ class _Worker:
 
     # -- compute phases -------------------------------------------------
 
+    @phase_effect("step")
     def step_single(self, dt: float) -> Dict[str, Any]:
         g = self.topology.n_ghost
         for block in self.own_blocks():
             self.scheme.step(block.data, block.dx, dt, g)
         return {"status": "ok"}
 
+    @phase_effect("predictor")
     def predictor(self, dt: float) -> Dict[str, Any]:
         g = self.topology.n_ghost
         for block in self.own_blocks():
@@ -396,6 +403,7 @@ class _Worker:
             self.scheme.step(block.data, block.dx, 0.5 * dt, g)
         return {"status": "ok"}
 
+    @phase_effect("corrector")
     def corrector(self, dt: float) -> Dict[str, Any]:
         g = self.topology.n_ghost
         for block in self.own_blocks():

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.protocol import phase_effect
 from repro.core.block_id import BlockID
 from repro.obs.metrics import METRICS
 from repro.resilience.partner import PartnerStore
@@ -83,6 +84,7 @@ class SharedPartnerRing(PartnerStore):
         self._mirror_slots = {}
         self._deaths_seen = len(machine.deaths)
 
+    @phase_effect("mirror-refresh")
     def _store_copy(
         self, owner: int, holder: Optional[int], bid: BlockID, block: "Block"
     ) -> np.ndarray:

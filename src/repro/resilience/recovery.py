@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 from repro.amr.driver import StepRecord
 from repro.amr.io import CheckpointError
+from repro.analysis.protocol import phase_effect
 from repro.core.forest import BlockForest
 from repro.obs.metrics import METRICS
 from repro.resilience.checkpoint import Checkpointer
@@ -153,6 +154,7 @@ def _machine_retag(machine: "EmulatedMachine") -> None:
         retag()
 
 
+@phase_effect("heal")
 def _attempt_corruption_repair(
     machine: "EmulatedMachine",
     partner: PartnerStore,

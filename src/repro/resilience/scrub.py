@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Dict, Hashable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.protocol import phase_effect
 from repro.core.integrity import RowLedger, content_crc
 from repro.obs.metrics import METRICS
 from repro.resilience.faults import BitFlip, FaultDetected, apply_bitflip
@@ -190,6 +191,7 @@ class Scrubber:
     # verification
     # ------------------------------------------------------------------
 
+    @phase_effect("scrub")
     def verify_block(
         self, key: Hashable, block: "Block"
     ) -> Optional[CorruptEntry]:
@@ -218,6 +220,7 @@ class Scrubber:
             )
         return None
 
+    @phase_effect("scrub")
     def scrub_blocks(
         self,
         blocks: Mapping[Hashable, "Block"],

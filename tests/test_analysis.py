@@ -437,6 +437,169 @@ class TestLintRules:
         assert v and v[0].code == "REPRO000"
 
 
+class TestLintEdgeCases:
+    def test_noqa_multi_rule_line(self):
+        # One line, two violations, both named in a single bracket list.
+        src = (
+            "import random\n"
+            "b.data = random.random()  # repro: noqa[REPRO101, REPRO102]\n"
+        )
+        assert lint_source(src, "repro/amr/driver2.py") == []
+        # Naming only one of the two leaves the other reported.
+        src = (
+            "import random\n"
+            "b.data = random.random()  # repro: noqa[REPRO101]\n"
+        )
+        v = lint_source(src, "repro/amr/driver2.py")
+        assert [x.code for x in v] == ["REPRO102"]
+
+    def test_noqa_is_case_insensitive(self):
+        src = "b.data = x  # REPRO: NOQA[repro101]\n"
+        assert lint_source(src, "repro/amr/driver2.py") == []
+
+    def test_from_import_alias_resolution(self):
+        # `from x import y as z` must resolve z back to x.y.
+        cases = [
+            ("from time import perf_counter as pc\nt = pc()\n",
+             "REPRO104", "repro/resilience/recovery2.py"),
+            ("from zlib import crc32 as c32\nc = c32(b'x')\n",
+             "REPRO105", "repro/amr/driver2.py"),
+            ("from random import Random as R\nr = R()\n",
+             "REPRO102", "repro/util/anything.py"),
+        ]
+        for src, code, module in cases:
+            v = lint_source(src, module)
+            assert any(x.code == code for x in v), (src, code)
+
+    def test_import_module_alias_resolution(self):
+        src = "import datetime as dt\nd = dt.datetime.now()\n"
+        v = lint_source(src, "repro/resilience/recovery2.py")
+        assert any(x.code == "REPRO104" for x in v)
+
+    def test_decorated_function_body_is_checked(self):
+        src = (
+            "import functools\n"
+            "@functools.lru_cache(maxsize=None)\n"
+            "def f(block):\n"
+            "    block.data[0] = 1.0\n"
+        )
+        v = lint_source(src, "repro/amr/driver2.py")
+        assert [x.code for x in v] == ["REPRO101"]
+
+    def test_nested_function_body_is_checked(self):
+        src = (
+            "def outer(block):\n"
+            "    def inner():\n"
+            "        import random\n"
+            "        block.data[0] = random.random()\n"
+            "    return inner\n"
+        )
+        codes = [x.code for x in
+                 lint_source(src, "repro/amr/driver2.py")]
+        assert "REPRO101" in codes and "REPRO102" in codes
+
+    def test_alias_imported_inside_function_resolves(self):
+        src = (
+            "def f():\n"
+            "    from time import monotonic as mono\n"
+            "    return mono()\n"
+        )
+        v = lint_source(src, "repro/resilience/recovery2.py")
+        assert any(x.code == "REPRO104" for x in v)
+
+    def test_method_in_class_is_checked(self):
+        src = (
+            "class C:\n"
+            "    def f(self, block):\n"
+            "        block.data += 1\n"
+        )
+        v = lint_source(src, "repro/amr/driver2.py")
+        assert [x.code for x in v] == ["REPRO101"]
+
+
+class TestLintPerDirectoryConfig:
+    def test_tests_directory_drops_repro101(self, tmp_path):
+        f = tmp_path / "tests" / "test_x.py"
+        f.parent.mkdir()
+        f.write_text("b.data = x\n")
+        assert lint_paths([str(f)]) == []
+
+    def test_tests_directory_forces_repro104(self, tmp_path):
+        f = tmp_path / "tests" / "test_x.py"
+        f.parent.mkdir()
+        f.write_text("import time\nt = time.perf_counter()\n")
+        v = lint_paths([str(f)])
+        assert [x.code for x in v] == ["REPRO104"]
+
+    def test_tests_directory_keeps_repro102(self, tmp_path):
+        f = tmp_path / "tests" / "test_x.py"
+        f.parent.mkdir()
+        f.write_text("import random\nx = random.random()\n")
+        v = lint_paths([str(f)])
+        assert [x.code for x in v] == ["REPRO102"]
+
+    def test_benchmarks_keep_wall_clock(self, tmp_path):
+        f = tmp_path / "benchmarks" / "bench_x.py"
+        f.parent.mkdir()
+        f.write_text("import time\nt = time.perf_counter()\n")
+        assert lint_paths([str(f)]) == []
+
+    def test_package_files_keep_default_scoping(self, tmp_path):
+        # A package file under a directory named tests/ must not pick up
+        # the per-directory config (REPRO101 still applies).
+        f = tmp_path / "tests" / "repro" / "amr" / "mod.py"
+        f.parent.mkdir(parents=True)
+        f.write_text("b.data = x\n")
+        v = lint_paths([str(f)])
+        assert [x.code for x in v] == ["REPRO101"]
+
+    def test_repo_tests_and_benchmarks_are_clean(self):
+        violations = lint_paths([
+            str(REPO / "tests"), str(REPO / "benchmarks"),
+        ])
+        assert violations == [], "\n".join(map(str, violations))
+
+
+class TestLintFormats:
+    def _seed(self, tmp_path):
+        bad = tmp_path / "repro" / "amr" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nx = random.random()\n")
+        return bad
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        bad = self._seed(tmp_path)
+        assert main(["lint", "--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        entry = payload["violations"][0]
+        assert entry["code"] == "REPRO102"
+        assert entry["path"] == str(bad)
+        assert entry["line"] == 2
+
+    def test_json_format_clean(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(["lint", "--format", "json", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"count": 0, "violations": []}
+
+    def test_github_format(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = self._seed(tmp_path)
+        assert main(["lint", "--format", "github", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith(f"::error file={bad},line=2,")
+        assert "title=REPRO102::" in out
+
+
 class TestLintOnRepo:
     def test_src_tree_is_clean(self):
         violations = lint_paths([str(REPO / "src" / "repro")])

@@ -1,0 +1,431 @@
+"""Tests for the static protocol verifier (repro.analysis.protocol /
+effects / modelcheck and the ``repro check`` CLI).
+
+The layers are tested from both sides, like the rest of the analysis
+suite: every checker must be *silent* on the real tree and must *fire*
+on a seeded mutation — a reordered exchange, a skipped mirror
+verification, a ghost write in the step phase, a wire send outside the
+registered constructors.  Model-checker counterexamples must replay
+deterministically, both in-model and through
+``repro emulate --schedule``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.effects import (
+    check_source as effect_check_source,
+    infer_module_effects,
+)
+from repro.analysis.lint import lint_paths, lint_source
+from repro.analysis.modelcheck import (
+    EXPECTED_VIOLATION,
+    MODEL_FAULTS,
+    MUTATIONS,
+    CounterexampleTrace,
+    check_protocol,
+    replay_trace,
+    schedule_faults,
+)
+from repro.analysis.protocol import (
+    PROTOCOL,
+    PROTOCOL_MODULES,
+    check_conformance,
+    contract_for,
+    mutated,
+    phase_effect,
+    protocol_sources,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+# ---------------------------------------------------------------------------
+# the spec itself
+# ---------------------------------------------------------------------------
+
+class TestProtocolSpec:
+    def test_phase_catalogue(self):
+        ops = set(PROTOCOL.ops())
+        assert {"config", "exch1", "exch2-gather", "exch2-write",
+                "step", "predictor", "corrector"} <= ops
+
+    def test_step_programs_use_known_ops(self):
+        for program in (PROTOCOL.step_program_single,
+                        PROTOCOL.step_program_double):
+            for op in program:
+                assert op in PROTOCOL.ops()
+
+    def test_contracts_use_spec_regions(self):
+        for spec in PROTOCOL.phases:
+            assert spec.reads <= set(PROTOCOL.regions)
+            assert spec.writes <= set(PROTOCOL.regions)
+
+    def test_non_injectable_ops_are_control(self):
+        for op in PROTOCOL.non_injectable_ops:
+            assert not PROTOCOL.phase(op).injectable
+
+    def test_mutated_flips_one_flag(self):
+        m = mutated(PROTOCOL, check_reply_seq=False)
+        assert not m.check_reply_seq
+        assert m.guard_segment_free
+        assert m.phases == PROTOCOL.phases
+
+    def test_phase_effect_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            @phase_effect("warp-drive")
+            def f():  # pragma: no cover - decoration itself raises
+                pass
+
+    def test_model_faults_exist_as_spec_faults_or_stale(self):
+        spec_actions = {f.action for f in PROTOCOL.faults}
+        for kind in MODEL_FAULTS:
+            assert kind == "stale" or kind in spec_actions
+
+
+# ---------------------------------------------------------------------------
+# AST conformance: spec vs the real wire modules
+# ---------------------------------------------------------------------------
+
+class TestConformance:
+    def test_real_tree_conforms(self):
+        issues = check_conformance()
+        assert issues == [], "\n".join(i.message for i in issues)
+
+    def test_rogue_send_is_reported(self):
+        sources = protocol_sources()
+        mod = "repro/parallel/procmachine.py"
+        sources[mod] += (
+            "\n\ndef rogue(conn, seq):\n"
+            "    conn.send({'op': 'step', 'seq': seq})\n"
+        )
+        issues = check_conformance(sources=sources)
+        assert any(
+            i.kind == "constructor" and "rogue" in i.message
+            for i in issues
+        )
+
+    def test_crc_stripped_reply_is_reported(self):
+        sources = protocol_sources()
+        mod = "repro/parallel/procworker.py"
+        sources[mod] = sources[mod].replace('"crc": reply_crc', '"xrc": reply_crc')
+        issues = check_conformance(sources=sources)
+        assert any(i.kind == "reply-crc" for i in issues)
+
+    def test_unknown_op_constant_is_reported(self):
+        sources = protocol_sources()
+        mod = "repro/parallel/procmachine.py"
+        sources[mod] += (
+            "\n\nclass ProcessMachine2(ProcessMachine):\n"
+            "    def extra(self):\n"
+            "        self._phase('warp', self.forest)\n"
+        )
+        issues = check_conformance(sources=sources)
+        assert any(i.kind == "ops" for i in issues)
+
+
+# ---------------------------------------------------------------------------
+# phase-effect analyzer
+# ---------------------------------------------------------------------------
+
+class TestPhaseEffects:
+    def test_worker_phases_infer_within_contract(self):
+        src = (REPO / "src/repro/parallel/procworker.py").read_text()
+        effects = infer_module_effects(src, "repro/parallel/procworker.py")
+        by_phase = {e.phase: e for e in effects}
+        assert set(by_phase) >= {
+            "config", "exch1", "exch2-gather", "exch2-write",
+            "step", "predictor", "corrector",
+        }
+        for e in effects:
+            assert e.violations() == [], (e.qualname, e.violations())
+
+    def test_step_contract_matches_spec(self):
+        c = contract_for("step")
+        assert "interior" in c.writes and "ghost" not in c.writes
+
+    def test_ghost_write_in_step_phase_fires_repro106(self):
+        src = (
+            "from repro.analysis.protocol import phase_effect\n"
+            "class W:\n"
+            "    @phase_effect('step')\n"
+            "    def step_single(self, blk):\n"
+            "        blk.data[0] = 1.0  # repro: noqa[REPRO101]\n"
+        )
+        findings = effect_check_source(src, "repro/parallel/procworker.py")
+        assert any(code == "REPRO106" for _l, _c, code, _m in findings)
+        v = lint_source(src, "repro/parallel/procworker.py")
+        assert any(x.code == "REPRO106" for x in v)
+
+    def test_mirror_write_in_scrub_phase_fires_repro106(self):
+        src = (
+            "from repro.analysis.protocol import phase_effect\n"
+            "class S:\n"
+            "    @phase_effect('scrub')\n"
+            "    def verify(self, seg, slot, block):\n"
+            "        view = seg.mirror_view(slot)\n"
+            "        view[...] = block.interior\n"
+        )
+        findings = effect_check_source(src, "repro/resilience/scrub.py")
+        assert any("mirror" in m for _l, _c, _code, m in findings)
+
+    def test_unannotated_functions_are_ignored(self):
+        src = "def helper(blk):\n    blk.interior[...] = 0.0\n"
+        assert effect_check_source(src, "repro/parallel/procworker.py") == []
+
+    def test_annotated_tree_is_clean(self):
+        for sub in ("core", "parallel", "resilience"):
+            for path in sorted((REPO / "src/repro" / sub).rglob("*.py")):
+                mod = "repro/" + str(path.relative_to(REPO / "src/repro"))
+                findings = effect_check_source(path.read_text(), mod)
+                assert findings == [], (mod, findings)
+
+
+# ---------------------------------------------------------------------------
+# REPRO107: message construction outside registered sites
+# ---------------------------------------------------------------------------
+
+class TestRepro107:
+    def test_rogue_send_and_literal(self):
+        src = (
+            "def rogue(conn, seq):\n"
+            "    msg = {'op': 'step', 'seq': seq}\n"
+            "    conn.send(msg)\n"
+        )
+        v = lint_source(src, "repro/parallel/procmachine.py")
+        assert [x.code for x in v] == ["REPRO107", "REPRO107"]
+
+    def test_registered_constructor_is_fine(self):
+        src = (
+            "class ProcessMachine:\n"
+            "    def _phase(self, op, seq, conn):\n"
+            "        conn.send({'op': op, 'seq': seq})\n"
+        )
+        assert lint_source(src, "repro/parallel/procmachine.py") == []
+
+    def test_scoped_to_protocol_modules(self):
+        src = "def f(q):\n    q.send({'op': 'x', 'seq': 1})\n"
+        assert lint_source(src, "repro/core/block2.py") == []
+
+    def test_nested_helper_inside_constructor_is_fine(self):
+        src = (
+            "def worker_main(conn):\n"
+            "    def send_reply(body, seq, rank):\n"
+            "        conn.send({'seq': seq, 'rank': rank, 'body': body,\n"
+            "                   'crc': 0})\n"
+            "    send_reply(None, 0, 0)\n"
+        )
+        assert lint_source(src, "repro/parallel/procworker.py") == []
+
+    def test_real_wire_modules_are_clean(self):
+        for mod in PROTOCOL_MODULES:
+            path = REPO / "src" / mod
+            v = lint_source(
+                path.read_text(), mod, select={"REPRO107"},
+            )
+            assert v == [], (mod, v)
+
+
+# ---------------------------------------------------------------------------
+# model checker
+# ---------------------------------------------------------------------------
+
+class TestModelChecker:
+    def test_clean_spec_has_no_violations(self):
+        res = check_protocol(ranks=2, steps=1, max_faults=1)
+        assert res.ok, res.counterexample
+        assert res.completed > 0
+
+    def test_clean_spec_three_ranks(self):
+        res = check_protocol(ranks=3, steps=1, max_faults=1)
+        assert res.ok
+
+    def test_clean_double_scheme(self):
+        res = check_protocol(ranks=2, steps=1, max_faults=1,
+                             scheme="double")
+        assert res.ok
+
+    def test_zero_fault_budget_explores_happy_path(self):
+        res = check_protocol(ranks=2, steps=2, max_faults=0)
+        assert res.ok and res.completed > 0
+
+    @pytest.mark.parametrize("name", sorted(MUTATIONS))
+    def test_mutation_yields_expected_violation(self, name):
+        res = check_protocol(ranks=2, steps=1, max_faults=1, mutation=name)
+        assert not res.ok
+        cx = res.counterexample
+        assert cx is not None
+        assert cx.kind == EXPECTED_VIOLATION[name]
+        assert cx.actions, "counterexample must carry a schedule"
+
+    @pytest.mark.parametrize("name", sorted(MUTATIONS))
+    def test_por_off_agrees(self, name):
+        res = check_protocol(ranks=2, steps=1, max_faults=1,
+                             mutation=name, por=False)
+        assert not res.ok
+        assert res.counterexample.kind == EXPECTED_VIOLATION[name]
+
+    def test_por_off_clean_agrees(self):
+        assert check_protocol(ranks=2, steps=1, max_faults=1,
+                              por=False).ok
+
+    def test_small_world_bound_enforced(self):
+        with pytest.raises(ValueError):
+            check_protocol(ranks=8)
+        with pytest.raises(ValueError):
+            check_protocol(ranks=1)
+        with pytest.raises(ValueError):
+            check_protocol(steps=9)
+        with pytest.raises(ValueError):
+            check_protocol(max_faults=9)
+
+    def test_trace_json_round_trip(self):
+        cx = check_protocol(
+            ranks=2, steps=1, max_faults=1, mutation="unguarded-free"
+        ).counterexample
+        rt = CounterexampleTrace.from_json(cx.to_json())
+        assert rt == cx
+        payload = json.loads(cx.to_json())
+        assert payload["kind"] == "double-free"
+
+    @pytest.mark.parametrize("name", sorted(MUTATIONS))
+    def test_replay_reproduces_violation(self, name):
+        cx = check_protocol(
+            ranks=2, steps=1, max_faults=1, mutation=name
+        ).counterexample
+        rt = CounterexampleTrace.from_json(cx.to_json())
+        violation = replay_trace(rt)
+        assert violation is not None
+        assert violation[0] == cx.kind
+
+    def test_replay_rejects_diverged_schedule(self):
+        cx = check_protocol(
+            ranks=2, steps=1, max_faults=1, mutation="unguarded-free"
+        ).counterexample
+        broken = CounterexampleTrace(
+            kind=cx.kind, message=cx.message, ranks=cx.ranks,
+            steps=cx.steps, max_faults=cx.max_faults, scheme=cx.scheme,
+            mutation=cx.mutation,
+            actions=(("heal", 0),) + cx.actions, phases=cx.phases,
+        )
+        with pytest.raises(ValueError):
+            replay_trace(broken)
+
+    def test_schedule_faults_extraction(self):
+        cx = check_protocol(
+            ranks=2, steps=1, max_faults=1, mutation="skip-mirror-verify"
+        ).counterexample
+        faults = schedule_faults(cx)
+        assert len(faults) == 1
+        f = faults[0]
+        assert f["action"] == "kill"
+        assert f["step"] == 0
+        assert 0 <= f["rank"] < 2
+        assert f["phase"] in PROTOCOL.ops()
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro check / emulate --schedule
+# ---------------------------------------------------------------------------
+
+class TestCheckCLI:
+    def test_check_passes_on_current_tree(self, capsys):
+        from repro.cli import main
+
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "conformance" in out
+        assert "5/5" in out
+
+    def test_check_mutate_mode_writes_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "check", "--mutate", "reorder-exch2",
+            "--trace-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        traces = list(tmp_path.glob("*.json"))
+        assert len(traces) == 1
+        trace = CounterexampleTrace.from_json(traces[0].read_text())
+        assert trace.kind == "staging-order"
+
+    def test_check_rejects_bad_bounds(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "--ranks", "9"]) == 2
+
+    def test_parser_mutation_choices_match_registry(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        # The check subparser hardcodes choices (no import at parse
+        # time); they must track the modelcheck registry.
+        sub = next(
+            a for a in parser._subparsers._group_actions
+        ).choices["check"]
+        mutate = next(
+            a for a in sub._actions if "--mutate" in a.option_strings
+        )
+        assert set(mutate.choices) == set(MUTATIONS)
+
+    def test_emulate_schedule_replays_deterministically(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        rc = main([
+            "check", "--mutate", "skip-mirror-verify",
+            "--trace-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        trace_file = next(tmp_path.glob("*.json"))
+
+        def run() -> str:
+            rc = main([
+                "emulate", "pulse", "--ranks", "2", "--steps", "3",
+                "--schedule", str(trace_file),
+            ])
+            assert rc == 0
+            return capsys.readouterr().out
+
+        first, second = run(), run()
+        digest = [
+            line for line in first.splitlines()
+            if "schedule replay digest" in line
+        ]
+        assert digest, first
+        assert digest == [
+            line for line in second.splitlines()
+            if "schedule replay digest" in line
+        ]
+        assert "recovered from rank-failure" in first
+
+    def test_emulate_schedule_message_fault(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "check", "--mutate", "drop-probe", "--trace-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        trace_file = next(tmp_path.glob("*.json"))
+        rc = main([
+            "emulate", "pulse", "--ranks", "2", "--steps", "3",
+            "--schedule", str(trace_file),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "transiently drop message" in out
+        assert "OK" in out
+
+    def test_emulate_schedule_bad_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "nope.json"
+        rc = main([
+            "emulate", "pulse", "--ranks", "2", "--steps", "2",
+            "--schedule", str(bad),
+        ])
+        assert rc == 2

@@ -94,14 +94,15 @@ class TestPhaseTimer:
 
     def test_triple_nesting_totals_sum_to_wall(self):
         t = PhaseTimer()
-        t0 = time.perf_counter()
+        # Verifying the timer against the real clock is the test.
+        t0 = time.perf_counter()  # repro: noqa[REPRO104]
         with t.phase("a"):
             with t.phase("b"):
                 with t.phase("c"):
                     time.sleep(0.002)
             with t.phase("b"):
                 pass
-        wall = time.perf_counter() - t0
+        wall = time.perf_counter() - t0  # repro: noqa[REPRO104]
         assert t.counts["b"] == 2
         assert t.total <= wall + 1e-4
 
