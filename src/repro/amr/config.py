@@ -50,12 +50,23 @@ class SimulationConfig:
     # (vectorized-over-blocks kernels on the arena pool)
     engine: str = "blocked"
 
+    # kernel backend for the hot per-tile ops (repro.kernels registry);
+    # every backend is bit-for-bit with the numpy reference
+    kernel_backend: str = "numpy"
+
     def __post_init__(self) -> None:
         if self.adapt_interval < 1:
             raise ValueError("adapt_interval must be >= 1")
         if self.engine not in ("blocked", "batched"):
             raise ValueError(
                 f"engine must be 'blocked' or 'batched', got {self.engine!r}"
+            )
+        from repro.kernels import BACKEND_NAMES
+
+        if self.kernel_backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"kernel_backend must be one of {BACKEND_NAMES}, "
+                f"got {self.kernel_backend!r}"
             )
         if self.n_ghost < self.order:
             raise ValueError(

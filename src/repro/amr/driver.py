@@ -17,6 +17,7 @@ so the benchmarks can attribute cost to compute / exchange / adaptation.
 
 from __future__ import annotations
 
+import os
 import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Optional
@@ -27,6 +28,7 @@ from repro.amr.config import SimulationConfig
 from repro.core.block_id import BlockID
 from repro.core.forest import AdaptSummary, BlockForest
 from repro.core.ghost import BoundaryHandler, fill_ghosts
+from repro.kernels import get_backend
 from repro.core.refine_criteria import RefinementCriterion, compute_flags
 from repro.obs.metrics import METRICS
 from repro.solvers.scheme import FVScheme
@@ -103,6 +105,18 @@ class Simulation:
         Blocks per kernel call in the batched engine (None = automatic,
         sized so a tile's padded rows stay cache-resident; see
         :meth:`_tile_rows`).  Any value gives bit-identical results.
+    batch_tile_bytes:
+        Target working-set bytes per automatic kernel tile (None =
+        the ``REPRO_BATCH_TILE_BYTES`` env var when set, else the
+        :attr:`BATCH_TILE_BYTES` default).  Must be >= 4096.  Any value
+        gives bit-identical results.
+    kernel_backend:
+        Kernel backend name for the hot per-tile ops (see
+        :mod:`repro.kernels`): ``"numpy"`` (reference) or ``"numba"``
+        (fused JIT, bit-for-bit, auto-falls back to numpy when numba is
+        missing).  None keeps the scheme's current backend.  The backend
+        is attached to the *scheme* (``scheme.kernels``), so it also
+        serves the blocked engine and per-block fallback paths.
     sanitize:
         When True, run under the ghost-poison sanitizer
         (:class:`repro.analysis.poison.GhostSanitizer`): every ghost
@@ -129,6 +143,8 @@ class Simulation:
         threads: Optional[int] = None,
         engine: str = "blocked",
         batch_tile: Optional[int] = None,
+        batch_tile_bytes: Optional[int] = None,
+        kernel_backend: Optional[str] = None,
         safe_mode: bool = False,
         max_step_retries: int = 4,
         sanitize: bool = False,
@@ -144,10 +160,29 @@ class Simulation:
             )
         if batch_tile is not None and batch_tile < 1:
             raise ValueError("batch_tile must be >= 1")
+        if kernel_backend is not None:
+            scheme.kernels = get_backend(kernel_backend)
+        if batch_tile_bytes is None:
+            env = os.environ.get("REPRO_BATCH_TILE_BYTES")
+            if env:
+                try:
+                    batch_tile_bytes = int(env)
+                except ValueError:
+                    raise ValueError(
+                        "REPRO_BATCH_TILE_BYTES must be an integer, "
+                        f"got {env!r}"
+                    ) from None
+        if batch_tile_bytes is None:
+            batch_tile_bytes = self.BATCH_TILE_BYTES
+        if batch_tile_bytes < 4096:
+            raise ValueError(
+                f"batch tile size must be >= 4096 bytes, got {batch_tile_bytes}"
+            )
         self.forest = forest
         self.scheme = scheme
         self.engine = engine
         self.batch_tile = batch_tile
+        self.batch_tile_bytes = int(batch_tile_bytes)
         self.bc = bc
         self.criterion = criterion
         self.adapt_interval = adapt_interval
@@ -273,7 +308,10 @@ class Simulation:
             self.sanitizer.before_exchange(self.forest)
         with self.timer.phase("ghost_exchange"):
             fill_ghosts(
-                self.forest, self.bc, batched_copies=self.engine == "batched"
+                self.forest,
+                self.bc,
+                batched_copies=self.engine == "batched",
+                kernels=self.scheme.kernels if self.engine == "batched" else None,
             )
         if METRICS.enabled:
             METRICS.inc("ghost.exchanges")
@@ -352,7 +390,10 @@ class Simulation:
                 self._map_blocks(corrector)
         self._finish_advance(dt, register)
 
-    #: target working-set bytes per kernel tile (see :meth:`_tile_rows`)
+    #: default target working-set bytes per kernel tile (see
+    #: :meth:`_tile_rows`); per-instance override via the
+    #: ``batch_tile_bytes=`` parameter or the ``REPRO_BATCH_TILE_BYTES``
+    #: env var, both validated >= 4096.
     BATCH_TILE_BYTES = 800 * 1024
 
     def _tile_rows(self, row_bytes: int) -> int:
@@ -371,7 +412,7 @@ class Simulation:
         """
         if self.batch_tile is not None:
             return self.batch_tile
-        return max(8, self.BATCH_TILE_BYTES // max(row_bytes, 1))
+        return max(8, self.batch_tile_bytes // max(row_bytes, 1))
 
     def _advance_batched(self, dt: float) -> None:
         """Batched engine: every scheme call sweeps a tile of blocks.
@@ -422,15 +463,20 @@ class Simulation:
                     )
                     register.record(block.id, capture)
 
+        # Rate scratch: one interior-shaped buffer reused by every tile
+        # of every stage, so the update rate never allocates per tile.
+        rate_pool = forest.arena.rate_pool()
         self.fill_ghosts()
         if scheme.n_stages == 1:
             with self.timer.phase("compute"):
                 capture_fluxes()
                 for s, e in tiles:
                     dxs = [d[s:e] for d in dx_all]
-                    ui[s:e] += dt * scheme.flux_divergence(
-                        pool[s:e], dxs, g, ndim=nd
+                    rate = scheme.flux_divergence(
+                        pool[s:e], dxs, g, ndim=nd, out=rate_pool[s:e]
                     )
+                    rate *= dt
+                    ui[s:e] += rate
                     scheme.apply_floors(np.moveaxis(ui[s:e], 0, 1))
         else:
             save = forest.arena.save_pool()[:n]
@@ -438,17 +484,23 @@ class Simulation:
                 save[...] = ui
                 for s, e in tiles:
                     dxs = [d[s:e] for d in dx_all]
-                    scheme.step(pool[s:e], dxs, 0.5 * dt, g, ndim=nd)
+                    scheme.step(
+                        pool[s:e], dxs, 0.5 * dt, g, ndim=nd,
+                        rate_out=rate_pool[s:e],
+                    )
             self.fill_ghosts()
             with self.timer.phase("compute"):
                 capture_fluxes()
                 # u_new = u_old + dt * L(u_half), as in the blocked
-                # corrector.
+                # corrector (same IEEE ops per element; the scratch only
+                # removes the broadcast temporaries).
                 for s, e in tiles:
                     dxs = [d[s:e] for d in dx_all]
-                    ui[s:e] = save[s:e] + dt * scheme.flux_divergence(
-                        pool[s:e], dxs, g, ndim=nd
+                    rate = scheme.flux_divergence(
+                        pool[s:e], dxs, g, ndim=nd, out=rate_pool[s:e]
                     )
+                    rate *= dt
+                    np.add(save[s:e], rate, out=ui[s:e])
                     scheme.apply_floors(np.moveaxis(ui[s:e], 0, 1))
         self._finish_advance(dt, register)
 

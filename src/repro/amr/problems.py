@@ -96,6 +96,7 @@ class Problem:
         initial_adapt_rounds: int = 3,
         sanitize: bool = False,
         engine: Optional[str] = None,
+        kernel_backend: Optional[str] = None,
     ) -> Simulation:
         """Construct the simulation, optionally pre-adapting the initial
         grid so the starting resolution already tracks the features.
@@ -103,7 +104,8 @@ class Problem:
         ``sanitize`` enables the ghost-poison sanitizer on the built
         simulation (see :class:`repro.amr.driver.Simulation`);
         ``engine`` overrides the configured execution engine
-        (``"blocked"`` / ``"batched"``).
+        (``"blocked"`` / ``"batched"``); ``kernel_backend`` overrides
+        the configured kernel backend (``"numpy"`` / ``"numba"``).
         """
         forest = self.config.make_forest(self.scheme.nvar)
         self.init_forest(forest)
@@ -118,6 +120,11 @@ class Problem:
             hook=self.hook,
             sanitize=sanitize,
             engine=engine if engine is not None else self.config.engine,
+            kernel_backend=(
+                kernel_backend
+                if kernel_backend is not None
+                else self.config.kernel_backend
+            ),
         )
         if adaptive:
             for _ in range(initial_adapt_rounds):

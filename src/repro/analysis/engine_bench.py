@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.amr.config import SimulationConfig
 from repro.amr.driver import Simulation
+from repro.kernels import available_backends
 from repro.solvers.mhd import MHDScheme
 from repro.util.geometry import Box
 
@@ -34,6 +35,7 @@ __all__ = [
     "run_case",
     "run_cases",
     "check_equivalence",
+    "check_backend_equivalence",
 ]
 
 
@@ -77,6 +79,8 @@ def build_uniform_mhd(
     *,
     seed: int = 42,
     batch_tile: Optional[int] = None,
+    kernel_backend: str = "numpy",
+    batch_tile_bytes: Optional[int] = None,
 ) -> Simulation:
     """Uniform periodic MHD forest with smooth random-ish initial data."""
     cfg = SimulationConfig(
@@ -96,12 +100,38 @@ def build_uniform_mhd(
         w[4] = 1.0
         w[5:8] = 0.2
         block.interior[...] = scheme.prim_to_cons(w)
-    return Simulation(forest, scheme, engine=engine, batch_tile=batch_tile)
+    return Simulation(
+        forest,
+        scheme,
+        engine=engine,
+        batch_tile=batch_tile,
+        kernel_backend=kernel_backend,
+        batch_tile_bytes=batch_tile_bytes,
+    )
 
 
-def _time_engine(case: BenchCase, engine: str, warmup: int) -> Dict[str, Any]:
-    with build_uniform_mhd(case.ndim, case.m, case.n_root, engine) as sim:
-        for _ in range(warmup):
+def _time_engine(
+    case: BenchCase,
+    engine: str,
+    warmup: int,
+    *,
+    kernel_backend: str = "numpy",
+    batch_tile_bytes: Optional[int] = None,
+) -> Dict[str, Any]:
+    # JIT backends compile on first dispatch, i.e. during the warm-up
+    # steps (warmup >= 1 always) — the timed region below never pays
+    # compilation; the compile seconds are reported separately.
+    with build_uniform_mhd(
+        case.ndim,
+        case.m,
+        case.n_root,
+        engine,
+        kernel_backend=kernel_backend,
+        batch_tile_bytes=batch_tile_bytes,
+    ) as sim:
+        kernels = sim.scheme.kernels
+        compile_before = kernels.compile_s
+        for _ in range(max(warmup, 1)):
             sim.step()
         sim.timer = type(sim.timer)()  # drop warmup from phase totals
         n_cells = sim.forest.n_cells
@@ -110,24 +140,43 @@ def _time_engine(case: BenchCase, engine: str, warmup: int) -> Dict[str, Any]:
             sim.step()
         elapsed = time.perf_counter() - t0
         cell_steps = n_cells * case.steps
-        return {
+        result: Dict[str, Any] = {
             "cells_per_s": cell_steps / elapsed,
             "us_per_cell": elapsed / cell_steps * 1e6,
             "wall_s": elapsed,
+            "compile_s": round(kernels.compile_s - compile_before, 6),
             "phases_s": {k: round(v, 6) for k, v in sim.timer.totals.items()},
         }
+        if engine == "batched":
+            row_bytes = sim.forest.arena.pool[:1].nbytes
+            result["tile_rows"] = sim._tile_rows(row_bytes)
+            result["tile_bytes"] = sim.batch_tile_bytes
+        return result
 
 
-def run_case(case: BenchCase, *, warmup: int = 2) -> Dict[str, Any]:
+def run_case(
+    case: BenchCase,
+    *,
+    warmup: int = 2,
+    kernel_backend: str = "numpy",
+    batch_tile_bytes: Optional[int] = None,
+) -> Dict[str, Any]:
     """Measure both engines on one case; returns a result record."""
-    blocked = _time_engine(case, "blocked", warmup)
-    batched = _time_engine(case, "batched", warmup)
+    blocked = _time_engine(
+        case, "blocked", warmup,
+        kernel_backend=kernel_backend, batch_tile_bytes=batch_tile_bytes,
+    )
+    batched = _time_engine(
+        case, "batched", warmup,
+        kernel_backend=kernel_backend, batch_tile_bytes=batch_tile_bytes,
+    )
     return {
         "label": case.label,
         "ndim": case.ndim,
         "m": case.m,
         "n_blocks": case.n_root ** case.ndim,
         "steps": case.steps,
+        "kernel_backend": kernel_backend,
         "blocked": blocked,
         "batched": batched,
         "speedup": batched["cells_per_s"] / blocked["cells_per_s"],
@@ -135,20 +184,42 @@ def run_case(case: BenchCase, *, warmup: int = 2) -> Dict[str, Any]:
 
 
 def run_cases(
-    cases: Sequence[BenchCase] = DEFAULT_CASES, *, warmup: int = 2
+    cases: Sequence[BenchCase] = DEFAULT_CASES,
+    *,
+    warmup: int = 2,
+    kernel_backend: str = "numpy",
+    batch_tile_bytes: Optional[int] = None,
 ) -> List[Dict[str, Any]]:
     """Measure every case (see :func:`run_case`)."""
-    return [run_case(c, warmup=warmup) for c in cases]
+    return [
+        run_case(
+            c, warmup=warmup,
+            kernel_backend=kernel_backend, batch_tile_bytes=batch_tile_bytes,
+        )
+        for c in cases
+    ]
+
+
+def _final_state(sim: Simulation) -> Dict[Any, np.ndarray]:
+    return {
+        bid: sim.forest.blocks[bid].interior.copy() for bid in sim.forest.blocks
+    }
 
 
 def check_equivalence(
-    case: BenchCase, *, steps: Optional[int] = None
+    case: BenchCase,
+    *,
+    steps: Optional[int] = None,
+    kernel_backend: str = "numpy",
 ) -> bool:
     """True iff both engines produce bit-identical state on ``case``."""
     n_steps = case.steps if steps is None else steps
     sims = {}
     for engine in ("blocked", "batched"):
-        with build_uniform_mhd(case.ndim, case.m, case.n_root, engine) as sim:
+        with build_uniform_mhd(
+            case.ndim, case.m, case.n_root, engine,
+            kernel_backend=kernel_backend,
+        ) as sim:
             for _ in range(n_steps):
                 sim.step()
             sims[engine] = sim
@@ -161,3 +232,41 @@ def check_equivalence(
         np.array_equal(a.forest.blocks[bid].interior, b.forest.blocks[bid].interior)
         for bid in a.forest.blocks
     )
+
+
+def check_backend_equivalence(
+    case: BenchCase,
+    *,
+    steps: Optional[int] = None,
+    engine: str = "batched",
+    backends: Optional[Sequence[str]] = None,
+) -> bool:
+    """True iff every kernel backend produces bit-identical state.
+
+    Runs the case once per backend (``backends`` defaults to everything
+    available in this environment — a single-backend environment is
+    trivially equivalent) and compares final block state and the dt
+    history with exact equality.
+    """
+    names = tuple(available_backends() if backends is None else backends)
+    if len(names) < 2:
+        return True
+    n_steps = case.steps if steps is None else steps
+    reference: Optional[Dict[Any, np.ndarray]] = None
+    ref_dts: Optional[List[float]] = None
+    for backend in names:
+        with build_uniform_mhd(
+            case.ndim, case.m, case.n_root, engine, kernel_backend=backend
+        ) as sim:
+            for _ in range(n_steps):
+                sim.step()
+            state = _final_state(sim)
+            dts = [r.dt for r in sim.history]
+        if reference is None:
+            reference, ref_dts = state, dts
+            continue
+        if dts != ref_dts or state.keys() != reference.keys():
+            return False
+        if not all(np.array_equal(state[k], reference[k]) for k in reference):
+            return False
+    return True

@@ -22,7 +22,7 @@ Commands
     the exchange race detector on the emulated machine (see
     :mod:`repro.analysis`).
 ``lint``
-    Run the repo's AMR-specific AST lint (rules REPRO101-107) over
+    Run the repo's AMR-specific AST lint (rules REPRO101-108) over
     source paths, as text, JSON, or GitHub workflow annotations.
 ``check``
     Static protocol verification: spec/code conformance, phase-effect
@@ -89,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution engine: per-block kernels (blocked) "
                           "or vectorized-over-blocks arena kernels "
                           "(batched); results are bit-for-bit identical")
+    run.add_argument("--kernel-backend", choices=("numpy", "numba"),
+                     default="numpy",
+                     help="kernel backend for the hot per-tile ops: "
+                          "reference numpy or fused JIT (numba; falls "
+                          "back to numpy with a warning when not "
+                          "installed); results are bit-for-bit identical")
     run.add_argument("--scrub-every", type=int, metavar="N", default=None,
                      help="verify per-block CRC integrity tags every N "
                           "steps; silent data corruption aborts loudly "
@@ -105,6 +111,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override timed steps per case")
     bench.add_argument("--no-json", action="store_true",
                        help="skip writing BENCH_batched_engine.json")
+    bench.add_argument("--kernel-backend", default="auto",
+                       metavar="NAMES",
+                       help="comma-separated kernel backends to measure "
+                            "(numpy, numba), or 'auto' for every backend "
+                            "available in this environment "
+                            "(default: auto)")
+    bench.add_argument("--tile-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="target working-set bytes per batched kernel "
+                            "tile (>= 4096; default: REPRO_BATCH_TILE_BYTES "
+                            "env var, else 800 KiB); bit-for-bit neutral")
 
     info = sub.add_parser("info", help="summarize or audit checkpoints")
     info.add_argument("checkpoint",
@@ -201,6 +218,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a structured JSONL event stream "
                               "(steps, recoveries, wire traffic; see "
                               "`repro report`)")
+    emulate.add_argument("--kernel-backend", choices=("numpy", "numba"),
+                         default="numpy",
+                         help="kernel backend for both the serial "
+                              "reference and the emulated ranks "
+                              "(bit-for-bit identical; numba falls back "
+                              "to numpy when not installed)")
     emulate.add_argument("--backend", choices=("emulated", "process"),
                          default="emulated",
                          help="rank substrate: in-process emulation "
@@ -259,6 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--engines", default="blocked,batched",
                          help="comma-separated engines to profile "
                               "(default: blocked,batched)")
+    profile.add_argument("--kernel-backend", choices=("numpy", "numba"),
+                         default="numpy",
+                         help="kernel backend for the profiled runs "
+                              "(bit-for-bit identical; numba falls back "
+                              "to numpy when not installed)")
     profile.add_argument("--no-adapt", action="store_true",
                          help="static grid")
     profile.add_argument("--out", metavar="FILE.jsonl", default=None,
@@ -396,6 +424,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             safe_mode=args.safe_mode,
             sanitize=args.sanitize,
             engine=args.engine,
+            kernel_backend=args.kernel_backend,
         )
         sim.time = float(meta.get("time", 0.0))
         sim.step_count = int(meta.get("step", 0))
@@ -408,6 +437,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             adaptive=not args.no_adapt,
             sanitize=args.sanitize,
             engine=args.engine,
+            kernel_backend=args.kernel_backend,
         )
         sim.safe_mode = args.safe_mode
     sim.reflux = args.reflux
@@ -504,9 +534,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.engine_bench import (
         DEFAULT_CASES,
         QUICK_CASES,
+        check_backend_equivalence,
         check_equivalence,
         run_cases,
     )
+    from repro.kernels import BACKEND_NAMES, available_backends
     from repro.util.benchio import make_bench_record, write_bench_json
 
     cases = list(QUICK_CASES if args.quick else DEFAULT_CASES)
@@ -515,28 +547,73 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print("error: --steps must be >= 1", file=sys.stderr)
             return 2
         cases = [replace(c, steps=args.steps) for c in cases]
+    if args.tile_bytes is not None and args.tile_bytes < 4096:
+        print(
+            f"error: --tile-bytes must be >= 4096, got {args.tile_bytes}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.kernel_backend == "auto":
+        backends = list(available_backends())
+    else:
+        backends = [b.strip() for b in args.kernel_backend.split(",") if b.strip()]
+        for b in backends:
+            if b not in BACKEND_NAMES:
+                print(
+                    f"error: unknown kernel backend {b!r} "
+                    f"(available: {', '.join(BACKEND_NAMES)})",
+                    file=sys.stderr,
+                )
+                return 2
+        if not backends:
+            print("error: --kernel-backend is empty", file=sys.stderr)
+            return 2
 
     print("batched-vs-blocked engine speedup (uniform MHD, time per cell)")
-    print(
-        f"{'case':>16} {'blocked us/cell':>16} {'batched us/cell':>16} "
-        f"{'speedup':>8}"
-    )
     results = []
-    for case in cases:
-        res = run_cases([case])[0]
-        results.append(res)
+    ok = True
+    for backend in backends:
+        print(f"\nkernel backend: {backend}")
         print(
-            f"{res['label']:>16} {res['blocked']['us_per_cell']:16.3f} "
-            f"{res['batched']['us_per_cell']:16.3f} {res['speedup']:8.2f}"
+            f"{'case':>16} {'blocked us/cell':>16} {'batched us/cell':>16} "
+            f"{'speedup':>8} {'compile s':>10}"
         )
-    ok = check_equivalence(cases[-1], steps=3)
-    print(f"bitwise equivalence (spot check): {'ok' if ok else 'VIOLATED'}")
+        for case in cases:
+            res = run_cases(
+                [case],
+                kernel_backend=backend,
+                batch_tile_bytes=args.tile_bytes,
+            )[0]
+            results.append(res)
+            compile_s = (
+                res["blocked"]["compile_s"] + res["batched"]["compile_s"]
+            )
+            print(
+                f"{res['label']:>16} {res['blocked']['us_per_cell']:16.3f} "
+                f"{res['batched']['us_per_cell']:16.3f} {res['speedup']:8.2f} "
+                f"{compile_s:10.3f}"
+            )
+        eq = check_equivalence(cases[-1], steps=3, kernel_backend=backend)
+        print(
+            f"bitwise engine equivalence [{backend}] (spot check): "
+            f"{'ok' if eq else 'VIOLATED'}"
+        )
+        ok = ok and eq
+    if len(backends) > 1:
+        eq = check_backend_equivalence(cases[-1], steps=3, backends=backends)
+        print(
+            f"bitwise backend equivalence ({' vs '.join(backends)}): "
+            f"{'ok' if eq else 'VIOLATED'}"
+        )
+        ok = ok and eq
     if not args.no_json:
         record = make_bench_record(
             "batched_engine",
             workload="uniform periodic MHD, Fig-5-style time per cell",
             cases=results,
             equivalence_ok=ok,
+            kernel_backends=backends,
         )
         path = write_bench_json(record)
         print(f"wrote {path}")
@@ -901,8 +978,12 @@ def cmd_emulate(args: argparse.Namespace) -> int:
 
     problem = _make_problem(args.problem, args.ndim)
     # The serial reference simulation owns a thread pool via the arena
-    # engines; close it even when the emulation path raises.
-    with problem.build(adaptive=False) as sim:
+    # engines; close it even when the emulation path raises.  The kernel
+    # backend attaches to the shared scheme, so the emulated ranks
+    # dispatch through it too.
+    with problem.build(
+        adaptive=False, kernel_backend=args.kernel_backend
+    ) as sim:
         if args.record is not None:
             from repro.obs import RunRecorder
 
@@ -1262,13 +1343,16 @@ def cmd_profile(args: argparse.Namespace) -> int:
             ndim=args.ndim,
             steps=args.steps,
             engines=engines,
+            kernel_backend=args.kernel_backend,
             adaptive=not args.no_adapt,
         )
         for engine in engines:
             METRICS.reset()
             with METRICS.enabled_scope():
                 with problem.build(
-                    adaptive=not args.no_adapt, engine=engine
+                    adaptive=not args.no_adapt,
+                    engine=engine,
+                    kernel_backend=args.kernel_backend,
                 ) as sim:
                     sim.recorder = recorder
                     sim.enable_block_profile()
@@ -1290,6 +1374,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
                     profiles.append(recorder.emit(
                         "profile",
                         engine=engine,
+                        kernel_backend=sim.scheme.kernels.name,
+                        kernels=sim.scheme.kernels.stats(),
                         wall_s=elapsed,
                         us_per_cell=(
                             elapsed / cell_steps * 1e6 if cell_steps else 0.0
@@ -1583,8 +1669,33 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_tile_bytes_env() -> Optional[str]:
+    """Validate ``REPRO_BATCH_TILE_BYTES`` before any command runs.
+
+    :class:`~repro.amr.Simulation` re-validates (and raises) for library
+    users; checking here once turns a bad env var into a clean CLI error
+    for every verb instead of a traceback mid-build.
+    """
+    import os
+
+    env = os.environ.get("REPRO_BATCH_TILE_BYTES")
+    if not env:
+        return None
+    try:
+        tile = int(env)
+    except ValueError:
+        return f"REPRO_BATCH_TILE_BYTES must be an integer, got {env!r}"
+    if tile < 4096:
+        return f"REPRO_BATCH_TILE_BYTES must be >= 4096 bytes, got {tile}"
+    return None
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    err = _check_tile_bytes_env()
+    if err is not None:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     handlers = {
         "run": cmd_run,
         "bench": cmd_bench,

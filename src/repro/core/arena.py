@@ -101,6 +101,7 @@ class BlockArena:
         self._blocks: List[Optional["Block"]] = [None] * cap
         self._free: List[int] = list(range(cap - 1, -1, -1))
         self._save: Optional[np.ndarray] = None
+        self._rate: Optional[np.ndarray] = None
         #: opt-in integrity ledger (see :mod:`repro.core.integrity`);
         #: ``None`` until a scrubber attaches one, so the disabled cost
         #: is one branch per arena operation, like ``METRICS``.
@@ -191,6 +192,7 @@ class BlockArena:
                 blk.data = pool[row]
         # Scratch contents are per-step; reallocate lazily at new size.
         self._save = None
+        self._rate = None
         self.layout_epoch += 1
         self.n_grows += 1
         if self.ledger is not None:
@@ -247,6 +249,15 @@ class BlockArena:
         if self._save is None or self._save.shape[0] != self.capacity:
             self._save = np.zeros((self.capacity, self.nvar) + self.m)
         return self._save
+
+    def rate_pool(self) -> np.ndarray:
+        """Interior-shaped scratch for flux-divergence rates,
+        ``(capacity, nvar, *m)`` — reused across every tile of every
+        stage instead of allocating one temporary per tile.  Contents
+        are meaningless between kernel calls."""
+        if self._rate is None or self._rate.shape[0] != self.capacity:
+            self._rate = np.zeros((self.capacity, self.nvar) + self.m)
+        return self._rate
 
     def save_row(self, block: "Block") -> np.ndarray:
         """The scratch row of one block (``(nvar, *m)`` view)."""

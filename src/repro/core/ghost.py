@@ -38,7 +38,16 @@ messages without touching any arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -48,6 +57,9 @@ from repro.core.forest import BlockForest, ForestError
 from repro.core.prolong import prolong_inject, prolong_linear
 from repro.core.restrict import restrict_mean
 from repro.obs.metrics import METRICS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernels.base import KernelBackend
 
 __all__ = [
     "Transfer",
@@ -583,6 +595,7 @@ def fill_ghosts(
     *,
     fill_corners: bool = True,
     batched_copies: bool = False,
+    kernels: Optional["KernelBackend"] = None,
 ) -> int:
     """Fill every block's ghost cells from its neighbors.
 
@@ -599,14 +612,19 @@ def fill_ghosts(
     With ``batched_copies=True`` the stage-1 same-level copies run as a
     single flat gather/scatter on the arena pool instead of one small
     slab assignment per transfer (the batched engine's path) — same
-    cells, same values, just one numpy call.
+    cells, same values, just one numpy call.  ``kernels`` optionally
+    routes that scatter through a kernel backend
+    (:mod:`repro.kernels`) — bit-for-bit by contract.
     """
     plan = _get_plan(forest, fill_corners)
     # Stage 1: same-level copies + restrictions (read interiors only).
     if batched_copies:
         flat_dst, flat_src = _batched_copy_indices(forest, plan)
         flat = forest.arena.pool.reshape(-1)
-        flat[flat_dst] = flat[flat_src]
+        if kernels is not None:
+            kernels.scatter_ghosts(flat, flat_dst, flat_src)
+        else:
+            flat[flat_dst] = flat[flat_src]
     else:
         for dst_view, src_view in plan.copies:
             dst_view[...] = src_view

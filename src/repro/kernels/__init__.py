@@ -1,0 +1,105 @@
+"""Pluggable kernel backends for the tiled sweeps.
+
+The execution engines (`repro.amr.driver`, `repro.solvers.timestep`,
+`repro.core.ghost`) dispatch their per-tile hot operations through a
+:class:`~repro.kernels.base.KernelBackend`:
+
+* ``numpy`` — the reference backend: whole-array numpy expressions,
+  bit-for-bit by construction (it *is* the existing machinery);
+* ``numba`` — fused single-pass JIT kernels (``fastmath=False``, pinned
+  signatures) that are bit-for-bit identical to numpy and skip the
+  intermediate temporaries.
+
+``get_backend("numba")`` silently degrades to the numpy backend (with a
+one-time warning) when numba is not installed — the optional dependency
+is confined to this package (lint rule REPRO108) and installed via the
+``jit`` extra (``pip install repro-adaptive-blocks[jit]``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Tuple
+
+from repro.kernels.base import KernelBackend, NumpyBackend
+
+__all__ = [
+    "KernelBackend",
+    "NumpyBackend",
+    "BACKEND_NAMES",
+    "get_backend",
+    "available_backends",
+    "numba_available",
+    "reset_backends",
+]
+
+#: every registered backend name (whether currently importable or not)
+BACKEND_NAMES: Tuple[str, ...] = ("numpy", "numba")
+
+_instances: Dict[str, KernelBackend] = {}
+_warned_numba_missing = False
+
+
+def numba_available() -> bool:
+    """True when the numba backend can actually be imported."""
+    try:
+        import repro.kernels.numba_backend  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backend names usable right now (``numba`` only when installed)."""
+    return BACKEND_NAMES if numba_available() else ("numpy",)
+
+
+def get_backend(name: str = "numpy") -> KernelBackend:
+    """The process-wide backend instance for ``name``.
+
+    Instances are cached (JIT backends hold their compiled-kernel caches,
+    so sharing one instance shares the warm-up cost).  Requesting
+    ``"numba"`` without numba installed warns once and returns the numpy
+    backend.  Unknown names raise ``ValueError`` listing the registry.
+    """
+    global _warned_numba_missing
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: "
+            + ", ".join(BACKEND_NAMES)
+        )
+    inst = _instances.get(name)
+    if inst is not None:
+        return inst
+    if name == "numba":
+        try:
+            from repro.kernels.numba_backend import NumbaBackend
+        except ImportError:
+            if not _warned_numba_missing:
+                warnings.warn(
+                    "kernel backend 'numba' requested but numba is not "
+                    "installed; falling back to the 'numpy' backend "
+                    "(install the 'jit' extra to enable it)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                _warned_numba_missing = True
+            inst = get_backend("numpy")
+            _instances[name] = inst
+            return inst
+        inst = NumbaBackend()
+    else:
+        inst = NumpyBackend()
+    _instances[name] = inst
+    return inst
+
+
+def reset_backends() -> None:
+    """Drop cached backend instances and the fallback-warned flag.
+
+    Test hook: lets the numba-missing fallback path (and its one-time
+    warning) be exercised repeatedly with monkeypatched imports.
+    """
+    global _warned_numba_missing
+    _instances.clear()
+    _warned_numba_missing = False

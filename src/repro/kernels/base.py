@@ -1,0 +1,176 @@
+"""Kernel-backend interface and the numpy reference backend.
+
+A :class:`KernelBackend` packages the per-tile hot operations of the
+execution engines — fused flux-divergence sweeps, the batched ``stable_dt``
+signal-speed reduction, limiter and Riemann evaluation, and the flat
+gather/scatter ghost copies — behind one small dispatch surface, so the
+same solver machinery can run on plain numpy or on a JIT (numba) without
+touching any call site.
+
+Contract
+--------
+
+* **Bit-for-bit.**  Every op either returns a result computed with
+  *exactly* the reference arithmetic — same float64 operations in the
+  same order as the numpy machinery in ``repro.solvers`` — or returns
+  ``None``, in which case the caller runs the reference path itself.
+  There is no "close enough": the equivalence tests compare backends
+  with ``np.array_equal`` on raw state.
+* **Opt-out, not opt-in.**  ``flux_divergence`` and
+  ``max_signal_speed_tile`` are *hooks*: a backend may decline any call
+  (unsupported physics/limiter/solver combo, non-contiguous input) by
+  returning ``None``.  The numpy backend declines everything — the
+  reference path *is* its implementation — which makes it correct by
+  construction.
+* **``out`` is a scratch hint.**  Callers pass a preallocated buffer to
+  avoid a fresh allocation per tile, but must consume the *returned*
+  array: a backend is free to ignore ``out`` (e.g. when it is not
+  contiguous).
+
+Accounting: backends count dispatches and declined calls, and JIT
+backends accumulate compile seconds (``compile_s``) and compiled-kernel
+counts, surfaced through :meth:`KernelBackend.stats`, the ``kernels.*``
+metrics, and the per-backend bench records.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.obs.metrics import METRICS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.solvers.scheme import FVScheme
+
+__all__ = ["KernelBackend", "NumpyBackend"]
+
+
+class KernelBackend:
+    """Base backend: reference numpy behavior plus dispatch accounting."""
+
+    #: registry name; subclasses override
+    name: str = "base"
+
+    def __init__(self) -> None:
+        #: calls this backend handled itself
+        self.dispatches = 0
+        #: calls declined back to the reference numpy path
+        self.fallbacks = 0
+        #: cumulative JIT compile seconds (0 for non-JIT backends)
+        self.compile_s = 0.0
+        #: number of compiled kernel specializations
+        self.n_compiled = 0
+
+    def __reduce__(self):  # type: ignore[override]
+        # Backends ride along when a scheme crosses a process boundary
+        # (the process-parallel backend pickles schemes); compiled JIT
+        # kernels are not picklable, so unpickling re-resolves the
+        # process-wide instance by name instead.
+        from repro.kernels import get_backend
+
+        return (get_backend, (self.name,))
+
+    # -- accounting ---------------------------------------------------------
+
+    def _count_dispatch(self) -> None:
+        self.dispatches += 1
+        if METRICS.enabled:
+            METRICS.inc(f"kernels.dispatch.{self.name}")
+
+    def _count_fallback(self) -> None:
+        self.fallbacks += 1
+        if METRICS.enabled:
+            METRICS.inc("kernels.fallback")
+
+    def stats(self) -> Dict[str, Any]:
+        """Dispatch/compile accounting for profiles and bench records."""
+        return {
+            "backend": self.name,
+            "dispatches": self.dispatches,
+            "fallbacks": self.fallbacks,
+            "compile_s": round(self.compile_s, 6),
+            "n_compiled": self.n_compiled,
+        }
+
+    # -- hot-op hooks -------------------------------------------------------
+
+    def flux_divergence(
+        self,
+        scheme: "FVScheme",
+        u: np.ndarray,
+        dx: Sequence,
+        g: int,
+        *,
+        ndim: int,
+        out: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        """Fused -div F over a ``(B, nvar, *padded)`` tile (or one
+        ``(nvar, *padded)`` block).  ``None`` declines to the reference
+        path in :meth:`repro.solvers.scheme.FVScheme.flux_divergence`."""
+        return None
+
+    def max_signal_speed_tile(
+        self,
+        scheme: "FVScheme",
+        tile: np.ndarray,
+        ndim: int,
+        out: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        """Per-block max |u_n| + c over a ``(B, nvar, *m)`` interior tile
+        (the batched ``stable_dt`` reduction).  ``None`` declines."""
+        return None
+
+    # -- always-implemented ops --------------------------------------------
+
+    def apply_limiter(
+        self, scheme: "FVScheme", a: np.ndarray, b: np.ndarray
+    ) -> np.ndarray:
+        """Slope limiter on one-sided differences (elementwise)."""
+        return scheme.limiter(a, b)
+
+    def riemann_flux(
+        self, scheme: "FVScheme", wl: np.ndarray, wr: np.ndarray, axis: int
+    ) -> np.ndarray:
+        """Numerical face flux from left/right primitive states."""
+        return scheme.riemann(scheme, wl, wr, axis)
+
+    def scatter_ghosts(
+        self, flat: np.ndarray, dst: np.ndarray, src: np.ndarray
+    ) -> None:
+        """Flat gather/scatter executing the same-level ghost copies:
+        ``flat[dst] = flat[src]`` (write regions are disjoint)."""
+        flat[dst] = flat[src]
+
+
+class NumpyBackend(KernelBackend):
+    """The reference backend: every hot op runs the existing whole-array
+    numpy machinery, so it is bit-for-bit by construction.  The hook ops
+    decline (returning ``None``) and only count the dispatch — the
+    caller's reference path is the implementation."""
+
+    name = "numpy"
+
+    def flux_divergence(
+        self,
+        scheme: "FVScheme",
+        u: np.ndarray,
+        dx: Sequence,
+        g: int,
+        *,
+        ndim: int,
+        out: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        self._count_dispatch()
+        return None
+
+    def max_signal_speed_tile(
+        self,
+        scheme: "FVScheme",
+        tile: np.ndarray,
+        ndim: int,
+        out: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        self._count_dispatch()
+        return None

@@ -1,0 +1,1199 @@
+"""Fused numba JIT kernels — bit-for-bit with the numpy reference.
+
+One compiled kernel per (physics, order, limiter, Riemann, ndim) combo
+performs the whole per-tile flux-divergence sweep in a single pass over
+the ``(tile, nvar, *padded)`` rows: primitives, reconstruction, face
+fluxes, divergence accumulation and source terms, with no intermediate
+whole-tile temporaries.  A second kernel family fuses the batched
+``stable_dt`` signal-speed reduction, and pinned-signature scatter loops
+execute the flat ghost copies.
+
+Bit-for-bit policy
+------------------
+
+The numpy reference path is a fixed sequence of IEEE-754 float64
+operations per cell; these kernels perform the *same operations in the
+same order* per cell, so results are identical to the last bit:
+
+* ``fastmath=False`` everywhere — no reassociation, no FMA contraction
+  of ``a * b + c`` chains, no flush-to-zero;
+* expression trees mirror the reference source literally, including
+  left-to-right association (``0.5 * rho * w**2`` is ``(0.5*rho)*(w*w)``
+  — numpy computes integer powers of 2 as ``w*w``);
+* accumulators start from ``0.0`` and fold with the reference's
+  operations (``dudt`` is zero-filled then ``-=``-ed per axis, never
+  negated: ``0.0 - t`` and ``-t`` differ on signed zeros);
+* ``np.maximum``/``np.minimum`` semantics are replicated exactly by
+  :func:`_nb_max`/:func:`_nb_min` — NaN propagates, ties return the
+  second operand (which resolves ``max(-0.0, +0.0)`` the way numpy
+  does);
+* reductions match ``ndarray.max``'s NaN-propagating fold, and the
+  per-axis CFL fold keeps the current best on a non-greater (NaN)
+  candidate, exactly like ``np.where(m > best, m, best)``.
+
+Signatures are pinned (eager compilation with explicit types), so every
+kernel is compiled exactly once per combo, at first dispatch; the
+compile seconds are accumulated on the backend (``compile_s``) and kept
+out of benchmark timings (compilation happens during warm-up steps).
+Loops are serial — no ``prange`` — because deterministic accumulation
+order is part of the contract.
+
+numba may only be imported inside ``repro.kernels`` (lint rule
+REPRO108); this module fails to import cleanly when numba is missing and
+the registry falls back to the numpy backend.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+from numba import njit, types
+
+from repro.kernels.base import KernelBackend
+from repro.obs.metrics import METRICS
+from repro.solvers.state import P_FLOOR, RHO_FLOOR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.solvers.scheme import FVScheme
+
+__all__ = ["NumbaBackend"]
+
+_f8 = types.float64
+_i8 = types.int64
+
+
+def _arr(nd: int, layout: str) -> types.Array:
+    return types.Array(_f8, nd, layout)
+
+
+# ---------------------------------------------------------------------------
+# scalar IEEE helpers (exact np.maximum / np.minimum / np.sign semantics)
+# ---------------------------------------------------------------------------
+
+
+@njit(inline="always", fastmath=False)
+def _nb_max(a, b):
+    # np.maximum: NaN propagates; on ties (incl. -0.0 vs +0.0) numpy
+    # returns the second operand, as does `a if a > b else b`.
+    if a != a:
+        return a
+    if b != b:
+        return b
+    return a if a > b else b
+
+
+@njit(inline="always", fastmath=False)
+def _nb_min(a, b):
+    if a != a:
+        return a
+    if b != b:
+        return b
+    return a if a < b else b
+
+
+@njit(inline="always", fastmath=False)
+def _nb_sign(x):
+    # np.sign: NaN -> NaN, 0.0 and -0.0 -> +0.0.
+    if x != x:
+        return x
+    if x > 0.0:
+        return 1.0
+    if x < 0.0:
+        return -1.0
+    return 0.0
+
+
+@njit(inline="always", fastmath=False)
+def _no_source(u, src):  # pragma: no cover - compiled
+    return
+
+
+# ---------------------------------------------------------------------------
+# flat ghost scatter (pinned signatures, compiled at module import)
+# ---------------------------------------------------------------------------
+
+_t0_scatter = _time.perf_counter()
+
+
+@njit(
+    types.void(_arr(1, "C"), types.Array(types.int32, 1, "C"), types.Array(types.int32, 1, "C")),
+    fastmath=False,
+)
+def _scatter_i32(flat, dst, src):  # pragma: no cover - compiled
+    for k in range(dst.shape[0]):
+        flat[dst[k]] = flat[src[k]]
+
+
+@njit(
+    types.void(_arr(1, "C"), types.Array(types.int64, 1, "C"), types.Array(types.int64, 1, "C")),
+    fastmath=False,
+)
+def _scatter_i64(flat, dst, src):  # pragma: no cover - compiled
+    for k in range(dst.shape[0]):
+        flat[dst[k]] = flat[src[k]]
+
+
+_SCATTER_COMPILE_S = _time.perf_counter() - _t0_scatter
+
+
+# ---------------------------------------------------------------------------
+# scalar limiters (mirroring repro.solvers.limiters expression by expression)
+# ---------------------------------------------------------------------------
+
+
+def _build_limiter(name: str) -> Optional[Callable]:
+    if name == "minmod":
+
+        @njit(inline="always", fastmath=False)
+        def lim(a, b):
+            if a * b > 0.0:
+                return a if abs(a) < abs(b) else b
+            return 0.0
+
+    elif name == "van_leer":
+
+        @njit(inline="always", fastmath=False)
+        def lim(a, b):
+            if a * b > 0.0:
+                denom = a + b
+                safe = denom if abs(denom) > 1e-300 else 1.0
+                return 2.0 * a * b / safe
+            return 0.0
+
+    elif name == "mc":
+
+        @njit(inline="always", fastmath=False)
+        def lim(a, b):
+            if a * b > 0.0:
+                central = 0.5 * (a + b)
+                m = _nb_min(_nb_min(2.0 * abs(a), 2.0 * abs(b)), abs(central))
+                return _nb_sign(central) * m
+            return 0.0
+
+    elif name == "superbee":
+
+        @njit(inline="always", fastmath=False)
+        def lim(a, b):
+            if a * b > 0.0:
+                tb = 2 * b
+                ta = 2 * a
+                s1 = a if abs(a) < abs(tb) else tb
+                s2 = ta if abs(ta) < abs(b) else b
+                return s1 if abs(s1) > abs(s2) else s2
+            return 0.0
+
+    else:
+        return None
+    return lim
+
+
+# ---------------------------------------------------------------------------
+# per-physics scalar ops (cell vectors in, cell vectors/scalars out)
+# ---------------------------------------------------------------------------
+
+#: ops = (nvar, c2p, p2c, flux, nvel, char, source_kind, source_cell)
+#: source_kind: 0 none, 1 per-cell (Euler gravity), 2 Powell (needs w stencil)
+_PhysicsOps = Tuple[int, Any, Any, Any, Any, Any, int, Any]
+
+_PHYSICS_CACHE: Dict[Tuple, _PhysicsOps] = {}
+
+
+def _make_advection(velocity: Tuple[float, ...]) -> _PhysicsOps:
+    vel = np.array(velocity, dtype=np.float64)
+
+    @njit(inline="always", fastmath=False)
+    def c2p(u, w):
+        w[0] = u[0]
+
+    @njit(inline="always", fastmath=False)
+    def p2c(w, u):
+        u[0] = w[0]
+
+    @njit(inline="always", fastmath=False)
+    def flux(w, axis, f):
+        f[0] = vel[axis] * w[0]
+
+    @njit(inline="always", fastmath=False)
+    def nvel(w, axis):
+        return vel[axis]
+
+    @njit(inline="always", fastmath=False)
+    def char(w, axis):
+        return 0.0
+
+    return (1, c2p, p2c, flux, nvel, char, 0, _no_source)
+
+
+def _make_burgers(direction: Tuple[float, ...]) -> _PhysicsOps:
+    dirv = np.array(direction, dtype=np.float64)
+
+    @njit(inline="always", fastmath=False)
+    def c2p(u, w):
+        w[0] = u[0]
+
+    @njit(inline="always", fastmath=False)
+    def p2c(w, u):
+        u[0] = w[0]
+
+    @njit(inline="always", fastmath=False)
+    def flux(w, axis, f):
+        f[0] = 0.5 * dirv[axis] * w[0] * w[0]
+
+    @njit(inline="always", fastmath=False)
+    def nvel(w, axis):
+        return dirv[axis] * w[0]
+
+    @njit(inline="always", fastmath=False)
+    def char(w, axis):
+        return 0.0
+
+    return (1, c2p, p2c, flux, nvel, char, 0, _no_source)
+
+
+def _make_euler(
+    nd: int, gamma: float, gravity: Optional[Tuple[float, ...]]
+) -> _PhysicsOps:
+    nvar = nd + 2
+    ie = nd + 1
+    gm1 = gamma - 1.0
+
+    @njit(inline="always", fastmath=False)
+    def c2p(u, w):
+        rho = _nb_max(u[0], RHO_FLOOR)
+        w[0] = rho
+        ke = 0.0
+        for a in range(nd):
+            w[1 + a] = u[1 + a] / rho
+            ke += u[1 + a] * w[1 + a]
+        p = gm1 * (u[ie] - 0.5 * ke)
+        w[ie] = _nb_max(p, P_FLOOR)
+
+    @njit(inline="always", fastmath=False)
+    def p2c(w, u):
+        rho = _nb_max(w[0], RHO_FLOOR)
+        u[0] = rho
+        ke = 0.0
+        for a in range(nd):
+            u[1 + a] = rho * w[1 + a]
+            ke += rho * (w[1 + a] * w[1 + a])
+        u[ie] = _nb_max(w[ie], P_FLOOR) / gm1 + 0.5 * ke
+
+    @njit(inline="always", fastmath=False)
+    def flux(w, axis, f):
+        rho = w[0]
+        un = w[1 + axis]
+        p = w[ie]
+        f[0] = rho * un
+        for a in range(nd):
+            f[1 + a] = rho * un * w[1 + a]
+        f[1 + axis] += p
+        e = p / gm1
+        for a in range(nd):
+            e += 0.5 * rho * (w[1 + a] * w[1 + a])
+        f[ie] = un * (e + p)
+
+    @njit(inline="always", fastmath=False)
+    def nvel(w, axis):
+        return w[1 + axis]
+
+    @njit(inline="always", fastmath=False)
+    def char(w, axis):
+        return np.sqrt(gamma * w[ie] / _nb_max(w[0], RHO_FLOOR))
+
+    if gravity is None:
+        return (nvar, c2p, p2c, flux, nvel, char, 0, _no_source)
+
+    grav = np.array(gravity, dtype=np.float64)
+
+    @njit(inline="always", fastmath=False)
+    def source_cell(u, src):
+        for v in range(nvar):
+            src[v] = 0.0
+        rho = u[0]
+        for a in range(nd):
+            gv = grav[a]
+            if gv == 0.0:
+                continue
+            src[1 + a] += rho * gv
+            src[ie] += u[1 + a] * gv
+
+    return (nvar, c2p, p2c, flux, nvel, char, 1, source_cell)
+
+
+def _make_shallow_water(nd: int, gravity: float) -> _PhysicsOps:
+    nvar = nd + 1
+    grav = gravity
+
+    @njit(inline="always", fastmath=False)
+    def c2p(u, w):
+        h = _nb_max(u[0], RHO_FLOOR)
+        w[0] = h
+        for a in range(nd):
+            w[1 + a] = u[1 + a] / h
+
+    @njit(inline="always", fastmath=False)
+    def p2c(w, u):
+        h = _nb_max(w[0], RHO_FLOOR)
+        u[0] = h
+        for a in range(nd):
+            u[1 + a] = h * w[1 + a]
+
+    @njit(inline="always", fastmath=False)
+    def flux(w, axis, f):
+        h = w[0]
+        un = w[1 + axis]
+        f[0] = h * un
+        for a in range(nd):
+            f[1 + a] = h * un * w[1 + a]
+        f[1 + axis] += 0.5 * grav * h * h
+
+    @njit(inline="always", fastmath=False)
+    def nvel(w, axis):
+        return w[1 + axis]
+
+    @njit(inline="always", fastmath=False)
+    def char(w, axis):
+        return np.sqrt(grav * _nb_max(w[0], RHO_FLOOR))
+
+    return (nvar, c2p, p2c, flux, nvel, char, 0, _no_source)
+
+
+def _make_mhd(gamma: float, powell: bool) -> _PhysicsOps:
+    gm1 = gamma - 1.0
+
+    @njit(inline="always", fastmath=False)
+    def c2p(u, w):
+        rho = _nb_max(u[0], RHO_FLOOR)
+        w[0] = rho
+        ke = 0.0
+        for c in range(3):
+            w[1 + c] = u[1 + c] / rho
+            ke += u[1 + c] * w[1 + c]
+        b2 = u[5] * u[5] + u[6] * u[6] + u[7] * u[7]
+        p = gm1 * (u[4] - 0.5 * ke - 0.5 * b2)
+        w[4] = _nb_max(p, P_FLOOR)
+        w[5] = u[5]
+        w[6] = u[6]
+        w[7] = u[7]
+
+    @njit(inline="always", fastmath=False)
+    def p2c(w, u):
+        rho = _nb_max(w[0], RHO_FLOOR)
+        u[0] = rho
+        ke = 0.0
+        for c in range(3):
+            u[1 + c] = rho * w[1 + c]
+            ke += rho * (w[1 + c] * w[1 + c])
+        b2 = w[5] * w[5] + w[6] * w[6] + w[7] * w[7]
+        u[4] = _nb_max(w[4], P_FLOOR) / gm1 + 0.5 * ke + 0.5 * b2
+        u[5] = w[5]
+        u[6] = w[6]
+        u[7] = w[7]
+
+    @njit(inline="always", fastmath=False)
+    def flux(w, axis, f):
+        rho = w[0]
+        un = w[1 + axis]
+        p = w[4]
+        bn = w[5 + axis]
+        b2 = w[5] * w[5] + w[6] * w[6] + w[7] * w[7]
+        ptot = p + 0.5 * b2
+        udotb = w[1] * w[5] + w[2] * w[6] + w[3] * w[7]
+        f[0] = rho * un
+        for c in range(3):
+            f[1 + c] = rho * un * w[1 + c] - bn * w[5 + c]
+        f[1 + axis] += ptot
+        e = p / gm1 + 0.5 * rho * (w[1] * w[1] + w[2] * w[2] + w[3] * w[3]) + 0.5 * b2
+        f[4] = un * (e + ptot) - bn * udotb
+        for c in range(3):
+            f[5 + c] = un * w[5 + c] - w[1 + c] * bn
+        f[5 + axis] = 0.0
+
+    @njit(inline="always", fastmath=False)
+    def nvel(w, axis):
+        return w[1 + axis]
+
+    @njit(inline="always", fastmath=False)
+    def char(w, axis):
+        rho = _nb_max(w[0], RHO_FLOOR)
+        a2 = gamma * _nb_max(w[4], P_FLOOR) / rho
+        b2 = (w[5] * w[5] + w[6] * w[6] + w[7] * w[7]) / rho
+        bn = w[5 + axis]
+        bn2 = bn * bn / rho
+        s = a2 + b2
+        disc = np.sqrt(_nb_max(s * s - 4.0 * a2 * bn2, 0.0))
+        return np.sqrt(_nb_max(0.5 * (s + disc), 0.0))
+
+    return (8, c2p, p2c, flux, nvel, char, 2 if powell else 0, _no_source)
+
+
+def _physics_key(scheme: "FVScheme") -> Optional[Tuple]:
+    """Hashable identity of the physics closure, or None if unsupported.
+
+    Exact-type checks: a subclass may override any hook, which would
+    silently diverge from the compiled closure — decline instead."""
+    from repro.solvers.advection import AdvectionScheme
+    from repro.solvers.burgers import BurgersScheme
+    from repro.solvers.euler import EulerScheme
+    from repro.solvers.mhd import MHDScheme
+    from repro.solvers.shallow_water import ShallowWaterScheme
+
+    t = type(scheme)
+    if t is AdvectionScheme:
+        return ("advection", scheme.velocity)
+    if t is BurgersScheme:
+        return ("burgers", scheme.direction)
+    if t is EulerScheme:
+        return ("euler", scheme.ndim, scheme.gamma, scheme.gravity)
+    if t is ShallowWaterScheme:
+        return ("shallow_water", scheme.ndim, scheme.gravity)
+    if t is MHDScheme:
+        return ("mhd", scheme.gamma, bool(scheme.powell_source))
+    return None
+
+
+def _physics_ops(key: Tuple) -> _PhysicsOps:
+    ops = _PHYSICS_CACHE.get(key)
+    if ops is not None:
+        return ops
+    kind = key[0]
+    if kind == "advection":
+        ops = _make_advection(key[1])
+    elif kind == "burgers":
+        ops = _make_burgers(key[1])
+    elif kind == "euler":
+        ops = _make_euler(key[1], key[2], key[3])
+    elif kind == "shallow_water":
+        ops = _make_shallow_water(key[1], key[2])
+    else:
+        ops = _make_mhd(key[1], key[2])
+    _PHYSICS_CACHE[key] = ops
+    return ops
+
+
+def _grid_compatible(scheme: "FVScheme", key: Tuple, nd: int) -> bool:
+    """The grid dimension the kernel will sweep must be the one the
+    physics closure was specialized for (or covered by it)."""
+    kind = key[0]
+    if kind in ("advection", "burgers"):
+        return nd <= len(key[1])
+    # euler / shallow_water / mhd carry an explicit scheme dimension
+    return nd == scheme.ndim  # type: ignore[attr-defined]
+
+
+# ---------------------------------------------------------------------------
+# Riemann + face-state evaluation along a pencil
+# ---------------------------------------------------------------------------
+
+
+def _build_riemann(kind: str, nvar: int, flux, p2c, nvel, char):
+    """Scalar-vector Riemann solver writing one face flux column."""
+    if kind == "rusanov":
+
+        @njit(inline="always", fastmath=False)
+        def riem(wl, wr, axis, fl, fr, ul, ur, out):
+            flux(wl, axis, fl)
+            flux(wr, axis, fr)
+            p2c(wl, ul)
+            p2c(wr, ur)
+            sl = abs(nvel(wl, axis)) + char(wl, axis)
+            sr = abs(nvel(wr, axis)) + char(wr, axis)
+            smax = _nb_max(sl, sr)
+            for v in range(nvar):
+                out[v] = 0.5 * (fl[v] + fr[v]) - 0.5 * smax * (ur[v] - ul[v])
+
+    elif kind == "hll":
+
+        @njit(inline="always", fastmath=False)
+        def riem(wl, wr, axis, fl, fr, ul, ur, out):
+            flux(wl, axis, fl)
+            flux(wr, axis, fr)
+            p2c(wl, ul)
+            p2c(wr, ur)
+            unl = nvel(wl, axis)
+            unr = nvel(wr, axis)
+            cl = char(wl, axis)
+            cr = char(wr, axis)
+            sl = _nb_min(_nb_min(unl - cl, unr - cr), 0.0)
+            sr = _nb_max(_nb_max(unl + cl, unr + cr), 0.0)
+            d = sr - sl
+            width = d if d > 1e-300 else 1.0
+            for v in range(nvar):
+                out[v] = (sr * fl[v] - sl * fr[v] + sl * sr * (ur[v] - ul[v])) / width
+
+    else:
+        return None
+    return riem
+
+
+def _build_faces(nvar: int, order: int, lim, riem):
+    """Face fluxes F[:, 0..m] along one primitive pencil ``pen``.
+
+    Face f sits between padded cells g-1+f and g+f; order 2 adds the
+    limited half-slopes exactly as FVScheme.face_states (slopes are
+    re-evaluated per adjacent face — same inputs, same ops, same
+    bits)."""
+
+    @njit(fastmath=False)
+    def faces(pen, g, m, axis, F, wl, wr, fl, fr, ul, ur):
+        for f in range(m + 1):
+            cl = g - 1 + f
+            cr = g + f
+            if order == 1:
+                for v in range(nvar):
+                    wl[v] = pen[v, cl]
+                    wr[v] = pen[v, cr]
+            else:
+                for v in range(nvar):
+                    c0 = pen[v, cl]
+                    s0 = lim(c0 - pen[v, cl - 1], pen[v, cl + 1] - c0)
+                    wl[v] = c0 + 0.5 * s0
+                    c1 = pen[v, cr]
+                    s1 = lim(c1 - pen[v, cr - 1], pen[v, cr + 1] - c1)
+                    wr[v] = c1 - 0.5 * s1
+            riem(wl, wr, axis, fl, fr, ul, ur, F[:, f])
+
+    return faces
+
+
+# ---------------------------------------------------------------------------
+# fused flux-divergence kernels (one per grid dimension)
+# ---------------------------------------------------------------------------
+
+
+def _build_flux_kernel_1d(nvar, c2p, faces, source_kind, source_cell):
+    sig = types.void(_arr(3, "C"), _arr(2, "C"), _i8, _arr(3, "C"))
+
+    @njit(sig, fastmath=False)
+    def kernel(u, dxm, g, out):  # pragma: no cover - compiled
+        B = u.shape[0]
+        nx = u.shape[2]
+        mx = nx - 2 * g
+        w = np.empty((nvar, nx))
+        F = np.empty((nvar, mx + 1))
+        wl = np.empty(nvar)
+        wr = np.empty(nvar)
+        fl = np.empty(nvar)
+        fr = np.empty(nvar)
+        ul = np.empty(nvar)
+        ur = np.empty(nvar)
+        src = np.empty(nvar)
+        for b in range(B):
+            ub = u[b]
+            ob = out[b]
+            for i in range(nx):
+                c2p(ub[:, i], w[:, i])
+            for v in range(nvar):
+                for i in range(mx):
+                    ob[v, i] = 0.0
+            d0 = dxm[b, 0]
+            faces(w, g, mx, 0, F, wl, wr, fl, fr, ul, ur)
+            for v in range(nvar):
+                for i in range(mx):
+                    ob[v, i] -= (F[v, i + 1] - F[v, i]) / d0
+            if source_kind == 1:
+                for i in range(mx):
+                    source_cell(ub[:, g + i], src)
+                    for v in range(nvar):
+                        ob[v, i] += src[v]
+            elif source_kind == 2:
+                for i in range(mx):
+                    div = 0.0
+                    div += (w[5, g + i + 1] - w[5, g + i - 1]) / (2.0 * d0)
+                    u1 = w[1, g + i]
+                    u2 = w[2, g + i]
+                    u3 = w[3, g + i]
+                    b1 = w[5, g + i]
+                    b2_ = w[6, g + i]
+                    b3 = w[7, g + i]
+                    udotb = u1 * b1 + u2 * b2_ + u3 * b3
+                    ob[0, i] += 0.0
+                    ob[1, i] += -div * b1
+                    ob[2, i] += -div * b2_
+                    ob[3, i] += -div * b3
+                    ob[4, i] += -div * udotb
+                    ob[5, i] += -div * u1
+                    ob[6, i] += -div * u2
+                    ob[7, i] += -div * u3
+
+    return kernel
+
+
+def _build_flux_kernel_2d(nvar, c2p, faces, source_kind, source_cell):
+    sig = types.void(_arr(4, "C"), _arr(2, "C"), _i8, _arr(4, "C"))
+
+    @njit(sig, fastmath=False)
+    def kernel(u, dxm, g, out):  # pragma: no cover - compiled
+        B = u.shape[0]
+        nx = u.shape[2]
+        ny = u.shape[3]
+        mx = nx - 2 * g
+        my = ny - 2 * g
+        npen = nx if nx > ny else ny
+        mmax = mx if mx > my else my
+        w = np.empty((nvar, nx, ny))
+        pen = np.empty((nvar, npen))
+        F = np.empty((nvar, mmax + 1))
+        wl = np.empty(nvar)
+        wr = np.empty(nvar)
+        fl = np.empty(nvar)
+        fr = np.empty(nvar)
+        ul = np.empty(nvar)
+        ur = np.empty(nvar)
+        src = np.empty(nvar)
+        for b in range(B):
+            ub = u[b]
+            ob = out[b]
+            for i in range(nx):
+                for j in range(ny):
+                    c2p(ub[:, i, j], w[:, i, j])
+            for v in range(nvar):
+                for i in range(mx):
+                    for j in range(my):
+                        ob[v, i, j] = 0.0
+            d0 = dxm[b, 0]
+            d1 = dxm[b, 1]
+            # axis 0: one pencil per transverse-interior column
+            for j in range(my):
+                jj = g + j
+                for v in range(nvar):
+                    for i in range(nx):
+                        pen[v, i] = w[v, i, jj]
+                faces(pen, g, mx, 0, F, wl, wr, fl, fr, ul, ur)
+                for v in range(nvar):
+                    for i in range(mx):
+                        ob[v, i, j] -= (F[v, i + 1] - F[v, i]) / d0
+            # axis 1
+            for i in range(mx):
+                ii = g + i
+                for v in range(nvar):
+                    for j in range(ny):
+                        pen[v, j] = w[v, ii, j]
+                faces(pen, g, my, 1, F, wl, wr, fl, fr, ul, ur)
+                for v in range(nvar):
+                    for j in range(my):
+                        ob[v, i, j] -= (F[v, j + 1] - F[v, j]) / d1
+            if source_kind == 1:
+                for i in range(mx):
+                    for j in range(my):
+                        source_cell(ub[:, g + i, g + j], src)
+                        for v in range(nvar):
+                            ob[v, i, j] += src[v]
+            elif source_kind == 2:
+                for i in range(mx):
+                    for j in range(my):
+                        div = 0.0
+                        div += (w[5, g + i + 1, g + j] - w[5, g + i - 1, g + j]) / (2.0 * d0)
+                        div += (w[6, g + i, g + j + 1] - w[6, g + i, g + j - 1]) / (2.0 * d1)
+                        u1 = w[1, g + i, g + j]
+                        u2 = w[2, g + i, g + j]
+                        u3 = w[3, g + i, g + j]
+                        b1 = w[5, g + i, g + j]
+                        b2_ = w[6, g + i, g + j]
+                        b3 = w[7, g + i, g + j]
+                        udotb = u1 * b1 + u2 * b2_ + u3 * b3
+                        ob[0, i, j] += 0.0
+                        ob[1, i, j] += -div * b1
+                        ob[2, i, j] += -div * b2_
+                        ob[3, i, j] += -div * b3
+                        ob[4, i, j] += -div * udotb
+                        ob[5, i, j] += -div * u1
+                        ob[6, i, j] += -div * u2
+                        ob[7, i, j] += -div * u3
+
+    return kernel
+
+
+def _build_flux_kernel_3d(nvar, c2p, faces, source_kind, source_cell):
+    sig = types.void(_arr(5, "C"), _arr(2, "C"), _i8, _arr(5, "C"))
+
+    @njit(sig, fastmath=False)
+    def kernel(u, dxm, g, out):  # pragma: no cover - compiled
+        B = u.shape[0]
+        nx = u.shape[2]
+        ny = u.shape[3]
+        nz = u.shape[4]
+        mx = nx - 2 * g
+        my = ny - 2 * g
+        mz = nz - 2 * g
+        npen = nx
+        if ny > npen:
+            npen = ny
+        if nz > npen:
+            npen = nz
+        mmax = mx
+        if my > mmax:
+            mmax = my
+        if mz > mmax:
+            mmax = mz
+        w = np.empty((nvar, nx, ny, nz))
+        pen = np.empty((nvar, npen))
+        F = np.empty((nvar, mmax + 1))
+        wl = np.empty(nvar)
+        wr = np.empty(nvar)
+        fl = np.empty(nvar)
+        fr = np.empty(nvar)
+        ul = np.empty(nvar)
+        ur = np.empty(nvar)
+        src = np.empty(nvar)
+        for b in range(B):
+            ub = u[b]
+            ob = out[b]
+            for i in range(nx):
+                for j in range(ny):
+                    for k in range(nz):
+                        c2p(ub[:, i, j, k], w[:, i, j, k])
+            for v in range(nvar):
+                for i in range(mx):
+                    for j in range(my):
+                        for k in range(mz):
+                            ob[v, i, j, k] = 0.0
+            d0 = dxm[b, 0]
+            d1 = dxm[b, 1]
+            d2 = dxm[b, 2]
+            # axis 0
+            for j in range(my):
+                jj = g + j
+                for k in range(mz):
+                    kk = g + k
+                    for v in range(nvar):
+                        for i in range(nx):
+                            pen[v, i] = w[v, i, jj, kk]
+                    faces(pen, g, mx, 0, F, wl, wr, fl, fr, ul, ur)
+                    for v in range(nvar):
+                        for i in range(mx):
+                            ob[v, i, j, k] -= (F[v, i + 1] - F[v, i]) / d0
+            # axis 1
+            for i in range(mx):
+                ii = g + i
+                for k in range(mz):
+                    kk = g + k
+                    for v in range(nvar):
+                        for j in range(ny):
+                            pen[v, j] = w[v, ii, j, kk]
+                    faces(pen, g, my, 1, F, wl, wr, fl, fr, ul, ur)
+                    for v in range(nvar):
+                        for j in range(my):
+                            ob[v, i, j, k] -= (F[v, j + 1] - F[v, j]) / d1
+            # axis 2
+            for i in range(mx):
+                ii = g + i
+                for j in range(my):
+                    jj = g + j
+                    for v in range(nvar):
+                        for k in range(nz):
+                            pen[v, k] = w[v, ii, jj, k]
+                    faces(pen, g, mz, 2, F, wl, wr, fl, fr, ul, ur)
+                    for v in range(nvar):
+                        for k in range(mz):
+                            ob[v, i, j, k] -= (F[v, k + 1] - F[v, k]) / d2
+            if source_kind == 1:
+                for i in range(mx):
+                    for j in range(my):
+                        for k in range(mz):
+                            source_cell(ub[:, g + i, g + j, g + k], src)
+                            for v in range(nvar):
+                                ob[v, i, j, k] += src[v]
+            elif source_kind == 2:
+                for i in range(mx):
+                    for j in range(my):
+                        for k in range(mz):
+                            div = 0.0
+                            div += (
+                                w[5, g + i + 1, g + j, g + k]
+                                - w[5, g + i - 1, g + j, g + k]
+                            ) / (2.0 * d0)
+                            div += (
+                                w[6, g + i, g + j + 1, g + k]
+                                - w[6, g + i, g + j - 1, g + k]
+                            ) / (2.0 * d1)
+                            div += (
+                                w[7, g + i, g + j, g + k + 1]
+                                - w[7, g + i, g + j, g + k - 1]
+                            ) / (2.0 * d2)
+                            u1 = w[1, g + i, g + j, g + k]
+                            u2 = w[2, g + i, g + j, g + k]
+                            u3 = w[3, g + i, g + j, g + k]
+                            b1 = w[5, g + i, g + j, g + k]
+                            b2_ = w[6, g + i, g + j, g + k]
+                            b3 = w[7, g + i, g + j, g + k]
+                            udotb = u1 * b1 + u2 * b2_ + u3 * b3
+                            ob[0, i, j, k] += 0.0
+                            ob[1, i, j, k] += -div * b1
+                            ob[2, i, j, k] += -div * b2_
+                            ob[3, i, j, k] += -div * b3
+                            ob[4, i, j, k] += -div * udotb
+                            ob[5, i, j, k] += -div * u1
+                            ob[6, i, j, k] += -div * u2
+                            ob[7, i, j, k] += -div * u3
+
+    return kernel
+
+
+_FLUX_BUILDERS = {1: _build_flux_kernel_1d, 2: _build_flux_kernel_2d, 3: _build_flux_kernel_3d}
+
+
+# ---------------------------------------------------------------------------
+# fused stable_dt signal-speed reduction kernels
+# ---------------------------------------------------------------------------
+
+
+def _build_speed_kernel_1d(nvar, c2p, nvel, char):
+    sig = types.void(_arr(3, "A"), _arr(1, "C"))
+
+    @njit(sig, fastmath=False)
+    def kernel(t, out):  # pragma: no cover - compiled
+        B = t.shape[0]
+        mx = t.shape[2]
+        wloc = np.empty(nvar)
+        for b in range(B):
+            m0 = -np.inf
+            for i in range(mx):
+                c2p(t[b, :, i], wloc)
+                m0 = _nb_max(m0, abs(nvel(wloc, 0)) + char(wloc, 0))
+            best = 0.0
+            if m0 > best:
+                best = m0
+            out[b] = best
+
+    return kernel
+
+
+def _build_speed_kernel_2d(nvar, c2p, nvel, char):
+    sig = types.void(_arr(4, "A"), _arr(1, "C"))
+
+    @njit(sig, fastmath=False)
+    def kernel(t, out):  # pragma: no cover - compiled
+        B = t.shape[0]
+        mx = t.shape[2]
+        my = t.shape[3]
+        wloc = np.empty(nvar)
+        for b in range(B):
+            m0 = -np.inf
+            m1 = -np.inf
+            for i in range(mx):
+                for j in range(my):
+                    c2p(t[b, :, i, j], wloc)
+                    m0 = _nb_max(m0, abs(nvel(wloc, 0)) + char(wloc, 0))
+                    m1 = _nb_max(m1, abs(nvel(wloc, 1)) + char(wloc, 1))
+            best = 0.0
+            if m0 > best:
+                best = m0
+            if m1 > best:
+                best = m1
+            out[b] = best
+
+    return kernel
+
+
+def _build_speed_kernel_3d(nvar, c2p, nvel, char):
+    sig = types.void(_arr(5, "A"), _arr(1, "C"))
+
+    @njit(sig, fastmath=False)
+    def kernel(t, out):  # pragma: no cover - compiled
+        B = t.shape[0]
+        mx = t.shape[2]
+        my = t.shape[3]
+        mz = t.shape[4]
+        wloc = np.empty(nvar)
+        for b in range(B):
+            m0 = -np.inf
+            m1 = -np.inf
+            m2 = -np.inf
+            for i in range(mx):
+                for j in range(my):
+                    for k in range(mz):
+                        c2p(t[b, :, i, j, k], wloc)
+                        m0 = _nb_max(m0, abs(nvel(wloc, 0)) + char(wloc, 0))
+                        m1 = _nb_max(m1, abs(nvel(wloc, 1)) + char(wloc, 1))
+                        m2 = _nb_max(m2, abs(nvel(wloc, 2)) + char(wloc, 2))
+            best = 0.0
+            if m0 > best:
+                best = m0
+            if m1 > best:
+                best = m1
+            if m2 > best:
+                best = m2
+            out[b] = best
+
+    return kernel
+
+
+_SPEED_BUILDERS = {1: _build_speed_kernel_1d, 2: _build_speed_kernel_2d, 3: _build_speed_kernel_3d}
+
+
+# ---------------------------------------------------------------------------
+# the backend
+# ---------------------------------------------------------------------------
+
+
+class NumbaBackend(KernelBackend):
+    """JIT backend: fused per-tile kernels, compiled lazily per combo."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._flux_kernels: Dict[Tuple, Optional[Callable]] = {}
+        self._speed_kernels: Dict[Tuple, Optional[Callable]] = {}
+        self._limiter_kernels: Dict[str, Optional[Callable]] = {}
+        self._riemann_kernels: Dict[Tuple, Optional[Callable]] = {}
+        # module-import compile cost of the pinned scatter kernels
+        self.compile_s += _SCATTER_COMPILE_S
+        self.n_compiled += 2
+
+    # -- compile accounting -------------------------------------------------
+
+    def _timed_build(self, build: Callable[[], Optional[Callable]]) -> Optional[Callable]:
+        t0 = _time.perf_counter()
+        kernel = build()
+        dt = _time.perf_counter() - t0
+        if kernel is not None:
+            self.compile_s += dt
+            self.n_compiled += 1
+            if METRICS.enabled:
+                METRICS.inc("kernels.compiled")
+                METRICS.observe("kernels.compile_s", dt)
+        return kernel
+
+    # -- kernel caches ------------------------------------------------------
+
+    def _combo_key(self, scheme: "FVScheme", nd: int) -> Optional[Tuple]:
+        pk = _physics_key(scheme)
+        if pk is None or not _grid_compatible(scheme, pk, nd):
+            return None
+        if scheme.riemann_name not in ("rusanov", "hll"):
+            return None  # hllc keeps its reference implementation
+        lim_name = scheme.limiter_name if scheme.order == 2 else None
+        if scheme.order == 2 and _build_limiter(scheme.limiter_name) is None:
+            return None
+        return (pk, nd, scheme.order, lim_name, scheme.riemann_name)
+
+    def _get_flux_kernel(self, scheme: "FVScheme", nd: int) -> Optional[Callable]:
+        key = self._combo_key(scheme, nd)
+        if key is None:
+            return None
+        if key in self._flux_kernels:
+            return self._flux_kernels[key]
+
+        def build() -> Optional[Callable]:
+            nvar, c2p, p2c, flux, nvel, char, source_kind, source_cell = _physics_ops(key[0])
+            riem = _build_riemann(scheme.riemann_name, nvar, flux, p2c, nvel, char)
+            if riem is None:
+                return None
+            lim = _build_limiter(scheme.limiter_name) if scheme.order == 2 else _nb_sign
+            faces = _build_faces(nvar, scheme.order, lim, riem)
+            return _FLUX_BUILDERS[nd](nvar, c2p, faces, source_kind, source_cell)
+
+        kernel = self._timed_build(build)
+        self._flux_kernels[key] = kernel
+        return kernel
+
+    def _get_speed_kernel(self, scheme: "FVScheme", nd: int) -> Optional[Callable]:
+        pk = _physics_key(scheme)
+        if pk is None or not _grid_compatible(scheme, pk, nd):
+            return None
+        key = (pk, nd)
+        if key in self._speed_kernels:
+            return self._speed_kernels[key]
+
+        def build() -> Optional[Callable]:
+            nvar, c2p, _p2c, _flux, nvel, char, _sk, _sc = _physics_ops(pk)
+            return _SPEED_BUILDERS[nd](nvar, c2p, nvel, char)
+
+        kernel = self._timed_build(build)
+        self._speed_kernels[key] = kernel
+        return kernel
+
+    def _get_limiter_kernel(self, name: str) -> Optional[Callable]:
+        if name in self._limiter_kernels:
+            return self._limiter_kernels[name]
+
+        def build() -> Optional[Callable]:
+            lim = _build_limiter(name)
+            if lim is None:
+                return None
+            sig = types.void(_arr(1, "C"), _arr(1, "C"), _arr(1, "C"))
+
+            @njit(sig, fastmath=False)
+            def kernel(a, b, out):  # pragma: no cover - compiled
+                for i in range(a.shape[0]):
+                    out[i] = lim(a[i], b[i])
+
+            return kernel
+
+        kernel = self._timed_build(build)
+        self._limiter_kernels[name] = kernel
+        return kernel
+
+    def _get_riemann_kernel(self, scheme: "FVScheme") -> Optional[Callable]:
+        pk = _physics_key(scheme)
+        if pk is None or scheme.riemann_name not in ("rusanov", "hll"):
+            return None
+        key = (pk, scheme.riemann_name)
+        if key in self._riemann_kernels:
+            return self._riemann_kernels[key]
+
+        def build() -> Optional[Callable]:
+            nvar, _c2p, p2c, flux, nvel, char, _sk, _sc = _physics_ops(pk)
+            riem = _build_riemann(scheme.riemann_name, nvar, flux, p2c, nvel, char)
+            if riem is None:
+                return None
+            sig = types.void(_arr(2, "C"), _arr(2, "C"), _i8, _arr(2, "C"))
+
+            @njit(sig, fastmath=False)
+            def kernel(wl, wr, axis, out):  # pragma: no cover - compiled
+                n = wl.shape[1]
+                wlv = np.empty(wl.shape[0])
+                wrv = np.empty(wl.shape[0])
+                fl = np.empty(wl.shape[0])
+                fr = np.empty(wl.shape[0])
+                ul = np.empty(wl.shape[0])
+                ur = np.empty(wl.shape[0])
+                for i in range(n):
+                    for v in range(wl.shape[0]):
+                        wlv[v] = wl[v, i]
+                        wrv[v] = wr[v, i]
+                    riem(wlv, wrv, axis, fl, fr, ul, ur, out[:, i])
+
+            return kernel
+
+        kernel = self._timed_build(build)
+        self._riemann_kernels[key] = kernel
+        return kernel
+
+    # -- hot ops ------------------------------------------------------------
+
+    def flux_divergence(
+        self,
+        scheme: "FVScheme",
+        u: np.ndarray,
+        dx: Sequence,
+        g: int,
+        *,
+        ndim: int,
+        out: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        nd = ndim
+        batched = u.ndim == nd + 2
+        if (
+            not 1 <= nd <= 3
+            or (not batched and u.ndim != nd + 1)
+            or u.dtype != np.float64
+            or not u.flags["C_CONTIGUOUS"]
+            or g < scheme.required_ghost
+        ):
+            self._count_fallback()
+            return None
+        kernel = self._get_flux_kernel(scheme, nd)
+        if kernel is None:
+            self._count_fallback()
+            return None
+        ub = u if batched else u[None]
+        nblocks = ub.shape[0]
+        nvar = ub.shape[1]
+        dxm = np.empty((nblocks, nd))
+        for a in range(nd):
+            da = dx[a]
+            if np.ndim(da) == 0:
+                dxm[:, a] = float(da)
+            else:
+                dxm[:, a] = np.asarray(da, dtype=np.float64).reshape(nblocks)
+        want = (nblocks, nvar) + tuple(s - 2 * g for s in ub.shape[2:])
+        res: Optional[np.ndarray] = None
+        if (
+            batched
+            and out is not None
+            and out.shape == want
+            and out.dtype == np.float64
+            and out.flags["C_CONTIGUOUS"]
+        ):
+            res = out
+        if res is None:
+            res = np.empty(want)
+        kernel(ub, dxm, int(g), res)
+        self._count_dispatch()
+        return res if batched else res[0]
+
+    def max_signal_speed_tile(
+        self,
+        scheme: "FVScheme",
+        tile: np.ndarray,
+        ndim: int,
+        out: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        if not 1 <= ndim <= 3 or tile.ndim != ndim + 2 or tile.dtype != np.float64:
+            self._count_fallback()
+            return None
+        kernel = self._get_speed_kernel(scheme, ndim)
+        if kernel is None:
+            self._count_fallback()
+            return None
+        nblocks = tile.shape[0]
+        res: Optional[np.ndarray] = None
+        if (
+            out is not None
+            and out.shape == (nblocks,)
+            and out.dtype == np.float64
+            and out.flags["C_CONTIGUOUS"]
+        ):
+            res = out
+        if res is None:
+            res = np.empty(nblocks)
+        kernel(tile, res)
+        self._count_dispatch()
+        return res
+
+    # -- always-implemented ops --------------------------------------------
+
+    def apply_limiter(
+        self, scheme: "FVScheme", a: np.ndarray, b: np.ndarray
+    ) -> np.ndarray:
+        kernel = self._get_limiter_kernel(scheme.limiter_name)
+        if kernel is None or a.shape != b.shape:
+            self._count_fallback()
+            return scheme.limiter(a, b)
+        a64 = np.ascontiguousarray(a, dtype=np.float64)
+        b64 = np.ascontiguousarray(b, dtype=np.float64)
+        res = np.empty_like(a64)
+        kernel(a64.reshape(-1), b64.reshape(-1), res.reshape(-1))
+        self._count_dispatch()
+        return res
+
+    def riemann_flux(
+        self, scheme: "FVScheme", wl: np.ndarray, wr: np.ndarray, axis: int
+    ) -> np.ndarray:
+        kernel = self._get_riemann_kernel(scheme)
+        if kernel is None or wl.shape != wr.shape or wl.ndim < 1:
+            self._count_fallback()
+            return scheme.riemann(scheme, wl, wr, axis)
+        nvar = wl.shape[0]
+        wl2 = np.ascontiguousarray(wl, dtype=np.float64).reshape(nvar, -1)
+        wr2 = np.ascontiguousarray(wr, dtype=np.float64).reshape(nvar, -1)
+        res = np.empty_like(wl2)
+        kernel(wl2, wr2, int(axis), res)
+        self._count_dispatch()
+        return res.reshape(wl.shape)
+
+    def scatter_ghosts(
+        self, flat: np.ndarray, dst: np.ndarray, src: np.ndarray
+    ) -> None:
+        if (
+            flat.dtype == np.float64
+            and flat.flags["C_CONTIGUOUS"]
+            and dst.dtype == src.dtype
+            and dst.flags["C_CONTIGUOUS"]
+            and src.flags["C_CONTIGUOUS"]
+        ):
+            if dst.dtype == np.int32:
+                _scatter_i32(flat, dst, src)
+                self._count_dispatch()
+                return
+            if dst.dtype == np.int64:
+                _scatter_i64(flat, dst, src)
+                self._count_dispatch()
+                return
+        self._count_fallback()
+        flat[dst] = flat[src]

@@ -48,6 +48,7 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.kernels import get_backend
 from repro.solvers.limiters import get_limiter
 from repro.solvers.riemann import get_riemann
 
@@ -92,6 +93,11 @@ class FVScheme(ABC):
         self.riemann_name = riemann
         self.riemann = get_riemann(riemann)
         self.cfl = cfl
+        #: kernel backend the machinery dispatches hot ops through; swap
+        #: with ``repro.kernels.get_backend(name)`` (see Simulation's
+        #: ``kernel_backend=``).  Every backend is bit-for-bit with the
+        #: reference numpy path.
+        self.kernels = get_backend("numpy")
 
     @property
     def required_ghost(self) -> int:
@@ -157,20 +163,39 @@ class FVScheme(ABC):
             best = max(best, float(np.max(self.max_char_speed(w, a))))
         return best
 
-    def max_signal_speed_batched(self, u: np.ndarray, ndim: int) -> np.ndarray:
+    def max_signal_speed_batched(
+        self,
+        u: np.ndarray,
+        ndim: int,
+        out: Optional[np.ndarray] = None,
+        work: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Per-block largest |u_n| + c over a var-major ``(nvar, B, *sp)``
         stack — one ``(B,)`` reduction instead of a Python loop.
 
         Mirrors :meth:`max_signal_speed` exactly, including its
-        comparison semantics (``np.where(m > best, ...)`` matches Python
-        ``max``, which keeps the current best on a non-greater — e.g.
-        NaN — candidate)."""
+        comparison semantics (the masked fold matches Python ``max``,
+        which keeps the current best on a non-greater — e.g. NaN —
+        candidate).  ``out`` (the ``(B,)`` result buffer) and ``work``
+        (a ``(B,)`` reduction scratch) let tiled callers reuse
+        allocations across calls; both are optional."""
         w = self.cons_to_prim(u)
-        best = np.zeros(u.shape[1])
+        b = u.shape[1]
+        if out is None:
+            best = np.zeros(b)
+        else:
+            best = out
+            best[:] = 0.0
         for a in range(ndim):
             speed = self.max_char_speed(w, a)
-            m = speed.reshape(speed.shape[0], -1).max(axis=1)
-            best = np.where(m > best, m, best)
+            flat = speed.reshape(speed.shape[0], -1)
+            if work is not None and work.shape == (b,):
+                m = flat.max(axis=1, out=work)
+            else:
+                m = flat.max(axis=1)
+            # same values as ``best = np.where(m > best, m, best)``,
+            # without the fresh array per axis
+            np.copyto(best, m, where=m > best)
         return best
 
     def stable_dt(self, u: np.ndarray, dx: Sequence[float], ndim: int) -> float:
@@ -232,6 +257,7 @@ class FVScheme(ABC):
         face_flux_out: Optional[dict] = None,
         faces: Optional[Sequence[int]] = None,
         ndim: Optional[int] = None,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """-div F over the interior cells (the conservative update rate).
 
@@ -245,15 +271,37 @@ class FVScheme(ABC):
         (``u.ndim == ndim + 2``) every block is processed in one sweep;
         the result has shape ``(B, nvar, *interior)``.  ``dx`` then
         holds per-axis ``(B, 1, ..., 1)`` cell-width arrays.
+
+        ``out`` is a result buffer in the *caller's* layout (interior
+        shape) — a scratch hint that skips the per-call allocation.
+        Callers must consume the returned array, which may or may not
+        alias ``out``.
+
+        Unless face fluxes are being captured, the call first offers the
+        sweep to the scheme's kernel backend (``self.kernels``); a
+        backend either computes the identical result fused or declines,
+        in which case the reference whole-array path below runs.
         """
         nd = u.ndim - 1 if ndim is None else ndim
+        if face_flux_out is None:
+            res = self.kernels.flux_divergence(self, u, dx, g, ndim=nd, out=out)
+            if res is not None:
+                return res
         batched = u.ndim == nd + 2
         uv = np.moveaxis(u, 0, 1) if batched else u  # var-major view
         lead = uv.ndim - nd
         spatial = uv.shape[lead:]
         w = self.cons_to_prim(uv)
         interior_shape = tuple(s - 2 * g for s in spatial)
-        dudt = np.zeros(uv.shape[:lead] + interior_shape)
+        want = uv.shape[:lead] + interior_shape
+        dudt = None
+        if out is not None and out.dtype == np.float64:
+            cand = np.moveaxis(out, 0, 1) if batched else out
+            if cand.shape == want:
+                dudt = cand
+                dudt[...] = 0.0
+        if dudt is None:
+            dudt = np.zeros(want)
         for axis in range(nd):
             # Crop to interior extent on transverse axes *before*
             # reconstruction: face_states only slices along ``axis``, so
@@ -315,9 +363,11 @@ class FVScheme(ABC):
         dt: float,
         g: int,
         ndim: Optional[int] = None,
+        rate_out: Optional[np.ndarray] = None,
     ) -> None:
         """Advance the interior of a padded block array by one forward-
-        Euler *stage* of length ``dt``, in place.
+        Euler *stage* of length ``dt``, in place.  ``rate_out`` is an
+        optional scratch buffer (interior shape) for the update rate.
 
         This is a single stage: time integration across stages (midpoint
         for second order) is orchestrated by the driver, which must
@@ -335,7 +385,14 @@ class FVScheme(ABC):
         interior = (slice(None),) * lead + tuple(
             slice(g, s - g) for s in u.shape[lead:]
         )
-        u[interior] += dt * self.flux_divergence(u, dx, g, ndim=ndim)
+        rate = self.flux_divergence(u, dx, g, ndim=ndim, out=rate_out)
+        if rate_out is not None:
+            # same two IEEE ops per element as ``u += dt * rate``,
+            # without the broadcast temporary
+            rate *= dt
+            u[interior] += rate
+        else:
+            u[interior] += dt * rate
         ui = u[interior]
         # the floors hook wants the variable axis first
         self.apply_floors(np.moveaxis(ui, 0, 1) if lead == 2 else ui)

@@ -62,10 +62,21 @@ def stable_dt_batched(
     ]
     step = n if tile is None else max(tile, 1)
     s = np.empty(n)
+    # one reduction scratch for every tile (not a fresh one per tile)
+    work = np.empty(min(step, n))
+    kernels = scheme.kernels
     for lo in range(0, n, step):
         hi = min(lo + step, n)
-        u = np.moveaxis(interior[lo:hi], 0, 1)  # var-major (nvar, b, *m)
-        s[lo:hi] = scheme.max_signal_speed_batched(u, forest.ndim)
+        t = interior[lo:hi]
+        buf = s[lo:hi]
+        res = kernels.max_signal_speed_tile(scheme, t, forest.ndim, out=buf)
+        if res is None:
+            u = np.moveaxis(t, 0, 1)  # var-major (nvar, b, *m)
+            scheme.max_signal_speed_batched(
+                u, forest.ndim, out=buf, work=work[: hi - lo]
+            )
+        elif res is not buf:
+            buf[:] = res
     dx = np.array([[b.dx[a] for a in range(forest.ndim)] for b in blocks])
     with np.errstate(divide="ignore", invalid="ignore"):
         denom = s / dx[:, 0]

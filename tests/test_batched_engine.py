@@ -3,10 +3,16 @@
 The batched engine (``Simulation(engine="batched")``) must be *exactly*
 the per-block engine with a different loop structure: same IEEE
 elementwise kernels swept over arena tiles instead of per-block arrays.
-These tests enforce that contract across physics, orders, limiters,
-mid-run adaptation, refluxing, tile sizes, the ghost sanitizer, the
-exchange race detector, and rank-kill recovery — plus unit tests of the
-block arena the engine is built on.
+These tests enforce that contract across kernel backends, physics,
+orders, limiters, mid-run adaptation, refluxing, tile sizes, the ghost
+sanitizer, the exchange race detector, and rank-kill recovery — plus
+unit tests of the block arena the engine is built on.
+
+Backend matrix: every engine-equivalence case runs once per kernel
+backend (the numba legs skip when the jit extra is absent — REPRO108
+bans a bare ``import numba`` here, so gating goes through
+``pytest.importorskip``), and dedicated cross-backend cases pin the
+numba backend against the numpy reference state directly.
 """
 
 import numpy as np
@@ -16,8 +22,18 @@ from repro.amr import Simulation, advecting_pulse
 from repro.amr.problems import mhd_blast, sedov_blast
 from repro.core import BlockForest, BlockID
 from repro.core.arena import BlockArena
+from repro.kernels import get_backend
 from repro.solvers import AdvectionScheme
 from repro.util.geometry import Box
+
+BACKENDS = ("numpy", "numba")
+
+
+def require_backend(backend):
+    """Skip (not fail) a numba leg in environments without the extra."""
+    if backend != "numpy":
+        pytest.importorskip(backend)
+    return backend
 
 
 def assert_forests_identical(a, b):
@@ -26,16 +42,28 @@ def assert_forests_identical(a, b):
         assert np.array_equal(a.blocks[bid].interior, b.blocks[bid].interior), bid
 
 
-def run_pair(problem, steps, **sim_kwargs):
+def run_pair(problem, steps, kernel_backend="numpy", **sim_kwargs):
     """Run both engines on a problem; returns (blocked, batched) sims."""
     sims = {}
     for engine in ("blocked", "batched"):
-        sim = problem.build(engine=engine, **sim_kwargs)
+        sim = problem.build(
+            engine=engine, kernel_backend=kernel_backend, **sim_kwargs
+        )
         with sim:
             for _ in range(steps):
                 sim.step()
         sims[engine] = sim
     return sims["blocked"], sims["batched"]
+
+
+def run_one(problem, steps, engine, kernel_backend, **sim_kwargs):
+    sim = problem.build(
+        engine=engine, kernel_backend=kernel_backend, **sim_kwargs
+    )
+    with sim:
+        for _ in range(steps):
+            sim.step()
+    return sim
 
 
 # ---------------------------------------------------------------------------
@@ -103,6 +131,23 @@ class TestBlockArena:
         assert save.shape == (2, 3, 4, 6)
         assert arena.save_pool() is save
 
+    def test_rate_pool_lazy_shape_and_reuse(self):
+        # per-call scratch for the sweep's rate accumulator: allocated
+        # once, reused across calls, invalidated by growth
+        arena = BlockArena((4, 6), 2, 3, initial_capacity=2)
+        assert arena._rate is None
+        rate = arena.rate_pool()
+        assert rate.shape == (2, 3, 4, 6)
+        assert arena.rate_pool() is rate
+        r0 = arena.acquire()
+        r1 = arena.acquire()
+        arena.view(r0)
+        arena.view(r1)
+        arena.acquire()  # forces growth past initial_capacity
+        grown = arena.rate_pool()
+        assert grown is not rate
+        assert grown.shape[0] == arena.capacity
+
 
 # ---------------------------------------------------------------------------
 # bit-for-bit equivalence across physics / orders / limiters
@@ -124,39 +169,74 @@ def _problem(name, **cfg_kwargs):
     return maker(ndim=2)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("name", ["advection", "euler", "mhd"])
 @pytest.mark.parametrize("order", [1, 2])
-def test_equivalence_problems_orders(name, order):
+def test_equivalence_problems_orders(name, order, backend):
+    require_backend(backend)
     problem = _problem(name, order=order)
-    blocked, batched = run_pair(problem, steps=6)
+    blocked, batched = run_pair(problem, steps=6, kernel_backend=backend)
     assert_forests_identical(blocked.forest, batched.forest)
     assert [r.dt for r in blocked.history] == [r.dt for r in batched.history]
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("limiter", ["minmod", "mc", "superbee"])
-def test_equivalence_limiters(limiter):
+def test_equivalence_limiters(limiter, backend):
+    require_backend(backend)
     problem = _problem("euler", limiter=limiter)
-    blocked, batched = run_pair(problem, steps=5)
+    blocked, batched = run_pair(problem, steps=5, kernel_backend=backend)
     assert_forests_identical(blocked.forest, batched.forest)
 
 
-def test_equivalence_through_adaptation():
+@pytest.mark.parametrize("name", ["advection", "euler", "mhd"])
+@pytest.mark.parametrize("order", [1, 2])
+@pytest.mark.parametrize("limiter", ["van_leer", "minmod", "mc", "superbee"])
+def test_backend_equivalence_matrix(name, order, limiter):
+    """Numba must land bit-for-bit on the numpy reference state across
+    the full physics x order x limiter matrix (both engines)."""
+    require_backend("numba")
+    problem = _problem(name, order=order, limiter=limiter)
+    for engine in ("blocked", "batched"):
+        ref = run_one(problem, 5, engine, "numpy")
+        jit = run_one(problem, 5, engine, "numba")
+        assert_forests_identical(ref.forest, jit.forest)
+        assert [r.dt for r in ref.history] == [r.dt for r in jit.history]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_equivalence_through_adaptation(backend):
+    require_backend(backend)
     # enough steps to cross several adapt checks (interval 4) so blocks
     # refine/coarsen mid-run, exercising arena growth + recompaction
     problem = _problem("mhd")
-    blocked, batched = run_pair(problem, steps=10)
+    blocked, batched = run_pair(problem, steps=10, kernel_backend=backend)
     assert any(r.adapted is not None and r.adapted.changed
                for r in batched.history)
     assert_forests_identical(blocked.forest, batched.forest)
 
 
-def test_equivalence_with_reflux():
+def test_backend_equivalence_through_adaptation():
+    require_backend("numba")
+    problem = _problem("mhd")
+    ref = run_one(problem, 10, "batched", "numpy")
+    jit = run_one(problem, 10, "batched", "numba")
+    assert any(r.adapted is not None and r.adapted.changed
+               for r in jit.history)
+    assert_forests_identical(ref.forest, jit.forest)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_equivalence_with_reflux(backend):
+    require_backend(backend)
     problem = _problem("euler")
-    blocked, batched = run_pair(problem, steps=6, adaptive=True)
+    blocked, batched = run_pair(
+        problem, steps=6, adaptive=True, kernel_backend=backend
+    )
     # rerun with reflux on
     sims = {}
     for engine in ("blocked", "batched"):
-        sim = problem.build(engine=engine)
+        sim = problem.build(engine=engine, kernel_backend=backend)
         sim.reflux = True
         with sim:
             for _ in range(6):
@@ -165,11 +245,27 @@ def test_equivalence_with_reflux():
     assert_forests_identical(sims["blocked"].forest, sims["batched"].forest)
 
 
-def test_batch_tile_invariance():
+def test_backend_equivalence_with_reflux():
+    require_backend("numba")
+    problem = _problem("euler")
+    sims = {}
+    for backend in BACKENDS:
+        sim = problem.build(engine="batched", kernel_backend=backend)
+        sim.reflux = True
+        with sim:
+            for _ in range(6):
+                sim.step()
+        sims[backend] = sim
+    assert_forests_identical(sims["numpy"].forest, sims["numba"].forest)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_tile_invariance(backend):
+    require_backend(backend)
     problem = _problem("mhd")
     results = []
     for tile in (1, 7, 64, None):
-        sim = problem.build(engine="batched")
+        sim = problem.build(engine="batched", kernel_backend=backend)
         sim.batch_tile = tile
         with sim:
             for _ in range(5):
@@ -190,13 +286,17 @@ def test_equivalence_3d():
 # ---------------------------------------------------------------------------
 
 
-def test_batched_under_ghost_sanitizer():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batched_under_ghost_sanitizer(backend):
+    require_backend(backend)
     problem = _problem("mhd")
-    plain = problem.build(engine="batched")
+    plain = problem.build(engine="batched", kernel_backend=backend)
     with plain:
         for _ in range(5):
             plain.step()
-    sanitized = problem.build(engine="batched", sanitize=True)
+    sanitized = problem.build(
+        engine="batched", sanitize=True, kernel_backend=backend
+    )
     with sanitized:
         for _ in range(5):
             sanitized.step()  # raises PoisonError on any violation
@@ -205,9 +305,11 @@ def test_batched_under_ghost_sanitizer():
     assert_forests_identical(plain.forest, sanitized.forest)
 
 
-def test_batched_reference_vs_emulator_with_race_detector():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batched_reference_vs_emulator_with_race_detector(backend):
     """The emulated distributed machine (race-checked) must match a
     batched-engine serial reference bit-for-bit."""
+    require_backend(backend)
     from repro.parallel.emulator import EmulatedMachine
 
     def make_forest():
@@ -224,6 +326,7 @@ def test_batched_reference_vs_emulator_with_race_detector():
             b.interior[0] = np.exp(-50 * ((X - 0.5) ** 2 + (Y - 0.5) ** 2))
 
     scheme = AdvectionScheme((1.0, 0.5), order=2)
+    scheme.kernels = get_backend(backend)
     dt, n_steps = 2e-3, 5
 
     ref_forest = make_forest()
@@ -244,10 +347,12 @@ def test_batched_reference_vs_emulator_with_race_detector():
         assert np.array_equal(gathered[bid], blk.interior), bid
 
 
-def test_batched_reference_through_rank_kill_recovery(tmp_path):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batched_reference_through_rank_kill_recovery(tmp_path, backend):
     """Rank-kill + checkpoint recovery must land bit-for-bit on the
     batched-engine reference (recovery deepcopies the forest, so this
     also exercises arena re-binding under deepcopy)."""
+    require_backend(backend)
     from repro.parallel.emulator import EmulatedMachine
     from repro.resilience import (
         Checkpointer,
@@ -270,6 +375,7 @@ def test_batched_reference_through_rank_kill_recovery(tmp_path):
             b.interior[0] = np.exp(-50 * ((X - 0.5) ** 2 + (Y - 0.5) ** 2))
 
     scheme = AdvectionScheme((1.0, 0.5), order=2)
+    scheme.kernels = get_backend(backend)
     dt, n_steps = 2e-3, 6
 
     ref_forest = make_forest()
@@ -335,5 +441,16 @@ def test_cli_engine_flag(capsys):
     from repro.cli import main
 
     assert main(["run", "pulse", "--steps", "2", "--engine", "batched"]) == 0
+    out = capsys.readouterr().out
+    assert "final grid" in out
+
+
+def test_cli_kernel_backend_flag(capsys):
+    from repro.cli import main
+
+    assert main([
+        "run", "pulse", "--steps", "2",
+        "--engine", "batched", "--kernel-backend", "numpy",
+    ]) == 0
     out = capsys.readouterr().out
     assert "final grid" in out
