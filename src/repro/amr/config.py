@@ -54,6 +54,12 @@ class SimulationConfig:
     # every backend is bit-for-bit with the numpy reference
     kernel_backend: str = "numpy"
 
+    # time stepping: False advances every block with one global
+    # CFL-limited dt; True subcycles — each level steps with its own dt
+    # (2^delta substeps per coarse step, time-interpolated ghosts; see
+    # repro.amr.subcycle)
+    subcycle: bool = False
+
     def __post_init__(self) -> None:
         if self.adapt_interval < 1:
             raise ValueError("adapt_interval must be >= 1")

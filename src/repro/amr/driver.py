@@ -117,6 +117,17 @@ class Simulation:
         missing).  None keeps the scheme's current backend.  The backend
         is attached to the *scheme* (``scheme.kernels``), so it also
         serves the blocked engine and per-block fallback paths.
+    subcycle:
+        When True, step with level-local time steps (Berger–Colella
+        subcycling, :mod:`repro.amr.subcycle`) instead of one global
+        CFL-limited dt: each ``stable_dt``/``advance`` pair takes one
+        *coarsest-level* step while finer levels take ``2^delta``
+        substeps with time-interpolated ghost fills.  Works on either
+        engine (bit-for-bit across the two, like global stepping) and
+        composes with ``reflux=True`` via per-substep time-weighted
+        flux accumulation.  The ``threads`` pool is not used by the
+        subcycled blocked path (per-level block counts are too small to
+        amortize it).
     sanitize:
         When True, run under the ghost-poison sanitizer
         (:class:`repro.analysis.poison.GhostSanitizer`): every ghost
@@ -145,6 +156,7 @@ class Simulation:
         batch_tile: Optional[int] = None,
         batch_tile_bytes: Optional[int] = None,
         kernel_backend: Optional[str] = None,
+        subcycle: bool = False,
         safe_mode: bool = False,
         max_step_retries: int = 4,
         sanitize: bool = False,
@@ -181,6 +193,10 @@ class Simulation:
         self.forest = forest
         self.scheme = scheme
         self.engine = engine
+        self.subcycle = subcycle
+        #: per-level substep counts of the last subcycled advance
+        #: (level -> substeps); None before the first subcycled step
+        self._last_substeps: Optional[Dict[int, int]] = None
         self.batch_tile = batch_tile
         self.batch_tile_bytes = int(batch_tile_bytes)
         self.bc = bc
@@ -320,6 +336,10 @@ class Simulation:
 
     def stable_dt(self) -> float:
         with self.timer.phase("cfl"):
+            if self.subcycle:
+                from repro.amr.subcycle import stable_dt_subcycled
+
+                return stable_dt_subcycled(self)
             if self.engine == "batched":
                 row_bytes = self.forest.arena.pool[:1].nbytes
                 return stable_dt_batched(
@@ -329,11 +349,29 @@ class Simulation:
 
     def advance(self, dt: float) -> None:
         """Advance the whole forest by ``dt`` (ghosts refreshed between
-        stages for the two-stage scheme)."""
-        if self.engine == "batched":
+        stages for the two-stage scheme).  Under subcycling ``dt`` is
+        the coarsest level's step; finer levels substep within it."""
+        if self.subcycle:
+            from repro.amr.subcycle import advance_subcycled
+
+            advance_subcycled(self, dt)
+        elif self.engine == "batched":
             self._advance_batched(dt)
         else:
             self._advance_blocked(dt)
+
+    def updates_per_step(self) -> int:
+        """Block updates one ``advance`` performs: every block once
+        under global stepping; under subcycling each block steps with
+        its level's substep divisor — the work metric the subcycling
+        ablation compares."""
+        if not self.subcycle:
+            return self.forest.n_blocks
+        from repro.amr.subcycle import level_divisors
+
+        levels = sorted({b.level for b in self.forest.blocks.values()})
+        divisor = level_divisors(levels)
+        return sum(divisor[b.level] for b in self.forest)
 
     def _advance_blocked(self, dt: float) -> None:
         """Per-block engine: one scheme call per block (threadable)."""
@@ -504,10 +542,17 @@ class Simulation:
                     scheme.apply_floors(np.moveaxis(ui[s:e], 0, 1))
         self._finish_advance(dt, register)
 
-    def _finish_advance(self, dt: float, register) -> None:
+    def _finish_advance(
+        self, dt: float, register, *, flux_scale: Optional[float] = None
+    ) -> None:
+        """Common epilogue of every ``advance``: apply the accumulated
+        reflux correction, run the sanitizer's post-stage check, commit
+        the clock.  ``flux_scale`` overrides the dt the register scales
+        recorded fluxes by (the subcycled path passes 1.0 — its fluxes
+        already carry their substep-length weights)."""
         if register is not None:
             with self.timer.phase("reflux"):
-                register.apply(dt)
+                register.apply(dt if flux_scale is None else flux_scale)
         if self.sanitizer is not None:
             self.sanitizer.after_stage(self.forest)
         self.time += dt
@@ -661,6 +706,14 @@ class Simulation:
                     coarsened=adapted.coarsened,
                     n_blocks=rec.n_blocks,
                 )
+            extras: Dict[str, object] = {}
+            if self.subcycle:
+                extras["subcycle"] = True
+                extras["substeps"] = {
+                    str(lvl): n
+                    for lvl, n in (self._last_substeps or {}).items()
+                }
+                extras["updates"] = self.updates_per_step()
             self.recorder.emit(
                 "step",
                 step=rec.step,
@@ -670,6 +723,7 @@ class Simulation:
                 n_cells=rec.n_cells,
                 wall_time=rec.wall_time,
                 engine=self.engine,
+                **extras,
             )
         return rec
 

@@ -97,6 +97,7 @@ class Problem:
         sanitize: bool = False,
         engine: Optional[str] = None,
         kernel_backend: Optional[str] = None,
+        subcycle: Optional[bool] = None,
     ) -> Simulation:
         """Construct the simulation, optionally pre-adapting the initial
         grid so the starting resolution already tracks the features.
@@ -105,7 +106,9 @@ class Problem:
         simulation (see :class:`repro.amr.driver.Simulation`);
         ``engine`` overrides the configured execution engine
         (``"blocked"`` / ``"batched"``); ``kernel_backend`` overrides
-        the configured kernel backend (``"numpy"`` / ``"numba"``).
+        the configured kernel backend (``"numpy"`` / ``"numba"``);
+        ``subcycle`` overrides the configured time-stepping mode
+        (level-local subcycled steps vs one global dt).
         """
         forest = self.config.make_forest(self.scheme.nvar)
         self.init_forest(forest)
@@ -125,6 +128,7 @@ class Problem:
                 if kernel_backend is not None
                 else self.config.kernel_backend
             ),
+            subcycle=subcycle if subcycle is not None else self.config.subcycle,
         )
         if adaptive:
             for _ in range(initial_adapt_rounds):

@@ -12,9 +12,24 @@ for the intermediate fine steps.
 Because adaptive-block leaves never overlap (unlike patch-based AMR)
 no post-step synchronization of overlapping regions is needed; the only
 couplings are the time-interpolated ghosts handled here and the
-coarse–fine flux mismatch, which is smaller than in global stepping at
-matched coarse dt but is not corrected (refluxing with subcycling would
-need per-substep flux accumulation — noted as future work).
+coarse–fine flux mismatch, corrected by per-substep flux accumulation:
+every level feeds its final-stage face fluxes, weighted by its own
+substep length, into the :class:`~repro.core.reflux.FluxRegister`
+(:meth:`~repro.core.reflux.FluxRegister.accumulate`), and the
+time-integrated correction is applied once per coarse step — subcycled
+runs with ``reflux=True`` conserve to round-off exactly like global
+stepping.
+
+Subcycling is a first-class driver mode: construct
+``Simulation(..., subcycle=True)`` (or via ``SimulationConfig`` /
+``problem.build`` / the CLI ``--subcycle`` flag) on **either** engine.
+The blocked engine steps each level block by block; the batched engine
+keeps the arena compacted in *level-major* order — every level is a
+contiguous run of pool rows — and advances each level's row range in
+cache-sized tiles per kernel call, dispatching through the scheme's
+kernel backend and routing ghost fills through the flat gather/scatter
+plan.  The two engines are bit-for-bit identical, as in global
+stepping.
 
 Accuracy note: the coarse level's mid-stage ghost fill sees fine
 neighbors still at the old time level (their substeps run after), a
@@ -24,133 +39,383 @@ of subcycled AMR.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.amr.driver import Simulation
 from repro.core.block_id import BlockID
+from repro.obs.metrics import METRICS
+from repro.solvers.timestep import stable_dt_batched
 
-__all__ = ["SubcycledSimulation"]
+__all__ = [
+    "SubcycledSimulation",
+    "advance_subcycled",
+    "interval_spans",
+    "level_divisors",
+    "stable_dt_subcycled",
+]
+
+#: Tolerance, as a fraction of the step interval, deciding whether a
+#: block's last step still extends beyond a fill time (and its interior
+#: must therefore be interpolated for the exchange).  Relative to the
+#: interval length, so classification is invariant under rescaling the
+#: time step — an absolute epsilon would misclassify spanning intervals
+#: once dt shrinks toward it.
+SPAN_RTOL = 1e-9
 
 
-class SubcycledSimulation(Simulation):
-    """AMR simulation advancing each refinement level at its own dt.
+def level_divisors(levels: List[int]) -> Dict[int, int]:
+    """Substep divisor per *present* level (sparse-level aware).
 
-    Drop-in replacement for :class:`repro.amr.driver.Simulation`; only
-    :meth:`advance` and :meth:`stable_dt` change.  ``n_stages`` of the
-    scheme is honoured per substep.
+    The coarsest present level takes one substep per coarse step; each
+    next finer present level takes ``2^delta`` substeps of its
+    predecessor's, where ``delta`` is the (possibly > 1) level gap.
+    Shared by :func:`stable_dt_subcycled`,
+    :meth:`~repro.amr.driver.Simulation.updates_per_step`, and the
+    work-accounting metrics.
+    """
+    divisor = {lvl: 1 for lvl in levels}
+    for prev, cur in zip(levels, levels[1:]):
+        divisor[cur] = divisor[prev] * (1 << (cur - prev))
+    return divisor
+
+
+def interval_spans(t: float, t0: float, t1: float) -> bool:
+    """True when the step interval ``[t0, t1]`` extends strictly beyond
+    ``t`` — i.e. the block is mid-step at ``t`` and its interior must be
+    time-interpolated for an exchange at ``t``.  The tolerance is
+    dt-relative (:data:`SPAN_RTOL`)."""
+    return t1 > t0 and t1 - t > SPAN_RTOL * (t1 - t0)
+
+
+def stable_dt_subcycled(sim: Simulation) -> float:
+    """Largest *coarse-level* step such that every level's substep
+    satisfies its own CFL limit (level L substeps are dt / 2^(L -
+    L_min)).
+
+    On the batched engine the per-block signal speeds come from the
+    tiled pool reduction (same kernels as global stepping) over the
+    subcycled sweep's level-major arena layout, so the CFL pass never
+    thrashes the compaction the advance relies on; the divisor weights
+    are exact powers of two, keeping the result bit-for-bit with the
+    per-block loop.
+    """
+    forest, scheme = sim.forest, sim.scheme
+    levels = sorted({b.level for b in forest.blocks.values()})
+    divisor = level_divisors(levels)
+    if sim.engine == "batched":
+        blocks = [forest.blocks[bid] for bid in forest.sorted_ids()]
+        blocks.sort(key=lambda b: b.level)  # stable: Morton within level
+        weights = np.array([float(divisor[b.level]) for b in blocks])
+        row_bytes = forest.arena.pool[:1].nbytes
+        return stable_dt_batched(
+            forest,
+            scheme,
+            tile=sim._tile_rows(row_bytes),
+            blocks=blocks,
+            weights=weights,
+        )
+    dt = 1e30
+    for block in forest:
+        # Interior cells only (ghosts may hold extrapolated data).
+        own = scheme.stable_dt(block.interior, block.dx, forest.ndim)
+        dt = min(dt, own * divisor[block.level])
+    if not dt > 0.0:
+        raise RuntimeError("non-positive stable time step")
+    return dt
+
+
+class _SubcycleSweep:
+    """Per-coarse-step state of one subcycled advance (both engines).
+
+    Everything here — the old-state snapshots backing the time
+    interpolation, the per-block step intervals, the level-major pool
+    layout — lives for exactly one coarse step and is dropped in
+    :meth:`clear`, so no stale :class:`BlockID` keys can survive an
+    adaptation into the next step.
     """
 
-    def stable_dt(self) -> float:
-        """Largest *coarse-level* step such that every level's substep
-        satisfies its own CFL limit (level L substeps are dt / 2^(L -
-        L_min))."""
-        with self.timer.phase("cfl"):
-            levels = sorted({b.level for b in self.forest.blocks.values()})
-            # Substep divisor per level, accounting for sparse levels.
-            divisor = {lvl: 1 for lvl in levels}
-            for prev, cur in zip(levels, levels[1:]):
-                divisor[cur] = divisor[prev] * (1 << (cur - prev))
-            dt = 1e30
+    def __init__(
+        self, sim: Simulation, levels: List[int], register
+    ) -> None:
+        self.sim = sim
+        self.forest = sim.forest
+        self.scheme = sim.scheme
+        self.g = sim.forest.n_ghost
+        self.register = register
+        self.levels = levels
+        #: interior snapshot (save-pool row view) of each block's
+        #: current/last substep, keyed by block id
+        self.u_old: Dict[BlockID, np.ndarray] = {}
+        #: time interval of each block's current/last substep
+        self.t_old: Dict[BlockID, float] = {}
+        self.t_new: Dict[BlockID, float] = {}
+        #: substeps each level took this coarse step (recorder payload)
+        self.substeps: Dict[int, int] = {lvl: 0 for lvl in levels}
+        self.save = self.forest.arena.save_pool()
+        self.batched = sim.engine == "batched"
+        if self.batched:
+            forest = self.forest
+            nd = forest.ndim
+            # Level-major, Morton within level: every level is one
+            # contiguous run of pool rows, so each substep sweeps a
+            # plain row range in tiles.  The sort is stable, and the
+            # order is reproduced every coarse step, so the compaction
+            # only moves rows (and invalidates the ghost plan) when the
+            # topology actually changed.
+            blocks = [forest.blocks[bid] for bid in forest.sorted_ids()]
+            blocks.sort(key=lambda b: b.level)
+            self.blocks = blocks
+            self.pool = forest.arena.ensure_compact(blocks)
+            n = len(blocks)
+            g = self.g
+            interior = (slice(None), slice(None)) + tuple(
+                slice(g, g + mi) for mi in forest.m
+            )
+            self.ui = self.pool[interior]  # (B, nvar, *m) view
+            self.dx_all = [
+                np.array([b.dx[a] for b in blocks]).reshape((n,) + (1,) * nd)
+                for a in range(nd)
+            ]
+            #: level -> [start, end) row range of the compacted pool
+            self.ranges: Dict[int, Tuple[int, int]] = {}
+            for i, b in enumerate(blocks):
+                s, _ = self.ranges.get(b.level, (i, i))
+                self.ranges[b.level] = (s, i + 1)
+            self.tile = sim._tile_rows(self.pool[:1].nbytes)
+            self.rate_pool = forest.arena.rate_pool()
+        else:
+            by_level: Dict[int, List] = {lvl: [] for lvl in levels}
             for block in self.forest:
-                # Interior cells only (ghosts may hold extrapolated data).
-                own = self.scheme.stable_dt(
-                    block.interior, block.dx, self.forest.ndim
-                )
-                dt = min(dt, own * divisor[block.level])
-            if not dt > 0.0:
-                raise RuntimeError("non-positive stable time step")
-            return dt
+                by_level[block.level].append(block)
+            self.by_level = by_level
+
+    def clear(self) -> None:
+        """Drop all per-step state (snapshots and step intervals)."""
+        self.u_old.clear()
+        self.t_old.clear()
+        self.t_new.clear()
 
     # ------------------------------------------------------------------
 
-    def advance(self, dt: float) -> None:
-        """One coarse step: recursive level-by-level subcycled advance."""
-        forest = self.forest
-        levels = sorted({b.level for b in forest.blocks.values()})
-        #: interior snapshot and time interval of each block's last step
-        self._u_old: Dict[BlockID, np.ndarray] = {}
-        self._t_old: Dict[BlockID, float] = {b: self.time for b in forest.blocks}
-        self._t_new: Dict[BlockID, float] = {b: self.time for b in forest.blocks}
-        self._advance_level(levels, 0, self.time, dt)
-        self._u_old.clear()
-        self.time += dt
-
-    def _interp_fill(self, t: float) -> None:
-        """Ghost exchange with every source interpolated to time ``t``.
-
-        Blocks whose last step spans ``t`` are temporarily set to the
-        linear interpolant between their old and new states, the normal
-        exchange runs, then their arrays are restored.
-        """
-        forest = self.forest
-        swapped: List = []
-        for bid, block in forest.blocks.items():
-            t0, t1 = self._t_old[bid], self._t_new[bid]
-            if t1 > t + 1e-14 and bid in self._u_old and t1 > t0:
-                theta = (t - t0) / (t1 - t0)
-                current = block.interior.copy()
-                block.interior[...] = (
-                    (1.0 - theta) * self._u_old[bid] + theta * current
-                )
-                swapped.append((block, current))
-        self.fill_ghosts()
-        for block, current in swapped:
-            block.interior[...] = current
-
-    def _advance_level(
-        self, levels: List[int], idx: int, t0: float, dt: float
-    ) -> None:
+    def advance_level(self, idx: int, t0: float, dt: float) -> None:
         """Advance level ``levels[idx]`` by ``dt`` from ``t0``, then the
-        finer levels by two half-steps each (recursively)."""
-        forest, scheme = self.forest, self.scheme
-        g = forest.n_ghost
-        level = levels[idx]
-        mine = [b for b in forest if b.level == level]
-
-        # Record the step interval and snapshot the starting state.
-        for block in mine:
-            self._u_old[block.id] = block.interior.copy()
-            self._t_old[block.id] = t0
-            self._t_new[block.id] = t0 + dt
-
-        self._interp_fill(t0)
-        if scheme.n_stages == 1:
-            with self.timer.phase("compute"):
-                for block in mine:
-                    scheme.step(block.data, block.dx, dt, g)
+        finer levels by ``2^delta`` substeps each (recursively)."""
+        level = self.levels[idx]
+        self.substeps[level] += 1
+        if self.batched:
+            self._step_level_batched(level, t0, dt)
         else:
-            with self.timer.phase("compute"):
-                for block in mine:
-                    scheme.step(block.data, block.dx, 0.5 * dt, g)
-            for block in mine:
-                self._t_new[block.id] = t0 + 0.5 * dt
-            self._interp_fill(t0 + 0.5 * dt)
-            for block in mine:
-                self._t_new[block.id] = t0 + dt
-            with self.timer.phase("compute"):
-                for block in mine:
-                    rate = scheme.flux_divergence(block.data, block.dx, g)
-                    block.interior[...] = self._u_old[block.id] + dt * rate
-
-        if idx + 1 < len(levels):
+            self._step_level_blocked(level, t0, dt)
+        if self.sim.sanitizer is not None:
+            # Every substep is a stage boundary: verify interiors finite
+            # (behavior-neutral — checks only).
+            self.sim.sanitizer.after_stage(self.forest)
+        if idx + 1 < len(self.levels):
             # The next finer *present* level may be more than one level
             # down (levels can be sparse far from interfaces): it takes
             # 2^delta substeps of dt / 2^delta.
-            delta = levels[idx + 1] - level
+            delta = self.levels[idx + 1] - level
             n_sub = 1 << delta
             sub_dt = dt / n_sub
             for k in range(n_sub):
-                self._advance_level(levels, idx + 1, t0 + k * sub_dt, sub_dt)
+                self.advance_level(idx + 1, t0 + k * sub_dt, sub_dt)
+
+    def interp_fill(self, t: float) -> None:
+        """Ghost exchange with every source interpolated to time ``t``.
+
+        Blocks whose current step spans ``t`` are temporarily set to the
+        linear interpolant between their old and new states, the normal
+        exchange runs (per-block copies or the flat gather/scatter plan,
+        per the engine), then their arrays are restored.
+        """
+        swapped: List = []
+        for bid, block in self.forest.blocks.items():
+            u0 = self.u_old.get(bid)
+            if u0 is None:
+                continue
+            t0, t1 = self.t_old[bid], self.t_new[bid]
+            if not interval_spans(t, t0, t1):
+                continue
+            theta = (t - t0) / (t1 - t0)
+            current = block.interior.copy()
+            block.interior[...] = (1.0 - theta) * u0 + theta * current
+            swapped.append((block, current))
+        self.sim.fill_ghosts()
+        for block, current in swapped:
+            block.interior[...] = current
+
+    def _final_rate(self, block, weight: float) -> np.ndarray:
+        """Final-stage flux divergence of one block, accumulating
+        captured coarse–fine face fluxes weighted by the substep length
+        ``weight`` (see :meth:`FluxRegister.accumulate`)."""
+        register, scheme, g = self.register, self.scheme, self.g
+        if register is not None:
+            faces = register.needed_faces.get(block.id)
+            if faces:
+                capture: Dict[int, np.ndarray] = {}
+                rate = scheme.flux_divergence(
+                    block.data, block.dx, g,
+                    face_flux_out=capture, faces=faces,
+                )
+                register.accumulate(block.id, capture, weight)
+                return rate
+        return scheme.flux_divergence(block.data, block.dx, g)
 
     # ------------------------------------------------------------------
 
-    def updates_per_step(self) -> int:
-        """Block updates one coarse step performs (the work metric the
-        subcycling ablation compares against global stepping)."""
-        levels = sorted({b.level for b in self.forest.blocks.values()})
-        divisor = {lvl: 1 for lvl in levels}
-        for prev, cur in zip(levels, levels[1:]):
-            divisor[cur] = divisor[prev] * (1 << (cur - prev))
-        return sum(divisor[b.level] for b in self.forest)
+    def _step_level_blocked(self, level: int, t0: float, dt: float) -> None:
+        """One substep of one level, block by block."""
+        sim, scheme, g = self.sim, self.scheme, self.g
+        mine = self.by_level[level]
+        save = self.save
+        for block in mine:
+            row = save[block.arena_row]
+            row[...] = block.interior
+            self.u_old[block.id] = row
+            self.t_old[block.id] = t0
+            self.t_new[block.id] = t0 + dt
+        self.interp_fill(t0)
+        if scheme.n_stages == 1:
+            with sim.timer.phase("compute"):
+                for block in mine:
+                    block.interior[...] += dt * self._final_rate(block, dt)
+                    scheme.apply_floors(block.interior)
+        else:
+            with sim.timer.phase("compute"):
+                for block in mine:
+                    scheme.step(block.data, block.dx, 0.5 * dt, g)
+            # The mid-stage exchange happens at t0 + dt/2; shrinking the
+            # recorded interval keeps this level's own (half-time)
+            # interiors out of the interpolation set for that fill.
+            for block in mine:
+                self.t_new[block.id] = t0 + 0.5 * dt
+            self.interp_fill(t0 + 0.5 * dt)
+            for block in mine:
+                self.t_new[block.id] = t0 + dt
+            with sim.timer.phase("compute"):
+                for block in mine:
+                    rate = self._final_rate(block, dt)
+                    block.interior[...] = self.u_old[block.id] + dt * rate
+                    scheme.apply_floors(block.interior)
+
+    def _step_level_batched(self, level: int, t0: float, dt: float) -> None:
+        """One substep of one level: tiled kernel sweeps over the
+        level's contiguous pool row range, same IEEE ops per element as
+        the blocked path (bit-for-bit, as in global stepping)."""
+        sim, scheme, g = self.sim, self.scheme, self.g
+        nd = self.forest.ndim
+        s, e = self.ranges[level]
+        mine = self.blocks[s:e]
+        save, pool, ui = self.save, self.pool, self.ui
+        rate_pool = self.rate_pool
+        save[s:e] = ui[s:e]
+        for i, block in enumerate(mine):
+            self.u_old[block.id] = save[s + i]
+            self.t_old[block.id] = t0
+            self.t_new[block.id] = t0 + dt
+        tiles = [(a, min(a + self.tile, e)) for a in range(s, e, self.tile)]
+        self.interp_fill(t0)
+        if scheme.n_stages == 1:
+            with sim.timer.phase("compute"):
+                self._capture(mine, dt)
+                for a, b in tiles:
+                    dxs = [d[a:b] for d in self.dx_all]
+                    rate = scheme.flux_divergence(
+                        pool[a:b], dxs, g, ndim=nd, out=rate_pool[a:b]
+                    )
+                    rate *= dt
+                    ui[a:b] += rate
+                    scheme.apply_floors(np.moveaxis(ui[a:b], 0, 1))
+        else:
+            with sim.timer.phase("compute"):
+                for a, b in tiles:
+                    dxs = [d[a:b] for d in self.dx_all]
+                    scheme.step(
+                        pool[a:b], dxs, 0.5 * dt, g, ndim=nd,
+                        rate_out=rate_pool[a:b],
+                    )
+            for block in mine:
+                self.t_new[block.id] = t0 + 0.5 * dt
+            self.interp_fill(t0 + 0.5 * dt)
+            for block in mine:
+                self.t_new[block.id] = t0 + dt
+            with sim.timer.phase("compute"):
+                self._capture(mine, dt)
+                # u_new = u_old + dt * L(u_half), as in the blocked
+                # corrector (same IEEE ops per element; the scratch only
+                # removes the broadcast temporaries).
+                for a, b in tiles:
+                    dxs = [d[a:b] for d in self.dx_all]
+                    rate = scheme.flux_divergence(
+                        pool[a:b], dxs, g, ndim=nd, out=rate_pool[a:b]
+                    )
+                    rate *= dt
+                    np.add(save[a:b], rate, out=ui[a:b])
+                    scheme.apply_floors(np.moveaxis(ui[a:b], 0, 1))
+
+    def _capture(self, mine, weight: float) -> None:
+        """Reflux fallback for the batched sweep: blocks on coarse–fine
+        interfaces rerun a per-block flux evaluation to capture (and
+        weight-accumulate) boundary-face fluxes.  Runs *before* the
+        tiled interior update so it sees the same current-stage state
+        the batched rate is computed from."""
+        register, scheme, g = self.register, self.scheme, self.g
+        if register is None:
+            return
+        for block in mine:
+            faces = register.needed_faces.get(block.id)
+            if faces:
+                capture: Dict[int, np.ndarray] = {}
+                scheme.flux_divergence(
+                    block.data, block.dx, g,
+                    face_flux_out=capture, faces=faces,
+                )
+                register.accumulate(block.id, capture, weight)
+
+
+def advance_subcycled(sim: Simulation, dt: float) -> None:
+    """One coarse step: recursive level-by-level subcycled advance.
+
+    Routed through :meth:`Simulation._finish_advance` like the global
+    engines, so the accumulated reflux correction is applied (with unit
+    scale — the fluxes carry their substep weights already) and the
+    ghost sanitizer's post-stage check runs under subcycling too.
+    """
+    forest = sim.forest
+    levels = sorted({b.level for b in forest.blocks.values()})
+    register = sim._flux_register() if sim.reflux else None
+    if register is not None:
+        register.start_step()
+    sweep = _SubcycleSweep(sim, levels, register)
+    try:
+        if levels:
+            sweep.advance_level(0, sim.time, dt)
+        sim._last_substeps = dict(sweep.substeps)
+    finally:
+        sweep.clear()
+    if METRICS.enabled:
+        divisor = level_divisors(levels)
+        METRICS.inc("subcycle.coarse_steps")
+        METRICS.inc("subcycle.substeps", sum(sweep.substeps.values()))
+        METRICS.inc(
+            "subcycle.block_updates",
+            sum(divisor[b.level] for b in forest),
+        )
+        METRICS.gauge("subcycle.levels", len(levels))
+    sim._finish_advance(dt, register, flux_scale=1.0)
+
+
+class SubcycledSimulation(Simulation):
+    """Back-compat constructor: a :class:`Simulation` with
+    ``subcycle=True``.
+
+    Subcycling is a first-class driver mode (``Simulation(...,
+    subcycle=True)``, on either engine, any kernel backend); this
+    subclass remains for existing callers and the ablation benchmark.
+    """
+
+    def __init__(self, forest, scheme, **kw) -> None:
+        kw.setdefault("subcycle", True)
+        super().__init__(forest, scheme, **kw)

@@ -95,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "reference numpy or fused JIT (numba; falls "
                           "back to numpy with a warning when not "
                           "installed); results are bit-for-bit identical")
+    run.add_argument("--subcycle", action="store_true",
+                     help="level-local time stepping: each refinement "
+                          "level advances with its own CFL dt (2^delta "
+                          "substeps per coarse step, time-interpolated "
+                          "ghosts, time-weighted reflux) instead of one "
+                          "global finest-level dt")
     run.add_argument("--scrub-every", type=int, metavar="N", default=None,
                      help="verify per-block CRC integrity tags every N "
                           "steps; silent data corruption aborts loudly "
@@ -122,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="target working-set bytes per batched kernel "
                             "tile (>= 4096; default: REPRO_BATCH_TILE_BYTES "
                             "env var, else 800 KiB); bit-for-bit neutral")
+    bench.add_argument("--subcycle", action="store_true",
+                       help="also run the deep-hierarchy subcycling case: "
+                            "subcycled vs global-dt updates per unit "
+                            "physical time on a nested multi-level forest, "
+                            "checked against the ablation-predicted factor "
+                            "and for blocked/batched bitwise equivalence")
 
     info = sub.add_parser("info", help="summarize or audit checkpoints")
     info.add_argument("checkpoint",
@@ -287,6 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="kernel backend for the profiled runs "
                               "(bit-for-bit identical; numba falls back "
                               "to numpy when not installed)")
+    profile.add_argument("--subcycle", action="store_true",
+                         help="profile under level-local (subcycled) time "
+                              "stepping instead of one global dt")
     profile.add_argument("--no-adapt", action="store_true",
                          help="static grid")
     profile.add_argument("--out", metavar="FILE.jsonl", default=None,
@@ -425,6 +440,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             sanitize=args.sanitize,
             engine=args.engine,
             kernel_backend=args.kernel_backend,
+            subcycle=args.subcycle,
         )
         sim.time = float(meta.get("time", 0.0))
         sim.step_count = int(meta.get("step", 0))
@@ -438,6 +454,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             sanitize=args.sanitize,
             engine=args.engine,
             kernel_backend=args.kernel_backend,
+            subcycle=args.subcycle,
         )
         sim.safe_mode = args.safe_mode
     sim.reflux = args.reflux
@@ -536,7 +553,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         QUICK_CASES,
         check_backend_equivalence,
         check_equivalence,
+        check_subcycle_equivalence,
         run_cases,
+        run_subcycle_case,
     )
     from repro.kernels import BACKEND_NAMES, available_backends
     from repro.util.benchio import make_bench_record, write_bench_json
@@ -607,14 +626,49 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{'ok' if eq else 'VIOLATED'}"
         )
         ok = ok and eq
+    sub_result = None
+    if args.subcycle:
+        print("\ndeep-hierarchy subcycling (advection, nested refinement)")
+        sub_result = run_subcycle_case(kernel_backend=backends[0])
+        s, g = sub_result["subcycled"], sub_result["global"]
+        print(
+            f"  {sub_result['label']}: {sub_result['n_blocks']} blocks over "
+            f"{sub_result['levels']} levels (depth {sub_result['depth']})"
+        )
+        print(
+            f"  updates per unit time: global {g['updates_per_time']:.0f} "
+            f"({g['updates']} updates), subcycled {s['updates_per_time']:.0f} "
+            f"({s['updates']} updates)"
+        )
+        print(
+            f"  work factor: measured {sub_result['measured_factor']:.2f}x "
+            f"vs predicted {sub_result['predicted_factor']:.2f}x "
+            f"({'ok' if sub_result['beats_global'] else 'BELOW PREDICTION'})"
+        )
+        print(
+            f"  L1 error: global {g['error']:.3e}, subcycled {s['error']:.3e} "
+            f"(matched: {'ok' if sub_result['matched_error'] else 'VIOLATED'})"
+        )
+        eq = check_subcycle_equivalence(backends=backends)
+        print(
+            "  bitwise subcycled engine x backend equivalence: "
+            f"{'ok' if eq else 'VIOLATED'}"
+        )
+        ok = (
+            ok and eq
+            and sub_result["beats_global"]
+            and sub_result["matched_error"]
+        )
     if not args.no_json:
-        record = make_bench_record(
-            "batched_engine",
+        payload = dict(
             workload="uniform periodic MHD, Fig-5-style time per cell",
             cases=results,
             equivalence_ok=ok,
             kernel_backends=backends,
         )
+        if sub_result is not None:
+            payload["subcycle"] = sub_result
+        record = make_bench_record("batched_engine", **payload)
         path = write_bench_json(record)
         print(f"wrote {path}")
     return 0 if ok else 1
@@ -1345,6 +1399,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
             engines=engines,
             kernel_backend=args.kernel_backend,
             adaptive=not args.no_adapt,
+            subcycle=args.subcycle,
         )
         for engine in engines:
             METRICS.reset()
@@ -1353,6 +1408,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
                     adaptive=not args.no_adapt,
                     engine=engine,
                     kernel_backend=args.kernel_backend,
+                    subcycle=args.subcycle,
                 ) as sim:
                     sim.recorder = recorder
                     sim.enable_block_profile()

@@ -95,6 +95,28 @@ class FluxRegister:
         for face, slab in face_fluxes.items():
             self._fluxes[(bid, face)] = slab
 
+    def accumulate(
+        self, bid: BlockID, face_fluxes: Dict[int, np.ndarray], weight: float
+    ) -> None:
+        """Add ``weight``-scaled captured fluxes of one block.
+
+        This is the subcycled counterpart of :meth:`record`: each level
+        feeds its final-stage face fluxes weighted by its *own* substep
+        length, so after one full coarse step the register holds the
+        time-integrated flux ``sum_k dt_k F_k`` on both sides of every
+        coarse-fine face (2^delta fine substeps against one coarse
+        step over the same physical interval).  :meth:`apply` with
+        ``dt=1`` then applies the Berger-Colella correction
+        ``±(Σdt·<F_fine> − Σdt·F_coarse)/dx`` once per coarse step.
+        """
+        for face, slab in face_fluxes.items():
+            key = (bid, face)
+            cur = self._fluxes.get(key)
+            if cur is None:
+                self._fluxes[key] = weight * slab
+            else:
+                cur += weight * slab
+
     def apply(self, dt: float) -> float:
         """Correct the coarse cells adjacent to every coarse–fine face.
 

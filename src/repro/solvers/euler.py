@@ -32,6 +32,13 @@ class EulerScheme(FVScheme):
     gravity:
         Optional uniform acceleration vector (length ``ndim``); adds the
         source ``d(rho u)/dt += rho g``, ``dE/dt += rho u·g``.
+    rho_floor / p_floor:
+        Optional positivity floors (same contract as
+        :class:`repro.solvers.mhd.MHDScheme`): strong rarefactions and
+        under-resolved blast interiors can drive density or pressure
+        negative; the floors clip them up after every update stage,
+        rebuilding the total energy consistently.  ``None`` (default)
+        disables the fix-up.
     """
 
     def __init__(
@@ -40,14 +47,22 @@ class EulerScheme(FVScheme):
         gamma: float = DEFAULT_GAMMA,
         *,
         gravity: Optional[Sequence[float]] = None,
+        rho_floor: Optional[float] = None,
+        p_floor: Optional[float] = None,
         **kw,
     ) -> None:
         super().__init__(**kw)
         if not 1 <= ndim <= 3:
             raise ValueError(f"ndim must be 1..3, got {ndim}")
+        if rho_floor is not None and rho_floor <= 0:
+            raise ValueError("rho_floor must be positive")
+        if p_floor is not None and p_floor <= 0:
+            raise ValueError("p_floor must be positive")
         self.layout = EulerLayout(ndim, gamma)
         self.ndim = ndim
         self.gamma = gamma
+        self.rho_floor = rho_floor
+        self.p_floor = p_floor
         if gravity is not None:
             gravity = tuple(float(g) for g in gravity)
             if len(gravity) != ndim:
@@ -72,6 +87,21 @@ class EulerScheme(FVScheme):
             src[1 + a] += rho * grav
             src[self.layout.i_energy] += u_interior[1 + a] * grav
         return src
+
+    def apply_floors(self, u: np.ndarray) -> None:
+        """Clip density/pressure up to the configured floors, in place.
+
+        Velocity is preserved; total energy is rebuilt consistently.
+        No-op when no floors are configured.
+        """
+        if self.rho_floor is None and self.p_floor is None:
+            return
+        w = self.layout.cons_to_prim(u)
+        if self.rho_floor is not None:
+            np.maximum(w[0], self.rho_floor, out=w[0])
+        if self.p_floor is not None:
+            np.maximum(w[self.nvar - 1], self.p_floor, out=w[self.nvar - 1])
+        u[...] = self.layout.prim_to_cons(w)
 
     @property
     def positivity_indices(self):

@@ -28,17 +28,38 @@ class ShallowWaterScheme(FVScheme):
         Spatial dimension, 1 or 2.
     gravity:
         Gravitational acceleration ``g``.
+    h_floor:
+        Optional water-depth floor: drying fronts can pull ``h``
+        negative after an update stage; the floor clips it up in place
+        (momentum untouched).  ``None`` (default) disables the fix-up.
     """
 
-    def __init__(self, ndim: int, gravity: float = 9.81, **kw) -> None:
+    def __init__(
+        self,
+        ndim: int,
+        gravity: float = 9.81,
+        *,
+        h_floor: float | None = None,
+        **kw,
+    ) -> None:
         super().__init__(**kw)
         if ndim not in (1, 2):
             raise ValueError(f"ndim must be 1 or 2, got {ndim}")
         if gravity <= 0:
             raise ValueError("gravity must be positive")
+        if h_floor is not None and h_floor <= 0:
+            raise ValueError("h_floor must be positive")
         self.ndim = ndim
         self.gravity = gravity
+        self.h_floor = h_floor
         self.nvar = ndim + 1
+
+    def apply_floors(self, u: np.ndarray) -> None:
+        """Clip the water depth up to ``h_floor``, in place (no-op when
+        unconfigured)."""
+        if self.h_floor is None:
+            return
+        np.maximum(u[0], self.h_floor, out=u[0])
 
     def cons_to_prim(self, u: np.ndarray) -> np.ndarray:
         w = np.empty_like(u)

@@ -40,6 +40,8 @@ def stable_dt_batched(
     *,
     dt_max: float = 1e30,
     tile: Optional[int] = None,
+    blocks: Optional[list] = None,
+    weights: Optional[np.ndarray] = None,
 ) -> float:
     """Batched :func:`stable_dt`: tiled reductions over the arena pool.
 
@@ -50,8 +52,16 @@ def stable_dt_batched(
     same float64 divisions, same accumulation order over axes — as the
     per-block loop, so the result is bit-for-bit identical for any tile
     size.
+
+    ``blocks`` overrides the compaction order (the subcycled driver
+    passes level-major order so the CFL sweep shares the advance's
+    arena layout instead of thrashing it); ``weights`` scales each
+    block's CFL step before the fold (per-level substep divisors —
+    exact powers of two, so the scaled fold stays bit-for-bit with the
+    equivalent per-block ``min(own * divisor)`` loop).
     """
-    blocks = [forest.blocks[bid] for bid in forest.sorted_ids()]
+    if blocks is None:
+        blocks = [forest.blocks[bid] for bid in forest.sorted_ids()]
     if not blocks:
         return dt_max
     g = forest.n_ghost
@@ -83,6 +93,8 @@ def stable_dt_batched(
         for a in range(1, forest.ndim):
             denom = denom + s / dx[:, a]
         dt_b = np.where(s > 0.0, scheme.cfl / denom, np.inf)
+    if weights is not None:
+        dt_b = dt_b * weights
     # fmin ignores NaN candidates, matching min()'s keep-current-on-
     # non-less semantics in the per-block loop; dt_max participates as
     # the loop's starting value.
